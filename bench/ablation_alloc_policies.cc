@@ -1,0 +1,160 @@
+// Ablation — allocation policy shoot-out over the paper's workload.
+//
+// DESIGN.md calls out four design decisions in the NTFS-like allocator:
+// the run-selection rule, the run-cache size, deferred (journal-delayed)
+// frees, and extension attempts. This bench swaps each out, and also
+// runs the textbook baselines (first/best/worst-fit and the DTSS buddy
+// system from §3.4) through the identical safe-write churn.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/policy_allocator.h"
+#include "alloc/run_cache_allocator.h"
+#include "core/fragmentation.h"
+#include "core/fs_repository.h"
+#include "bench_common.h"
+#include "util/table_writer.h"
+#include "workload/getput_runner.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string label;
+  std::function<std::unique_ptr<alloc::ExtentAllocator>(uint64_t, uint64_t)>
+      make;  ///< (total_clusters, reserved) -> allocator; null = default.
+};
+
+void Run(const Options& options) {
+  PrintBanner("Ablation: allocation policies under safe-write churn",
+              "Sections 2, 3.2, 3.4 (policy baselines and design choices)",
+              options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const std::vector<double> ages = {2.0, 4.0, 8.0};
+
+  using alloc::FitPolicy;
+  using alloc::PolicyAllocator;
+  using alloc::PolicyAllocatorOptions;
+  using alloc::RunCacheAllocator;
+  using alloc::RunCacheOptions;
+  using alloc::RunSelection;
+
+  std::vector<Variant> variants;
+  variants.push_back({"ntfs-like (default)", nullptr});
+  variants.push_back(
+      {"ntfs-like, immediate free", [](uint64_t n, uint64_t r) {
+         RunCacheOptions o;
+         o.deferred_free = false;
+         return std::make_unique<RunCacheAllocator>(n, o, r);
+       }});
+  variants.push_back({"ntfs-like, no extension", [](uint64_t n, uint64_t r) {
+                        RunCacheOptions o;
+                        o.allow_extension = false;
+                        return std::make_unique<RunCacheAllocator>(n, o, r);
+                      }});
+  variants.push_back({"ntfs-like, largest-first", [](uint64_t n, uint64_t r) {
+                        RunCacheOptions o;
+                        o.selection = RunSelection::kLargestFirst;
+                        return std::make_unique<RunCacheAllocator>(n, o, r);
+                      }});
+  variants.push_back({"ntfs-like, cursor sweep", [](uint64_t n, uint64_t r) {
+                        RunCacheOptions o;
+                        o.selection = RunSelection::kCursorSweep;
+                        return std::make_unique<RunCacheAllocator>(n, o, r);
+                      }});
+  for (FitPolicy policy : {FitPolicy::kFirstFit, FitPolicy::kBestFit,
+                           FitPolicy::kWorstFit, FitPolicy::kNextFit}) {
+    variants.push_back(
+        {std::string(alloc::FitPolicyName(policy)) + " (immediate)",
+         [policy](uint64_t n, uint64_t r) {
+           PolicyAllocatorOptions o;
+           o.policy = policy;
+           return std::make_unique<PolicyAllocator>(n, o, r);
+         }});
+  }
+
+  TableWriter table({"allocator", "frag @2", "frag @4", "frag @8",
+                     "free-space frag", "read MB/s @8"});
+  for (const Variant& variant : variants) {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = volume;
+    const uint64_t clusters = volume / config.store.cluster_bytes;
+    const uint64_t reserved = static_cast<uint64_t>(
+        static_cast<double>(clusters) * config.store.mft_zone_fraction);
+    std::unique_ptr<core::FsRepository> repo;
+    if (variant.make) {
+      repo = std::make_unique<core::FsRepository>(
+          config, variant.make(clusters, reserved));
+    } else {
+      repo = std::make_unique<core::FsRepository>(config);
+    }
+    workload::WorkloadConfig wc;
+    wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
+    wc.seed = options.seed;
+    auto checkpoints = RunAging(repo.get(), wc, ages);
+    table.Row().Cell(variant.label);
+    if (!checkpoints.ok()) {
+      for (int i = 0; i < 5; ++i) table.Cell("-");
+      continue;
+    }
+    for (size_t i = 1; i < checkpoints->size(); ++i) {
+      table.Cell((*checkpoints)[i].fragmentation.fragments_per_object);
+    }
+    table.Cell(repo->store()->allocator()->FreeStats().external_fragmentation,
+               3);
+    table.Cell(checkpoints->back().read.mb_per_s());
+  }
+
+  // The buddy system trades internal waste for zero external
+  // fragmentation; run it at a lower occupancy so the power-of-two
+  // rounding (2 MiB objects round cleanly, but temp+live coexistence
+  // doubles the footprint) fits.
+  {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = volume;
+    // The buddy discipline allocates whole blocks, so objects must be
+    // placed in one piece: pair it with the size-hint interface.
+    config.preallocate_on_safe_write = true;
+    const uint64_t clusters = volume / config.store.cluster_bytes;
+    auto repo = std::make_unique<core::FsRepository>(
+        config, std::make_unique<alloc::BuddyAllocator>(clusters));
+    workload::WorkloadConfig wc;
+    wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
+    wc.target_occupancy = 0.4;
+    wc.seed = options.seed;
+    auto checkpoints = RunAging(repo.get(), wc, ages);
+    table.Row().Cell("buddy system (DTSS), 40% full");
+    if (checkpoints.ok()) {
+      for (size_t i = 1; i < checkpoints->size(); ++i) {
+        table.Cell((*checkpoints)[i].fragmentation.fragments_per_object);
+      }
+      table.Cell("n/a");
+      table.Cell(checkpoints->back().read.mb_per_s());
+    }
+  }
+
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: the buddy system never fragments externally (its\n"
+      "cost is internal waste, §3.4); immediate-free and whole-object\n"
+      "fit policies under-fragment relative to the NTFS-like default\n"
+      "because real reuse is deferred and request-granular.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

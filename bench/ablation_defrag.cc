@@ -1,0 +1,116 @@
+// Ablation — online defragmentation cost/benefit (paper §3.4 and §6:
+// "defragmentation may require additional application logic and imposes
+// read/write performance impacts that can outweigh its benefits").
+//
+// Two identical filesystem repositories age side by side; one runs a
+// budgeted defragmentation pass between aging intervals. We report the
+// fragmentation and read throughput each achieves, and how much
+// simulated time the maintenance itself consumed.
+
+#include <cstdio>
+
+#include "core/db_repository.h"
+#include "core/fragmentation.h"
+#include "core/fs_repository.h"
+#include "fs/defragmenter.h"
+#include "bench_common.h"
+#include "util/table_writer.h"
+#include "workload/getput_runner.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Ablation: online defragmentation cost/benefit",
+              "Sections 3.4 and 6 (maintenance trade-off)", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  TableWriter table({"variant", "age", "frag", "read MB/s",
+                     "defrag time share"});
+
+  for (bool with_defrag : {false, true}) {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = volume;
+    core::FsRepository repo(config);
+    fs::Defragmenter defrag(repo.store());
+    workload::WorkloadConfig wc;
+    wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
+    wc.seed = options.seed;
+    workload::GetPutRunner runner(&repo, wc);
+    if (!runner.BulkLoad().ok()) return;
+
+    double defrag_seconds = 0.0;
+    for (double age = 2.0; age <= 8.0; age += 2.0) {
+      if (!runner.AgeTo(age).ok()) break;
+      if (with_defrag) {
+        auto report = defrag.Run(/*byte_budget=*/volume / 20);
+        if (report.ok()) defrag_seconds += report->elapsed_seconds;
+      }
+      auto read = runner.MeasureReadThroughput();
+      table.Row()
+          .Cell(with_defrag ? "churn + defrag" : "churn only")
+          .Cell(age, 0)
+          .Cell(runner.Fragmentation().fragments_per_object)
+          .Cell(read.ok() ? read->mb_per_s() : 0.0)
+          .Cell(defrag_seconds / repo.now(), 3);
+    }
+  }
+  // The database side: the paper's recommended procedure is a table
+  // rebuild into a new filegroup (§5.3), since SQL Server's defrag
+  // tools skip large-object data.
+  {
+    core::DbRepositoryConfig config;
+    config.volume_bytes = volume;
+    core::DbRepository repo(config);
+    workload::WorkloadConfig wc;
+    wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
+    // Leave headroom for the rebuild's second copy.
+    wc.target_occupancy = 0.4;
+    wc.seed = options.seed;
+    workload::GetPutRunner runner(&repo, wc);
+    if (runner.BulkLoad().ok()) {
+      for (double age = 2.0; age <= 8.0; age += 2.0) {
+        if (!runner.AgeTo(age).ok()) break;
+        auto read = runner.MeasureReadThroughput();
+        table.Row()
+            .Cell("db churn only")
+            .Cell(age, 0)
+            .Cell(runner.Fragmentation().fragments_per_object)
+            .Cell(read.ok() ? read->mb_per_s() : 0.0)
+            .Cell("0.000");
+      }
+      auto rebuild = repo.blob_store()->RebuildTable();
+      auto read = runner.MeasureReadThroughput();
+      if (rebuild.ok()) {
+        table.Row()
+            .Cell("db after table rebuild")
+            .Cell(uint64_t{8})
+            .Cell(rebuild->fragments_after)
+            .Cell(read.ok() ? read->mb_per_s() : 0.0)
+            .Cell(rebuild->elapsed_seconds / repo.now(), 3);
+      }
+    }
+  }
+
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: defragmentation buys back read throughput but the\n"
+      "maintenance consumes a visible share of device time — the paper's\n"
+      "warning that the cost can outweigh the benefit. The database row\n"
+      "shows §5.3's recommended remedy (rebuild the table) resetting the\n"
+      "fragmentation clock at the cost of copying every live byte.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

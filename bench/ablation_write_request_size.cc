@@ -1,0 +1,67 @@
+// Ablation — the effect of the client's write request size on long-term
+// fragmentation (paper §5.4: "modifying the size of the write requests
+// that append to NTFS files and database BLOBs changes long-term
+// fragmentation behavior, supporting this theory"; §5.3 notes the
+// convergence to one fragment per 64 KB request "warrants further
+// study" — this bench is that study).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Ablation: write request size vs fragmentation",
+              "Sections 5.3-5.4 (write-request-size hypothesis)", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const uint64_t object_size = 2 * kMiB;
+  const std::vector<uint64_t> request_sizes = {16 * kKiB, 64 * kKiB,
+                                               256 * kKiB, kMiB};
+  const std::vector<double> ages = {4.0, 8.0};
+
+  TableWriter table({"write request", "backend", "frag @ age 4",
+                     "frag @ age 8", "object/request"});
+  for (uint64_t request : request_sizes) {
+    for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
+      auto repo = MakeRepository(backend, volume, request);
+      workload::WorkloadConfig config;
+      config.sizes = workload::SizeDistribution::Constant(object_size);
+      config.seed = options.seed;
+      auto checkpoints = RunAging(repo.get(), config, ages,
+                                  /*probe_reads=*/false);
+      table.Row().Cell(FormatBytes(request)).Cell(repo->name());
+      if (!checkpoints.ok()) {
+        table.Cell(checkpoints.status().ToString()).Cell("-").Cell("-");
+        continue;
+      }
+      table.Cell((*checkpoints)[1].fragmentation.fragments_per_object)
+          .Cell((*checkpoints)[2].fragmentation.fragments_per_object)
+          .Cell(static_cast<uint64_t>(object_size / request));
+    }
+  }
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: larger write requests mean coarser allocation and\n"
+      "fewer fragments for the filesystem. Known deviation: our database\n"
+      "engine allocates LOB pages individually inside the allocation\n"
+      "unit, so its layout is insensitive to the client request size\n"
+      "(the paper observed sensitivity in both systems).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

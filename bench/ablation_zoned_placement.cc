@@ -1,0 +1,121 @@
+// Ablation — heat-based zone placement (paper §3.4: multi-zone drives
+// transfer faster in outer zones; Ghandeharizadeh et al. report 20-40%
+// FTP-workload gains from placing popular files there and migrating
+// online; NTFS's defragmenter moves boot files to faster bands).
+//
+// A skewed workload (90% of reads hit 10% of files) runs on a mostly
+// full volume, so hot files start scattered across all zones. We
+// measure hot-read throughput, migrate the hot set outward, and measure
+// again — including the migration's own cost.
+
+#include <cstdio>
+
+#include "core/fs_repository.h"
+#include "fs/zoned_placement.h"
+#include "bench_common.h"
+#include "util/random.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Ablation: hot files in fast zones",
+              "Section 3.4 (multi-zone placement)", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const uint64_t object_size = 4 * kMiB;
+
+  core::FsRepositoryConfig config;
+  config.volume_bytes = volume;
+  // The cited study served FTP from local disks; lift the SMB streaming
+  // cap so media bandwidth (the zone effect) is visible.
+  config.store.costs.fs_stream_bandwidth = 200.0 * 1e6;
+  core::FsRepository repo(config);
+
+  // Fill to 85% so files span the full zone range.
+  uint64_t objects = 0;
+  while (repo.live_bytes() + object_size <
+         static_cast<uint64_t>(0.85 * static_cast<double>(volume))) {
+    if (!repo.Put("obj" + std::to_string(objects), object_size).ok()) break;
+    ++objects;
+  }
+
+  // Age out a cold band of the oldest (outermost) objects — archived
+  // data near the front of the volume gets deleted, opening fast-zone
+  // space the hot set could occupy.
+  const uint64_t cold_deleted = objects / 8;
+  for (uint64_t i = 0; i < cold_deleted; ++i) {
+    Status s = repo.Delete("obj" + std::to_string(i));
+    (void)s;
+  }
+  repo.store()->allocator()->CommitPending();
+
+  Rng rng(options.seed);
+  // The hot set is spread uniformly across the surviving population
+  // (popularity is uncorrelated with placement): every 10th object.
+  const uint64_t survivors = objects - cold_deleted;
+  const uint64_t hot_count = std::max<uint64_t>(1, survivors / 10);
+  auto hot_name = [&](uint64_t h) {
+    return "obj" + std::to_string(cold_deleted + h * 10 % survivors);
+  };
+  auto pick = [&]() -> std::string {
+    // 90% of reads hit the hot set.
+    if (rng.Bernoulli(0.9)) return hot_name(rng.Uniform(hot_count));
+    return "obj" + std::to_string(cold_deleted + rng.Uniform(survivors));
+  };
+
+  auto probe = [&](int reads) {
+    const double t0 = repo.now();
+    uint64_t bytes = 0;
+    for (int i = 0; i < reads; ++i) {
+      if (repo.Get(pick()).ok()) bytes += object_size;
+    }
+    const double seconds = repo.now() - t0;
+    return seconds > 0 ? static_cast<double>(bytes) / (1 << 20) / seconds
+                       : 0.0;
+  };
+
+  const double before = probe(2000);  // Also builds the heat counters.
+  fs::ZonedPlacement placement(repo.store());
+  auto report = placement.MigrateHotFiles(0.10);
+  if (!report.ok()) {
+    std::fprintf(stderr, "migration failed: %s\n",
+                 report.status().ToString().c_str());
+    return;
+  }
+  const double after = probe(2000);
+
+  TableWriter table({"metric", "before", "after"});
+  table.Row().Cell("skewed read throughput (MB/s)").Cell(before).Cell(after);
+  table.Row()
+      .Cell("hot-set centroid (fraction of volume)")
+      .Cell(report->hot_centroid_before, 3)
+      .Cell(report->hot_centroid_after, 3);
+  table.Row()
+      .Cell("files moved / bytes moved")
+      .Cell(static_cast<uint64_t>(report->files_moved))
+      .Cell(FormatBytes(report->bytes_moved));
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nMigration itself consumed %s of simulated time.\n"
+      "Shape check: the hot centroid moves toward offset 0 (the fast\n"
+      "outer zone) and skewed read throughput improves — the cited work\n"
+      "saw 20-40%% on FTP workloads; the gain here is bounded by the\n"
+      "65/35 MB/s zone ratio and the per-op overheads.\n",
+      FormatSeconds(report->elapsed_seconds).c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lor {
+namespace bench {
+
+Options Options::FromArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      const char* value = arg + 8;
+      if (std::strcmp(value, "small") == 0) {
+        opts.scale = 0.1;
+      } else if (std::strcmp(value, "paper") == 0) {
+        opts.scale = 1.0;
+      } else {
+        opts.scale = std::atof(value);
+        if (opts.scale <= 0.0) opts.scale = 0.1;
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opts.csv = true;
+    }
+  }
+  // Environment override used by CI sweeps.
+  if (const char* env = std::getenv("LOR_BENCH_SCALE")) {
+    opts.scale = std::atof(env) > 0.0 ? std::atof(env) : opts.scale;
+  }
+  return opts;
+}
+
+uint64_t Options::ScaleBytes(uint64_t paper_bytes) const {
+  return static_cast<uint64_t>(static_cast<double>(paper_bytes) * scale);
+}
+
+std::unique_ptr<core::ObjectRepository> MakeRepository(
+    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes) {
+  if (backend == Backend::kFilesystem) {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = volume_bytes;
+    config.write_request_bytes = write_request_bytes;
+    return std::make_unique<core::FsRepository>(config);
+  }
+  core::DbRepositoryConfig config;
+  config.volume_bytes = volume_bytes;
+  config.store.write_request_bytes = write_request_bytes;
+  return std::make_unique<core::DbRepository>(config);
+}
+
+Result<std::vector<AgingCheckpoint>> RunAging(
+    core::ObjectRepository* repo, const workload::WorkloadConfig& config,
+    const std::vector<double>& ages, bool probe_reads) {
+  workload::GetPutRunner runner(repo, config);
+  std::vector<AgingCheckpoint> checkpoints;
+
+  AgingCheckpoint zero;
+  zero.target_age = 0.0;
+  LOR_ASSIGN_OR_RETURN(zero.write, runner.BulkLoad());
+  if (probe_reads) {
+    LOR_ASSIGN_OR_RETURN(zero.read, runner.MeasureReadThroughput());
+  }
+  zero.measured_age = runner.storage_age();
+  zero.fragmentation = runner.Fragmentation();
+  checkpoints.push_back(std::move(zero));
+
+  for (double age : ages) {
+    AgingCheckpoint cp;
+    cp.target_age = age;
+    LOR_ASSIGN_OR_RETURN(cp.write, runner.AgeTo(age));
+    if (probe_reads) {
+      LOR_ASSIGN_OR_RETURN(cp.read, runner.MeasureReadThroughput());
+    }
+    cp.measured_age = runner.storage_age();
+    cp.fragmentation = runner.Fragmentation();
+    checkpoints.push_back(std::move(cp));
+  }
+  return checkpoints;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const Options& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s (Sears & van Ingen, CIDR 2007)\n",
+              paper_ref.c_str());
+  std::printf("Scale: %.2fx of the paper's volumes (seed %llu)\n\n",
+              options.scale, static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace bench
+}  // namespace lor

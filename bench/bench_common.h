@@ -1,0 +1,72 @@
+// Shared harness for the figure/table reproduction benches: scale
+// handling, repository construction, and the bulk-load → age → probe
+// experiment loop used by every figure.
+
+#ifndef LOREPO_BENCH_BENCH_COMMON_H_
+#define LOREPO_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db_repository.h"
+#include "core/fragmentation.h"
+#include "core/fs_repository.h"
+#include "core/object_repository.h"
+#include "util/result.h"
+#include "workload/getput_runner.h"
+
+namespace lor {
+namespace bench {
+
+/// Command-line options common to all benches.
+struct Options {
+  /// Linear scale relative to the paper's volumes. The default 0.1 runs
+  /// 4/40 GB volumes instead of 40/400 GB so the whole suite finishes
+  /// in minutes; --scale=paper (1.0) reproduces the original sizes.
+  double scale = 0.1;
+  uint64_t seed = 42;
+  bool csv = false;
+
+  /// Parses --scale=small|paper|<float>, --seed=N, --csv.
+  static Options FromArgs(int argc, char** argv);
+
+  uint64_t ScaleBytes(uint64_t paper_bytes) const;
+};
+
+/// Which back end to build.
+enum class Backend { kFilesystem, kDatabase };
+
+/// Repository factory with the paper's defaults (out-of-the-box
+/// configuration, 64 KB write requests unless overridden).
+std::unique_ptr<core::ObjectRepository> MakeRepository(
+    Backend backend, uint64_t volume_bytes,
+    uint64_t write_request_bytes = 64 * kKiB);
+
+/// One measurement row of an aging experiment.
+struct AgingCheckpoint {
+  double target_age = 0.0;
+  double measured_age = 0.0;
+  /// Write throughput during the interval that *ends* at this age (for
+  /// age 0 this is the bulk load itself), per the paper's Fig. 4 note.
+  workload::ThroughputSample write;
+  /// Read probe taken at this age.
+  workload::ThroughputSample read;
+  core::FragmentationReport fragmentation;
+};
+
+/// Bulk loads, then visits each storage age in order, measuring write
+/// throughput per interval and probing reads + fragmentation at each
+/// checkpoint. `ages` must be increasing and start implicitly at 0.
+Result<std::vector<AgingCheckpoint>> RunAging(
+    core::ObjectRepository* repo, const workload::WorkloadConfig& config,
+    const std::vector<double>& ages, bool probe_reads = true);
+
+/// Prints the standard bench banner with the paper reference.
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const Options& options);
+
+}  // namespace bench
+}  // namespace lor
+
+#endif  // LOREPO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,103 @@
+// Figure 1 — read throughput after bulk load, after two overwrites, and
+// after four overwrites, for 256 KB / 512 KB / 1 MB objects, database vs
+// filesystem.
+//
+// Paper's finding: immediately after bulk load SQL Server is faster for
+// small objects and NTFS for large; as objects are overwritten,
+// fragmentation degrades SQL Server until NTFS wins above 256 KB.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+// Values read off the paper's bar charts (MB/s, approximate).
+const std::map<std::pair<int, uint64_t>, std::pair<double, double>>
+    kPaperDbFs = {
+        // {age, size} -> {database, filesystem}
+        {{0, 256 * kKiB}, {8.0, 4.5}},  {{0, 512 * kKiB}, {10.0, 6.5}},
+        {{0, kMiB}, {10.5, 9.0}},       {{2, 256 * kKiB}, {6.5, 4.5}},
+        {{2, 512 * kKiB}, {7.0, 6.5}},  {{2, kMiB}, {7.5, 9.0}},
+        {{4, 256 * kKiB}, {5.5, 4.2}},  {{4, 512 * kKiB}, {4.5, 6.0}},
+        {{4, kMiB}, {4.0, 8.5}},
+};
+
+void Run(const Options& options) {
+  PrintBanner("Figure 1: read throughput vs storage age",
+              "Figure 1 (three panels: bulk load, two overwrites, four "
+              "overwrites)",
+              options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const std::vector<uint64_t> sizes = {256 * kKiB, 512 * kKiB, kMiB};
+  const std::vector<double> ages = {2.0, 4.0};
+
+  // ours[backend][size] -> readings at ages 0,2,4.
+  std::map<std::string, std::map<uint64_t, std::vector<double>>> ours;
+
+  for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
+    for (uint64_t size : sizes) {
+      auto repo = MakeRepository(backend, volume);
+      workload::WorkloadConfig config;
+      config.sizes = workload::SizeDistribution::Constant(size);
+      config.seed = options.seed;
+      auto checkpoints = RunAging(repo.get(), config, ages);
+      if (!checkpoints.ok()) {
+        std::fprintf(stderr, "%s %s failed: %s\n", repo->name().c_str(),
+                     FormatBytes(size).c_str(),
+                     checkpoints.status().ToString().c_str());
+        continue;
+      }
+      auto& series = ours[repo->name()][size];
+      for (const AgingCheckpoint& cp : *checkpoints) {
+        series.push_back(cp.read.mb_per_s());
+      }
+    }
+  }
+
+  const int age_labels[] = {0, 2, 4};
+  for (int a = 0; a < 3; ++a) {
+    std::printf("Read throughput after %s (MB/s):\n",
+                a == 0 ? "bulk load"
+                       : (a == 1 ? "two overwrites" : "four overwrites"));
+    TableWriter table({"object size", "database", "filesystem",
+                       "paper db (approx)", "paper fs (approx)"});
+    for (uint64_t size : sizes) {
+      const auto paper = kPaperDbFs.at({age_labels[a], size});
+      table.Row()
+          .Cell(FormatBytes(size))
+          .Cell(ours["database"][size].size() > static_cast<size_t>(a)
+                    ? ours["database"][size][a]
+                    : 0.0)
+          .Cell(ours["filesystem"][size].size() > static_cast<size_t>(a)
+                    ? ours["filesystem"][size][a]
+                    : 0.0)
+          .Cell(paper.first)
+          .Cell(paper.second);
+    }
+    if (options.csv) {
+      table.PrintCsv();
+    } else {
+      table.PrintText();
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: the database should lead on small objects on the clean\n"
+      "store and lose ground as storage age grows, with the crossover\n"
+      "moving down toward 256 KB.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 2 — long-term fragmentation with 10 MB objects: fragments per
+// object vs storage age 0..10 for both back ends.
+//
+// Paper's finding: SQL Server's fragmentation increases almost linearly
+// and approaches no asymptote; NTFS levels off.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Figure 2: long-term fragmentation, 10 MB objects",
+              "Figure 2", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const std::vector<double> ages = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  // Approximate series read off the paper's chart.
+  const double paper_db[] = {1, 5, 9, 13, 16, 20, 23, 27, 30, 33, 36};
+  const double paper_fs[] = {1, 2, 3, 4, 5, 5.5, 6, 6.5, 7, 7, 7};
+
+  std::map<std::string, std::vector<double>> series;
+  for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
+    auto repo = MakeRepository(backend, volume);
+    workload::WorkloadConfig config;
+    config.sizes = workload::SizeDistribution::Constant(10 * kMiB);
+    config.seed = options.seed;
+    auto checkpoints = RunAging(repo.get(), config, ages,
+                                /*probe_reads=*/false);
+    if (!checkpoints.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", repo->name().c_str(),
+                   checkpoints.status().ToString().c_str());
+      continue;
+    }
+    for (const AgingCheckpoint& cp : *checkpoints) {
+      series[repo->name()].push_back(cp.fragmentation.fragments_per_object);
+    }
+  }
+
+  TableWriter table({"storage age", "database", "filesystem",
+                     "paper db (approx)", "paper fs (approx)"});
+  for (size_t i = 0; i <= ages.size(); ++i) {
+    table.Row()
+        .Cell(static_cast<uint64_t>(i))
+        .Cell(i < series["database"].size() ? series["database"][i] : 0.0)
+        .Cell(i < series["filesystem"].size() ? series["filesystem"][i]
+                                              : 0.0)
+        .Cell(paper_db[i])
+        .Cell(paper_fs[i]);
+  }
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: the database grows roughly linearly with no\n"
+      "asymptote; the filesystem grows much more slowly and levels off.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

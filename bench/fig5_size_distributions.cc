@@ -1,0 +1,84 @@
+// Figure 5 — fragmentation with constant vs uniformly-distributed object
+// sizes (10 MB mean), one panel per back end.
+//
+// Paper's finding (the surprise): constant-size objects fragment no
+// better than uniformly-sized ones, because space is allocated per
+// append request, before the final object size is known.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Figure 5: constant vs uniform size distributions (10 MB)",
+              "Figure 5 (two panels)", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const std::vector<double> ages = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  struct Series {
+    std::vector<double> values;
+  };
+  std::map<std::string, Series> runs;
+
+  for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
+    for (bool uniform : {false, true}) {
+      auto repo = MakeRepository(backend, volume);
+      workload::WorkloadConfig config;
+      config.sizes = uniform
+                         ? workload::SizeDistribution::Uniform(10 * kMiB)
+                         : workload::SizeDistribution::Constant(10 * kMiB);
+      config.seed = options.seed;
+      auto checkpoints = RunAging(repo.get(), config, ages,
+                                  /*probe_reads=*/false);
+      const std::string key =
+          repo->name() + (uniform ? "/uniform" : "/constant");
+      if (!checkpoints.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", key.c_str(),
+                     checkpoints.status().ToString().c_str());
+        continue;
+      }
+      for (const AgingCheckpoint& cp : *checkpoints) {
+        runs[key].values.push_back(cp.fragmentation.fragments_per_object);
+      }
+    }
+  }
+
+  for (const char* backend : {"database", "filesystem"}) {
+    std::printf("%s fragmentation (fragments/object):\n", backend);
+    TableWriter table({"storage age", "constant", "uniform"});
+    const auto& constant = runs[std::string(backend) + "/constant"].values;
+    const auto& uniform = runs[std::string(backend) + "/uniform"].values;
+    for (size_t i = 0; i <= ages.size(); ++i) {
+      table.Row()
+          .Cell(static_cast<uint64_t>(i))
+          .Cell(i < constant.size() ? constant[i] : 0.0)
+          .Cell(i < uniform.size() ? uniform[i] : 0.0);
+    }
+    if (options.csv) {
+      table.PrintCsv();
+    } else {
+      table.PrintText();
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper (approx): database curves rise together toward ~35; \n"
+      "filesystem curves rise together far more slowly. Shape check:\n"
+      "within each back end, the constant and uniform series should be\n"
+      "close to each other — constant sizes buy no immunity.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6 — the effect of volume size and occupancy on fragmentation
+// (10 MB objects): 50% full at 40 GB vs 400 GB for both back ends, plus
+// the filesystem at 90% and 97.5% occupancy, plus the paper's
+// small-free-pool observation (a 4 GB volume holding only ~40 free
+// objects degrades sharply).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+struct RunSpec {
+  Backend backend;
+  uint64_t paper_volume;
+  double occupancy;
+  double max_age;
+};
+
+void Run(const Options& options) {
+  PrintBanner("Figure 6: volume size and occupancy effects (10 MB objects)",
+              "Figure 6 (three panels)", options);
+
+  const std::vector<RunSpec> specs = {
+      {Backend::kDatabase, 40 * kGiB, 0.5, 5.0},
+      {Backend::kDatabase, 400 * kGiB, 0.5, 5.0},
+      {Backend::kFilesystem, 40 * kGiB, 0.5, 10.0},
+      {Backend::kFilesystem, 400 * kGiB, 0.5, 10.0},
+      {Backend::kFilesystem, 40 * kGiB, 0.9, 10.0},
+      {Backend::kFilesystem, 400 * kGiB, 0.9, 10.0},
+      {Backend::kFilesystem, 40 * kGiB, 0.975, 10.0},
+      {Backend::kFilesystem, 400 * kGiB, 0.975, 10.0},
+      // The paper's small-pool cliff: 4 GB at 90% leaves ~40 free
+      // objects. (Run at full size regardless of --scale.)
+      {Backend::kFilesystem, 4 * kGiB, 0.9, 10.0},
+  };
+
+  TableWriter table({"series", "volume", "occupancy", "age2", "age4",
+                     "age6", "age8", "age10", "free objects"});
+  for (const RunSpec& spec : specs) {
+    const uint64_t volume = spec.paper_volume <= 4 * kGiB
+                                ? spec.paper_volume
+                                : options.ScaleBytes(spec.paper_volume);
+    auto repo = MakeRepository(spec.backend, volume);
+    workload::WorkloadConfig config;
+    config.sizes = workload::SizeDistribution::Constant(10 * kMiB);
+    config.target_occupancy = spec.occupancy;
+    config.seed = options.seed;
+    std::vector<double> ages;
+    for (double a = 2.0; a <= spec.max_age + 1e-9; a += 2.0) {
+      ages.push_back(a);
+    }
+    auto checkpoints = RunAging(repo.get(), config, ages,
+                                /*probe_reads=*/false);
+    table.Row();
+    table.Cell(spec.backend == Backend::kDatabase ? "database"
+                                                  : "filesystem");
+    table.Cell(FormatBytes(volume));
+    table.Cell(spec.occupancy, 3);
+    if (!checkpoints.ok()) {
+      for (int i = 0; i < 5; ++i) table.Cell(checkpoints.status().ToString());
+      continue;
+    }
+    for (size_t i = 1; i < 6; ++i) {
+      if (i < checkpoints->size()) {
+        table.Cell((*checkpoints)[i].fragmentation.fragments_per_object);
+      } else {
+        table.Cell("-");
+      }
+    }
+    const double free_objects =
+        static_cast<double>(volume) * (1.0 - spec.occupancy) /
+        static_cast<double>(10 * kMiB);
+    table.Cell(static_cast<uint64_t>(free_objects));
+  }
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nPaper: 50%% full NTFS converges to 4-5 fragments/object at 400 GB\n"
+      "and 11-12 at 40 GB; above 90%% occupancy volume size matters\n"
+      "little; a pool of only ~40 free objects degrades rapidly.\n"
+      "Shape check: occupancy dominates; the small-pool row is worst per\n"
+      "free object.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

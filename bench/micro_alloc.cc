@@ -1,0 +1,144 @@
+// Micro-benchmarks for the allocation substrates (google-benchmark):
+// free-space map operations under each fit policy, the NTFS-like run
+// cache, the buddy system, and the GAM bitmap scan.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/free_space_map.h"
+#include "alloc/policy_allocator.h"
+#include "alloc/run_cache_allocator.h"
+#include "db/gam.h"
+#include "util/random.h"
+
+namespace lor {
+namespace {
+
+constexpr uint64_t kClusters = 1 << 22;  // 16 GB at 4 KB clusters.
+
+// Pre-fragments a map so selection work is realistic.
+void Shatter(alloc::FreeSpaceMap* map, Rng* rng, int holes) {
+  for (int i = 0; i < holes; ++i) {
+    const uint64_t at = rng->Uniform(kClusters - 64);
+    alloc::Extent e{at, 1 + rng->Uniform(63)};
+    if (map->IsFree(e)) {
+      Status s = map->AllocateAt(e);
+      benchmark::DoNotOptimize(s.ok());
+    }
+  }
+}
+
+void BM_FreeSpaceMapAllocateFree(benchmark::State& state) {
+  const auto policy = static_cast<alloc::FitPolicy>(state.range(0));
+  alloc::FreeSpaceMap map(kClusters);
+  Rng rng(7);
+  Shatter(&map, &rng, 4096);
+  std::vector<alloc::Extent> live;
+  for (auto _ : state) {
+    if (live.size() < 1024 || rng.Bernoulli(0.5)) {
+      alloc::Extent e = map.AllocateUpTo(16, policy);
+      if (!e.empty()) live.push_back(e);
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      Status s = map.Free(live[i]);
+      benchmark::DoNotOptimize(s.ok());
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetLabel(std::string(alloc::FitPolicyName(policy)));
+}
+BENCHMARK(BM_FreeSpaceMapAllocateFree)
+    ->Arg(static_cast<int>(alloc::FitPolicy::kFirstFit))
+    ->Arg(static_cast<int>(alloc::FitPolicy::kBestFit))
+    ->Arg(static_cast<int>(alloc::FitPolicy::kWorstFit))
+    ->Arg(static_cast<int>(alloc::FitPolicy::kNextFit));
+
+void BM_FreeSpaceMapExtendAt(benchmark::State& state) {
+  alloc::FreeSpaceMap map(kClusters);
+  uint64_t at = 0;
+  for (auto _ : state) {
+    const uint64_t got = map.ExtendAt(at, 16);
+    benchmark::DoNotOptimize(got);
+    at += 16;
+    if (at + 16 >= kClusters) {
+      state.PauseTiming();
+      map = alloc::FreeSpaceMap(kClusters);
+      at = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_FreeSpaceMapExtendAt);
+
+void BM_RunCacheAllocatorChurn(benchmark::State& state) {
+  alloc::RunCacheAllocator allocator(kClusters);
+  Rng rng(11);
+  std::vector<alloc::ExtentList> live;
+  for (auto _ : state) {
+    allocator.Tick();
+    if (live.size() < 512 || rng.Bernoulli(0.5)) {
+      alloc::ExtentList out;
+      if (allocator.Allocate(512, alloc::kNoHint, &out).ok()) {
+        live.push_back(std::move(out));
+      }
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      for (const alloc::Extent& e : live[i]) {
+        Status s = allocator.Free(e);
+        benchmark::DoNotOptimize(s.ok());
+      }
+      live[i] = std::move(live.back());
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_RunCacheAllocatorChurn);
+
+void BM_BuddyAllocateFree(benchmark::State& state) {
+  alloc::BuddyAllocator allocator(kClusters);
+  Rng rng(13);
+  std::vector<alloc::Extent> live;
+  for (auto _ : state) {
+    if (live.size() < 2048 || rng.Bernoulli(0.5)) {
+      alloc::ExtentList out;
+      if (allocator.Allocate(1 + rng.Uniform(512), alloc::kNoHint, &out)
+              .ok()) {
+        live.push_back(out[0]);
+      }
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      Status s = allocator.Free(live[i]);
+      benchmark::DoNotOptimize(s.ok());
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_BuddyAllocateFree);
+
+void BM_GamAllocateRelease(benchmark::State& state) {
+  db::GamBitmap gam(1 << 22);
+  Status init = gam.Release(0, 1 << 22);
+  benchmark::DoNotOptimize(init.ok());
+  Rng rng(17);
+  std::vector<uint64_t> live;
+  for (auto _ : state) {
+    if (live.size() < 100000 || rng.Bernoulli(0.5)) {
+      const uint64_t e = gam.AllocateLowest();
+      if (e != db::kNoExtent) live.push_back(e);
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      Status s = gam.Release(live[i], 1);
+      benchmark::DoNotOptimize(s.ok());
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_GamAllocateRelease);
+
+}  // namespace
+}  // namespace lor
+
+BENCHMARK_MAIN();

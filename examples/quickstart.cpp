@@ -1,0 +1,89 @@
+// Quickstart: store, read, replace, and delete objects through the
+// ObjectRepository API on both back ends, then inspect fragmentation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/db_repository.h"
+#include "core/fragmentation.h"
+#include "core/fs_repository.h"
+#include "util/units.h"
+
+using namespace lor;  // NOLINT — example brevity.
+
+namespace {
+
+void Demo(core::ObjectRepository* repo) {
+  std::printf("--- %s repository (%s volume) ---\n", repo->name().c_str(),
+              FormatBytes(repo->volume_bytes()).c_str());
+
+  // Store a 1 MB object carrying real bytes.
+  std::vector<uint8_t> photo(kMiB);
+  for (size_t i = 0; i < photo.size(); ++i) {
+    photo[i] = static_cast<uint8_t>(i * 131);
+  }
+  Status s = repo->Put("vacation/beach.jpg", photo.size(), photo);
+  if (!s.ok()) {
+    std::printf("put failed: %s\n", s.ToString().c_str());
+    return;
+  }
+
+  // Read it back and verify.
+  std::vector<uint8_t> back;
+  s = repo->Get("vacation/beach.jpg", &back);
+  std::printf("get: %s, %s, intact=%s\n", s.ToString().c_str(),
+              FormatBytes(back.size()).c_str(),
+              back == photo ? "yes" : "NO");
+
+  // Atomically replace it with a re-edited version (the paper's safe
+  // write: the old version remains readable until the swap commits).
+  std::vector<uint8_t> edited(2 * kMiB, 0x5A);
+  s = repo->SafeWrite("vacation/beach.jpg", edited.size(), edited);
+  std::printf("safe write: %s, size now %s\n", s.ToString().c_str(),
+              FormatBytes(repo->GetSize("vacation/beach.jpg").value_or(0))
+                  .c_str());
+
+  // Physical layout and fragmentation.
+  auto layout = repo->GetLayout("vacation/beach.jpg");
+  if (layout.ok()) {
+    std::printf("layout: %llu fragment(s)\n",
+                static_cast<unsigned long long>(
+                    alloc::CountFragments(*layout)));
+  }
+  core::FragmentationReport report = core::AnalyzeFragmentation(*repo);
+  std::printf("volume: %s\n", report.ToString().c_str());
+  std::printf("simulated time spent: %s\n\n",
+              FormatSeconds(repo->now()).c_str());
+
+  s = repo->Delete("vacation/beach.jpg");
+  std::printf("delete: %s\n\n", s.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Both repositories retain data so reads verify round trips; real
+  // experiments use the default metadata-only mode for speed.
+  core::FsRepositoryConfig fs_config;
+  fs_config.volume_bytes = 2 * kGiB;
+  fs_config.data_mode = sim::DataMode::kRetain;
+  core::FsRepository fs(fs_config);
+  Demo(&fs);
+
+  core::DbRepositoryConfig db_config;
+  db_config.volume_bytes = 2 * kGiB;
+  db_config.data_mode = sim::DataMode::kRetain;
+  core::DbRepository db(db_config);
+  Demo(&db);
+
+  std::printf(
+      "Folklore check (paper §3.1): the database handled the small\n"
+      "object with fewer simulated milliseconds per op; try a 100 MB\n"
+      "object and the filesystem wins.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// BuddyAllocator: power-of-two buddy-system allocation, the DTSS
+// filesystem baseline the paper discusses (§3.4, Koch's TOCS paper).
+// Every allocation is a single contiguous block, so external
+// fragmentation never splits an object — at the cost of internal
+// fragmentation (a 10 MB request consumes 16 MB).
+
+#ifndef LOREPO_ALLOC_BUDDY_ALLOCATOR_H_
+#define LOREPO_ALLOC_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+
+namespace lor {
+namespace alloc {
+
+/// Buddy-system allocator over [0, clusters).
+///
+/// Internally the space is rounded up to the next power of two; the
+/// phantom tail is permanently marked allocated. Each request is rounded
+/// up to a power-of-two order and served as one block.
+class BuddyAllocator : public ExtentAllocator {
+ public:
+  explicit BuddyAllocator(uint64_t clusters);
+
+  /// Allocates one block of at least `length` clusters (extend hints are
+  /// meaningless under the buddy discipline and are ignored). The
+  /// returned extent has the full rounded length; internal fragmentation
+  /// is tracked via `internal_waste_clusters()`.
+  Status Allocate(uint64_t length, uint64_t extend_hint,
+                  ExtentList* out) override;
+
+  /// Frees a block previously returned by Allocate (must match exactly).
+  Status Free(const Extent& extent) override;
+
+  uint64_t free_clusters() const override { return free_clusters_; }
+  FreeSpaceStats FreeStats() const override;
+  std::string name() const override { return "buddy"; }
+
+  /// Clusters lost to power-of-two rounding across live allocations,
+  /// assuming callers asked for exactly what they needed.
+  uint64_t internal_waste_clusters() const { return internal_waste_; }
+
+  /// Checks the free lists for overlaps/duplicates.
+  Status CheckConsistency() const;
+
+  static uint32_t OrderFor(uint64_t length);
+
+ private:
+  uint64_t BlockSize(uint32_t order) const { return 1ULL << order; }
+
+  /// Removes the specific block [addr, addr + 2^order) from the free
+  /// lists, splitting larger blocks as needed. `addr` must be inside a
+  /// free block of order >= `order`.
+  void CarveBlock(uint64_t addr, uint32_t order);
+
+  uint64_t capacity_;          ///< Usable clusters.
+  uint64_t rounded_capacity_;  ///< Power-of-two envelope.
+  uint32_t max_order_;
+  uint64_t free_clusters_ = 0;
+  uint64_t internal_waste_ = 0;
+  /// Free block start offsets per order.
+  std::vector<std::set<uint64_t>> free_lists_;
+  /// Live allocations: start -> (order, requested length).
+  std::map<uint64_t, std::pair<uint32_t, uint64_t>> live_;
+};
+
+}  // namespace alloc
+}  // namespace lor
+
+#endif  // LOREPO_ALLOC_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,63 @@
+#include "alloc/extent.h"
+
+#include <cstdio>
+
+namespace lor {
+namespace alloc {
+
+std::string Extent::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%llu,+%llu)",
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(length));
+  return buf;
+}
+
+uint64_t TotalLength(const ExtentList& extents) {
+  uint64_t total = 0;
+  for (const Extent& e : extents) total += e.length;
+  return total;
+}
+
+uint64_t CountFragments(const ExtentList& extents) {
+  uint64_t fragments = 0;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    if (extents[i].empty()) continue;
+    if (fragments == 0 || !extents[i - 1].AdjacentBefore(extents[i])) {
+      ++fragments;
+    }
+  }
+  return fragments;
+}
+
+void CoalesceAdjacent(ExtentList* extents) {
+  ExtentList merged;
+  merged.reserve(extents->size());
+  for (const Extent& e : *extents) {
+    if (e.empty()) continue;
+    AppendCoalescing(&merged, e);
+  }
+  extents->swap(merged);
+}
+
+void AppendCoalescing(ExtentList* extents, const Extent& extent) {
+  if (extent.empty()) return;
+  if (!extents->empty() && extents->back().AdjacentBefore(extent)) {
+    extents->back().length += extent.length;
+  } else {
+    extents->push_back(extent);
+  }
+}
+
+std::string ToString(const ExtentList& extents) {
+  std::string out = "{";
+  for (size_t i = 0; i < extents.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += extents[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace alloc
+}  // namespace lor

@@ -1,0 +1,58 @@
+// Extent: a contiguous run of clusters, the unit of space management in
+// both storage back ends.
+
+#ifndef LOREPO_ALLOC_EXTENT_H_
+#define LOREPO_ALLOC_EXTENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lor {
+namespace alloc {
+
+/// A contiguous run of `length` clusters starting at cluster `start`.
+struct Extent {
+  uint64_t start = 0;
+  uint64_t length = 0;
+
+  uint64_t end() const { return start + length; }
+  bool empty() const { return length == 0; }
+
+  bool operator==(const Extent& other) const = default;
+
+  /// True if the two extents share at least one cluster.
+  bool Overlaps(const Extent& other) const {
+    return start < other.end() && other.start < end();
+  }
+
+  /// True if `other` begins exactly where this extent ends.
+  bool AdjacentBefore(const Extent& other) const {
+    return end() == other.start;
+  }
+
+  std::string ToString() const;
+};
+
+/// Ordered list of extents describing one object's physical layout.
+using ExtentList = std::vector<Extent>;
+
+/// Total clusters covered by the list.
+uint64_t TotalLength(const ExtentList& extents);
+
+/// Number of physically contiguous runs, merging adjacent entries; this
+/// is the paper's "fragments per object" (contiguous object == 1).
+uint64_t CountFragments(const ExtentList& extents);
+
+/// Merges physically adjacent neighbouring entries in place.
+void CoalesceAdjacent(ExtentList* extents);
+
+/// Appends `extent` to the list, merging with the tail when adjacent.
+void AppendCoalescing(ExtentList* extents, const Extent& extent);
+
+std::string ToString(const ExtentList& extents);
+
+}  // namespace alloc
+}  // namespace lor
+
+#endif  // LOREPO_ALLOC_EXTENT_H_

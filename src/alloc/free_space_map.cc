@@ -1,0 +1,266 @@
+#include "alloc/free_space_map.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace alloc {
+
+std::string_view FitPolicyName(FitPolicy policy) {
+  switch (policy) {
+    case FitPolicy::kFirstFit:
+      return "first-fit";
+    case FitPolicy::kBestFit:
+      return "best-fit";
+    case FitPolicy::kWorstFit:
+      return "worst-fit";
+    case FitPolicy::kNextFit:
+      return "next-fit";
+  }
+  return "unknown";
+}
+
+FreeSpaceMap::FreeSpaceMap(uint64_t clusters) {
+  if (clusters > 0) InsertRun(0, clusters);
+}
+
+void FreeSpaceMap::EraseRun(RunMap::iterator it) {
+  by_size_.erase({it->second, it->first});
+  free_clusters_ -= it->second;
+  runs_.erase(it);
+}
+
+void FreeSpaceMap::InsertRun(uint64_t start, uint64_t length) {
+  runs_.emplace(start, length);
+  by_size_.emplace(length, start);
+  free_clusters_ += length;
+}
+
+Status FreeSpaceMap::Free(const Extent& extent) {
+  if (extent.empty()) return Status::OK();
+  // Find the first run at or after the freed range and its predecessor.
+  auto next = runs_.lower_bound(extent.start);
+  if (next != runs_.end() && next->first < extent.end()) {
+    return Status::InvalidArgument("double free: overlaps following run");
+  }
+  auto prev = next;
+  if (prev != runs_.begin()) {
+    --prev;
+    if (prev->first + prev->second > extent.start) {
+      return Status::InvalidArgument("double free: overlaps preceding run");
+    }
+  } else {
+    prev = runs_.end();
+  }
+
+  uint64_t start = extent.start;
+  uint64_t length = extent.length;
+  if (prev != runs_.end() && prev->first + prev->second == extent.start) {
+    start = prev->first;
+    length += prev->second;
+    EraseRun(prev);
+  }
+  if (next != runs_.end() && next->first == extent.end()) {
+    length += next->second;
+    EraseRun(next);
+  }
+  InsertRun(start, length);
+  return Status::OK();
+}
+
+FreeSpaceMap::RunMap::iterator FreeSpaceMap::LargestRun() {
+  if (by_size_.empty()) return runs_.end();
+  return runs_.find(by_size_.rbegin()->second);
+}
+
+FreeSpaceMap::RunMap::iterator FreeSpaceMap::SelectRun(uint64_t length,
+                                                       FitPolicy policy) {
+  switch (policy) {
+    case FitPolicy::kFirstFit: {
+      for (auto it = runs_.begin(); it != runs_.end(); ++it) {
+        if (it->second >= length) return it;
+      }
+      return runs_.end();
+    }
+    case FitPolicy::kBestFit: {
+      auto sized = by_size_.lower_bound({length, 0});
+      if (sized == by_size_.end()) return runs_.end();
+      return runs_.find(sized->second);
+    }
+    case FitPolicy::kWorstFit: {
+      auto it = LargestRun();
+      if (it == runs_.end() || it->second < length) return runs_.end();
+      return it;
+    }
+    case FitPolicy::kNextFit: {
+      auto start = runs_.lower_bound(next_fit_cursor_);
+      for (auto it = start; it != runs_.end(); ++it) {
+        if (it->second >= length) return it;
+      }
+      for (auto it = runs_.begin(); it != start; ++it) {
+        if (it->second >= length) return it;
+      }
+      return runs_.end();
+    }
+  }
+  return runs_.end();
+}
+
+Extent FreeSpaceMap::TakeFromRun(RunMap::iterator it, uint64_t take) {
+  const uint64_t run_start = it->first;
+  const uint64_t run_length = it->second;
+  EraseRun(it);
+  if (take < run_length) {
+    InsertRun(run_start + take, run_length - take);
+  }
+  next_fit_cursor_ = run_start + take;
+  return Extent{run_start, take};
+}
+
+Result<Extent> FreeSpaceMap::AllocateContiguous(uint64_t length,
+                                                FitPolicy policy) {
+  if (length == 0) return Status::InvalidArgument("zero-length allocation");
+  auto it = SelectRun(length, policy);
+  if (it == runs_.end()) {
+    return Status::NoSpace("no contiguous run of requested length");
+  }
+  return TakeFromRun(it, length);
+}
+
+Extent FreeSpaceMap::AllocateUpTo(uint64_t max_length, FitPolicy policy) {
+  if (max_length == 0 || runs_.empty()) return Extent{};
+  auto it = SelectRun(max_length, policy);
+  if (it == runs_.end()) {
+    // No run fits the whole request; fall back to the largest run so the
+    // caller makes forward progress (this is where fragmentation happens).
+    it = LargestRun();
+    if (it == runs_.end()) return Extent{};
+  }
+  return TakeFromRun(it, std::min(max_length, it->second));
+}
+
+Extent FreeSpaceMap::AllocateFrom(uint64_t cursor, uint64_t max_length) {
+  if (max_length == 0 || runs_.empty()) return Extent{};
+  auto it = runs_.lower_bound(cursor);
+  if (it == runs_.end()) it = runs_.begin();
+  return TakeFromRun(it, std::min(max_length, it->second));
+}
+
+Status FreeSpaceMap::AllocateAt(const Extent& extent) {
+  if (extent.empty()) return Status::InvalidArgument("empty extent");
+  if (!IsFree(extent)) return Status::NoSpace("requested range not free");
+  auto it = runs_.upper_bound(extent.start);
+  --it;  // IsFree guarantees a containing run exists.
+  const uint64_t run_start = it->first;
+  const uint64_t run_length = it->second;
+  EraseRun(it);
+  if (extent.start > run_start) {
+    InsertRun(run_start, extent.start - run_start);
+  }
+  const uint64_t tail = run_start + run_length - extent.end();
+  if (tail > 0) InsertRun(extent.end(), tail);
+  return Status::OK();
+}
+
+uint64_t FreeSpaceMap::ExtendAt(uint64_t start, uint64_t max_length) {
+  if (max_length == 0) return 0;
+  auto it = runs_.upper_bound(start);
+  if (it == runs_.begin()) return 0;
+  --it;
+  if (it->first > start || it->first + it->second <= start) return 0;
+  if (it->first != start) {
+    // `start` is inside the run but not at its head; split so the head
+    // stays free.
+    const uint64_t head = start - it->first;
+    const uint64_t run_length = it->second;
+    const uint64_t run_start = it->first;
+    EraseRun(it);
+    InsertRun(run_start, head);
+    InsertRun(start, run_length - head);
+    it = runs_.find(start);
+  }
+  const uint64_t take = std::min(max_length, it->second);
+  TakeFromRun(it, take);
+  return take;
+}
+
+bool FreeSpaceMap::IsFree(const Extent& extent) const {
+  if (extent.empty()) return false;
+  auto it = runs_.upper_bound(extent.start);
+  if (it == runs_.begin()) return false;
+  --it;
+  return it->first <= extent.start && it->first + it->second >= extent.end();
+}
+
+uint64_t FreeSpaceMap::largest_run() const {
+  return by_size_.empty() ? 0 : by_size_.rbegin()->first;
+}
+
+FreeSpaceStats FreeSpaceMap::Stats() const {
+  FreeSpaceStats s;
+  s.free_clusters = free_clusters_;
+  s.run_count = runs_.size();
+  s.largest_run = largest_run();
+  s.mean_run = runs_.empty() ? 0.0
+                             : static_cast<double>(free_clusters_) /
+                                   static_cast<double>(runs_.size());
+  s.external_fragmentation =
+      free_clusters_ == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(s.largest_run) /
+                      static_cast<double>(free_clusters_);
+  return s;
+}
+
+std::vector<Extent> FreeSpaceMap::Snapshot() const {
+  std::vector<Extent> out;
+  out.reserve(runs_.size());
+  for (const auto& [start, length] : runs_) out.push_back({start, length});
+  return out;
+}
+
+std::vector<Extent> FreeSpaceMap::LargestRuns(uint32_t k) const {
+  std::vector<Extent> out;
+  out.reserve(std::min<size_t>(k, by_size_.size()));
+  for (auto it = by_size_.rbegin(); it != by_size_.rend() && out.size() < k;
+       ++it) {
+    out.push_back({it->second, it->first});
+  }
+  // by_size_ descending gives (size desc, start desc); fix ties to
+  // (size desc, start asc).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Extent& a, const Extent& b) {
+                     if (a.length != b.length) return a.length > b.length;
+                     return a.start < b.start;
+                   });
+  return out;
+}
+
+Status FreeSpaceMap::CheckConsistency() const {
+  if (runs_.size() != by_size_.size()) {
+    return Status::Corruption("index sizes disagree");
+  }
+  uint64_t total = 0;
+  uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [start, length] : runs_) {
+    if (length == 0) return Status::Corruption("zero-length run");
+    if (!first && start <= prev_end) {
+      return Status::Corruption(start == prev_end
+                                    ? "uncoalesced adjacent runs"
+                                    : "overlapping runs");
+    }
+    if (by_size_.find({length, start}) == by_size_.end()) {
+      return Status::Corruption("run missing from size index");
+    }
+    total += length;
+    prev_end = start + length;
+    first = false;
+  }
+  if (total != free_clusters_) {
+    return Status::Corruption("free cluster count disagrees with runs");
+  }
+  return Status::OK();
+}
+
+}  // namespace alloc
+}  // namespace lor

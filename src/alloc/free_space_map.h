@@ -1,0 +1,128 @@
+// FreeSpaceMap: a coalescing map of free cluster runs with pluggable fit
+// policies. This is the mechanism underneath every allocator baseline;
+// the NTFS-like run cache and the policy allocators are policies layered
+// on top (the mechanism/policy split follows Wilson et al.'s malloc
+// survey, which the paper cites).
+
+#ifndef LOREPO_ALLOC_FREE_SPACE_MAP_H_
+#define LOREPO_ALLOC_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/extent.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace alloc {
+
+/// Which free run a request is satisfied from.
+enum class FitPolicy {
+  kFirstFit,  ///< Lowest-addressed run that fits.
+  kBestFit,   ///< Smallest run that fits (ties to lowest address).
+  kWorstFit,  ///< Largest run (ties to lowest address).
+  kNextFit,   ///< First fit starting from a roving cursor.
+};
+
+std::string_view FitPolicyName(FitPolicy policy);
+
+/// Aggregate description of free space, used by experiments.
+struct FreeSpaceStats {
+  uint64_t free_clusters = 0;
+  uint64_t run_count = 0;
+  uint64_t largest_run = 0;
+  double mean_run = 0.0;
+  /// 1 - largest_run/free_clusters; 0 when free space is one run.
+  double external_fragmentation = 0.0;
+};
+
+/// Address-ordered run map with a size-ordered secondary index.
+///
+/// Complexity: Free/AllocateAt/ExtendAt and best/worst-fit selection are
+/// O(log R) for R runs; first-fit and next-fit selection are O(R) scans
+/// (acceptable for the baseline policies; the production-path allocators
+/// use best-fit-style selection).
+class FreeSpaceMap {
+ public:
+  FreeSpaceMap() = default;
+
+  /// Map with a single free run [0, clusters).
+  explicit FreeSpaceMap(uint64_t clusters);
+
+  /// Marks a run free, coalescing with neighbours. Double frees are
+  /// rejected with InvalidArgument.
+  Status Free(const Extent& extent);
+
+  /// Allocates exactly `length` contiguous clusters per `policy`, or
+  /// NoSpace if no single run is large enough.
+  Result<Extent> AllocateContiguous(uint64_t length, FitPolicy policy);
+
+  /// Allocates up to `max_length` clusters from the run chosen by
+  /// `policy` (taking the run's head). Returns an empty extent when the
+  /// map is empty. Never splits across runs — callers loop to build
+  /// multi-extent allocations.
+  Extent AllocateUpTo(uint64_t max_length, FitPolicy policy);
+
+  /// Cursor-sweep allocation: takes up to `max_length` clusters from
+  /// the head of the first free run starting at or after `cursor`,
+  /// wrapping to the lowest run when none follows. Any run qualifies
+  /// regardless of size. Returns an empty extent when the map is empty.
+  /// This models a bitmap scan from a moving allocation hint (the NTFS
+  /// first-fit-from-hint behaviour).
+  Extent AllocateFrom(uint64_t cursor, uint64_t max_length);
+
+  /// Claims the specific range if (and only if) it is entirely free.
+  Status AllocateAt(const Extent& extent);
+
+  /// Extends an allocation in place: claims up to `max_length` clusters
+  /// starting exactly at `start`, returning how many were claimed (0 if
+  /// `start` is not free).
+  uint64_t ExtendAt(uint64_t start, uint64_t max_length);
+
+  /// True if every cluster of `extent` is free.
+  bool IsFree(const Extent& extent) const;
+
+  uint64_t free_clusters() const { return free_clusters_; }
+  uint64_t run_count() const { return runs_.size(); }
+  uint64_t largest_run() const;
+  FreeSpaceStats Stats() const;
+
+  /// All free runs in address order (for analysis and tests).
+  std::vector<Extent> Snapshot() const;
+
+  /// Up to `k` largest runs, ordered by decreasing size then increasing
+  /// start — the ordering of NTFS's run cache.
+  std::vector<Extent> LargestRuns(uint32_t k) const;
+
+  /// Checks internal invariants (index agreement, no adjacency); used by
+  /// property tests.
+  Status CheckConsistency() const;
+
+ private:
+  using RunMap = std::map<uint64_t, uint64_t>;  // start -> length
+
+  /// Removes a run from both indexes.
+  void EraseRun(RunMap::iterator it);
+  /// Inserts a run into both indexes (no coalescing).
+  void InsertRun(uint64_t start, uint64_t length);
+  /// Chooses a run with length >= `length`, or runs_.end().
+  RunMap::iterator SelectRun(uint64_t length, FitPolicy policy);
+  /// Largest run in the map, or runs_.end().
+  RunMap::iterator LargestRun();
+  /// Takes `take` clusters from the head of run `it`.
+  Extent TakeFromRun(RunMap::iterator it, uint64_t take);
+
+  RunMap runs_;
+  std::set<std::pair<uint64_t, uint64_t>> by_size_;  // (length, start)
+  uint64_t free_clusters_ = 0;
+  uint64_t next_fit_cursor_ = 0;
+};
+
+}  // namespace alloc
+}  // namespace lor
+
+#endif  // LOREPO_ALLOC_FREE_SPACE_MAP_H_

@@ -1,0 +1,129 @@
+#include "alloc/run_cache_allocator.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace alloc {
+
+RunCacheAllocator::RunCacheAllocator(uint64_t clusters,
+                                     RunCacheOptions options,
+                                     uint64_t reserved)
+    : options_(options), map_(0), deferred_(options.commit_interval) {
+  if (clusters > reserved) {
+    Status s = map_.Free({reserved, clusters - reserved});
+    (void)s;
+  }
+  band_limit_ =
+      reserved + static_cast<uint64_t>(
+                     static_cast<double>(clusters - reserved) *
+                     options_.outer_band_fraction);
+}
+
+Extent RunCacheAllocator::TakeRun(uint64_t length, bool new_stream) {
+  const std::vector<Extent> cache = map_.LargestRuns(options_.cache_size);
+  if (cache.empty()) return Extent{};
+
+  // Outer-band attempt: lowest-offset cached run starting inside the
+  // band that satisfies the request in one piece.
+  const Extent* chosen = nullptr;
+  for (const Extent& run : cache) {
+    if (run.length < length) break;  // Cache is size-descending.
+    if (run.start >= band_limit_) continue;
+    if (chosen == nullptr || run.start < chosen->start) chosen = &run;
+  }
+
+  const bool sweep =
+      options_.selection == RunSelection::kCursorSweep ||
+      (options_.selection == RunSelection::kSweepThenBestFit && new_stream);
+  if (chosen == nullptr && sweep) {
+    Extent taken = map_.AllocateFrom(sweep_cursor_, length);
+    if (!taken.empty()) sweep_cursor_ = taken.end();
+    return taken;
+  }
+
+  if (chosen == nullptr &&
+      (options_.selection == RunSelection::kBestFitCached ||
+       options_.selection == RunSelection::kSweepThenBestFit)) {
+    // The cache is size-descending; the last entry that still fits is
+    // the snuggest cached run.
+    for (const Extent& run : cache) {
+      if (run.length >= length) chosen = &run;
+    }
+    // Nothing fits: fall through to consume the largest whole.
+  }
+
+  // Largest-first path: when even the largest run is smaller than the
+  // request, it is consumed whole and the caller loops — the file
+  // fragments.
+  if (chosen == nullptr) chosen = &cache.front();
+  const uint64_t take = std::min(length, chosen->length);
+  Extent result{chosen->start, take};
+  Status s = map_.AllocateAt(result);
+  if (!s.ok()) return Extent{};
+  return result;
+}
+
+Status RunCacheAllocator::Allocate(uint64_t length, uint64_t extend_hint,
+                                   ExtentList* out) {
+  if (length == 0) return Status::InvalidArgument("zero-length allocation");
+  if (length > map_.free_clusters()) {
+    // Space pressure forces a journal commit before failing, as NTFS
+    // does when the volume approaches full.
+    LOR_RETURN_IF_ERROR(deferred_.Commit(&map_));
+    if (length > map_.free_clusters()) {
+      return Status::NoSpace("allocation exceeds free clusters");
+    }
+  }
+
+  ExtentList acquired;
+  uint64_t remaining = length;
+  const bool new_stream = extend_hint == kNoHint;
+
+  if (options_.allow_extension && extend_hint != kNoHint) {
+    const uint64_t got = map_.ExtendAt(extend_hint, remaining);
+    if (got > 0) {
+      acquired.push_back({extend_hint, got});
+      remaining -= got;
+    }
+  }
+
+  while (remaining > 0) {
+    Extent e = TakeRun(remaining, new_stream);
+    if (e.empty()) {
+      for (const Extent& a : acquired) {
+        Status s = map_.Free(a);
+        (void)s;
+      }
+      return Status::NoSpace("free space exhausted mid-allocation");
+    }
+    acquired.push_back(e);
+    remaining -= e.length;
+  }
+
+  for (const Extent& e : acquired) AppendCoalescing(out, e);
+  return Status::OK();
+}
+
+Status RunCacheAllocator::Free(const Extent& extent) {
+  if (extent.empty()) return Status::OK();
+  if (options_.deferred_free) {
+    deferred_.Defer(extent);
+    return Status::OK();
+  }
+  return map_.Free(extent);
+}
+
+void RunCacheAllocator::Tick() {
+  if (options_.deferred_free) {
+    Status s = deferred_.Tick(&map_);
+    (void)s;
+  }
+}
+
+void RunCacheAllocator::CommitPending() {
+  Status s = deferred_.Commit(&map_);
+  (void)s;
+}
+
+}  // namespace alloc
+}  // namespace lor

@@ -1,0 +1,89 @@
+#include "core/db_repository.h"
+
+namespace lor {
+namespace core {
+
+DbRepository::DbRepository(DbRepositoryConfig config)
+    : config_(std::move(config)) {
+  data_device_ = std::make_unique<sim::BlockDevice>(
+      config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  if (config_.log_volume_bytes > 0) {
+    log_device_ = std::make_unique<sim::BlockDevice>(
+        config_.disk.WithCapacity(config_.log_volume_bytes),
+        sim::DataMode::kMetadataOnly);
+  }
+  store_ = std::make_unique<db::BlobStore>(data_device_.get(),
+                                           log_device_.get(), config_.store);
+}
+
+Status DbRepository::Put(const std::string& key, uint64_t size,
+                         std::span<const uint8_t> data) {
+  return store_->Put(key, size, data);
+}
+
+Status DbRepository::SafeWrite(const std::string& key, uint64_t size,
+                               std::span<const uint8_t> data) {
+  if (store_->Exists(key)) return store_->Replace(key, size, data);
+  return store_->Put(key, size, data);
+}
+
+Status DbRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  return store_->Get(key, out);
+}
+
+Status DbRepository::Delete(const std::string& key) {
+  return store_->Delete(key);
+}
+
+bool DbRepository::Exists(const std::string& key) const {
+  return store_->Exists(key);
+}
+
+Result<alloc::ExtentList> DbRepository::GetLayout(
+    const std::string& key) const {
+  auto layout = store_->GetLayout(key);
+  if (!layout.ok()) return layout.status();
+  alloc::ExtentList bytes;
+  bytes.reserve(layout->data_runs.size());
+  const uint64_t unit = store_->page_file().page_bytes();
+  for (const alloc::Extent& run : layout->data_runs) {
+    alloc::AppendCoalescing(&bytes, {run.start * unit, run.length * unit});
+  }
+  return bytes;
+}
+
+Result<uint64_t> DbRepository::GetSize(const std::string& key) const {
+  return store_->GetSize(key);
+}
+
+std::vector<std::string> DbRepository::ListKeys() const {
+  return store_->ListKeys();
+}
+
+uint64_t DbRepository::object_count() const {
+  return store_->stats().object_count;
+}
+
+uint64_t DbRepository::live_bytes() const {
+  return store_->stats().live_bytes;
+}
+
+uint64_t DbRepository::volume_bytes() const {
+  return data_device_->capacity();
+}
+
+uint64_t DbRepository::free_bytes() const {
+  // Unused space = free extents inside the file plus the unallocated
+  // remainder of the volume.
+  return store_->FreeBytes() +
+         (data_device_->capacity() - store_->page_file().file_bytes());
+}
+
+double DbRepository::now() const { return data_device_->clock().now(); }
+
+Status DbRepository::CheckConsistency() const {
+  return store_->CheckConsistency();
+}
+
+}  // namespace core
+}  // namespace lor

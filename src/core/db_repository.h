@@ -1,0 +1,71 @@
+// DbRepository: the paper's database configuration (§4.2) — objects as
+// out-of-row BLOBs in a SQL-Server-like engine running in bulk-logged
+// mode, with the log on a dedicated drive.
+
+#ifndef LOREPO_CORE_DB_REPOSITORY_H_
+#define LOREPO_CORE_DB_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_repository.h"
+#include "db/blob_store.h"
+#include "sim/block_device.h"
+
+namespace lor {
+namespace core {
+
+/// Configuration of the database-backed repository.
+struct DbRepositoryConfig {
+  /// Data volume size.
+  uint64_t volume_bytes = 40 * kGiB;
+  /// Dedicated log volume size (0 disables the log device and charges
+  /// commits as CPU only).
+  uint64_t log_volume_bytes = 4 * kGiB;
+  /// Drive model; capacity is overridden per volume.
+  sim::DiskParams disk = sim::DiskParams::St3400832as();
+  sim::DataMode data_mode = sim::DataMode::kMetadataOnly;
+  /// Engine tuning (write request size, bulk-logged mode, costs...).
+  db::BlobStoreOptions store;
+};
+
+/// Database-backed ObjectRepository.
+class DbRepository : public ObjectRepository {
+ public:
+  explicit DbRepository(DbRepositoryConfig config = {});
+
+  Status Put(const std::string& key, uint64_t size,
+             std::span<const uint8_t> data = {}) override;
+  Status SafeWrite(const std::string& key, uint64_t size,
+                   std::span<const uint8_t> data = {}) override;
+  Status Get(const std::string& key,
+             std::vector<uint8_t>* out = nullptr) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) const override;
+  Result<alloc::ExtentList> GetLayout(const std::string& key) const override;
+  Result<uint64_t> GetSize(const std::string& key) const override;
+  std::vector<std::string> ListKeys() const override;
+  uint64_t object_count() const override;
+  uint64_t live_bytes() const override;
+  uint64_t volume_bytes() const override;
+  uint64_t free_bytes() const override;
+  double now() const override;
+  Status CheckConsistency() const override;
+  std::string name() const override { return "database"; }
+
+  db::BlobStore* blob_store() { return store_.get(); }
+  sim::BlockDevice* data_device() { return data_device_.get(); }
+  const DbRepositoryConfig& config() const { return config_; }
+
+ private:
+  DbRepositoryConfig config_;
+  std::unique_ptr<sim::BlockDevice> data_device_;
+  std::unique_ptr<sim::BlockDevice> log_device_;
+  std::unique_ptr<db::BlobStore> store_;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_DB_REPOSITORY_H_

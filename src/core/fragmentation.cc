@@ -1,0 +1,57 @@
+#include "core/fragmentation.h"
+
+#include <cstdio>
+
+namespace lor {
+namespace core {
+
+std::string FragmentationReport::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "objects=%llu fragments/object=%.2f p50=%llu p99=%llu "
+                "max=%llu contiguous=%.1f%%",
+                static_cast<unsigned long long>(objects),
+                fragments_per_object,
+                static_cast<unsigned long long>(p50_fragments),
+                static_cast<unsigned long long>(p99_fragments),
+                static_cast<unsigned long long>(max_fragments),
+                contiguous_fraction * 100.0);
+  return buf;
+}
+
+FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo) {
+  FragmentationReport report;
+  uint64_t total_fragments = 0;
+  uint64_t total_bytes = 0;
+  uint64_t contiguous = 0;
+  for (const std::string& key : repo.ListKeys()) {
+    auto layout = repo.GetLayout(key);
+    if (!layout.ok()) continue;
+    auto size = repo.GetSize(key);
+    if (!size.ok()) continue;
+    const uint64_t fragments = alloc::CountFragments(*layout);
+    report.histogram.Add(fragments);
+    total_fragments += fragments;
+    total_bytes += *size;
+    if (fragments <= 1) ++contiguous;
+    ++report.objects;
+  }
+  if (report.objects == 0) return report;
+  report.fragments_per_object =
+      static_cast<double>(total_fragments) /
+      static_cast<double>(report.objects);
+  report.max_fragments = report.histogram.max();
+  report.p50_fragments = report.histogram.Percentile(0.5);
+  report.p99_fragments = report.histogram.Percentile(0.99);
+  report.mean_fragment_bytes =
+      total_fragments == 0
+          ? 0.0
+          : static_cast<double>(total_bytes) /
+                static_cast<double>(total_fragments);
+  report.contiguous_fraction =
+      static_cast<double>(contiguous) / static_cast<double>(report.objects);
+  return report;
+}
+
+}  // namespace core
+}  // namespace lor

@@ -1,0 +1,121 @@
+#include "core/fs_repository.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace core {
+
+FsRepository::FsRepository(FsRepositoryConfig config)
+    : FsRepository(std::move(config), nullptr) {}
+
+FsRepository::FsRepository(FsRepositoryConfig config,
+                           std::unique_ptr<alloc::ExtentAllocator> allocator)
+    : config_(std::move(config)) {
+  device_ = std::make_unique<sim::BlockDevice>(
+      config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  store_ = std::make_unique<fs::FileStore>(device_.get(), config_.store,
+                                           std::move(allocator));
+}
+
+Status FsRepository::StreamAppend(const std::string& file, uint64_t size,
+                                  std::span<const uint8_t> data) {
+  uint64_t written = 0;
+  while (written < size) {
+    const uint64_t chunk =
+        std::min(config_.write_request_bytes, size - written);
+    std::span<const uint8_t> slice =
+        data.empty() ? std::span<const uint8_t>()
+                     : data.subspan(written, chunk);
+    LOR_RETURN_IF_ERROR(store_->Append(file, chunk, slice));
+    written += chunk;
+  }
+  return Status::OK();
+}
+
+Status FsRepository::Put(const std::string& key, uint64_t size,
+                         std::span<const uint8_t> data) {
+  if (store_->Exists(key)) {
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  return SafeWrite(key, size, data);
+}
+
+Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
+                               std::span<const uint8_t> data) {
+  if (!data.empty() && data.size() != size) {
+    return Status::InvalidArgument("data size does not match object size");
+  }
+  const std::string temp =
+      key + ".tmp" + std::to_string(temp_counter_++);
+  LOR_RETURN_IF_ERROR(store_->Create(temp));
+  if (config_.preallocate_on_safe_write) {
+    Status s = store_->Preallocate(temp, size);
+    if (!s.ok()) {
+      Status undo = store_->Delete(temp);
+      (void)undo;
+      return s;
+    }
+  }
+  Status s = StreamAppend(temp, size, data);
+  if (!s.ok()) {
+    Status undo = store_->Delete(temp);
+    (void)undo;
+    return s;
+  }
+  LOR_RETURN_IF_ERROR(store_->Fsync(temp));
+  return store_->Replace(temp, key);
+}
+
+Status FsRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  return store_->ReadAll(key, out);
+}
+
+Status FsRepository::Delete(const std::string& key) {
+  return store_->Delete(key);
+}
+
+bool FsRepository::Exists(const std::string& key) const {
+  return store_->Exists(key);
+}
+
+Result<alloc::ExtentList> FsRepository::GetLayout(
+    const std::string& key) const {
+  auto extents = store_->GetExtents(key);
+  if (!extents.ok()) return extents.status();
+  alloc::ExtentList bytes;
+  bytes.reserve(extents->size());
+  const uint64_t unit = config_.store.cluster_bytes;
+  for (const alloc::Extent& e : *extents) {
+    alloc::AppendCoalescing(&bytes, {e.start * unit, e.length * unit});
+  }
+  return bytes;
+}
+
+Result<uint64_t> FsRepository::GetSize(const std::string& key) const {
+  return store_->GetSize(key);
+}
+
+std::vector<std::string> FsRepository::ListKeys() const {
+  return store_->ListFiles();
+}
+
+uint64_t FsRepository::object_count() const {
+  return store_->stats().file_count;
+}
+
+uint64_t FsRepository::live_bytes() const {
+  return store_->stats().live_bytes;
+}
+
+uint64_t FsRepository::volume_bytes() const { return device_->capacity(); }
+
+uint64_t FsRepository::free_bytes() const { return store_->FreeBytes(); }
+
+double FsRepository::now() const { return device_->clock().now(); }
+
+Status FsRepository::CheckConsistency() const {
+  return store_->CheckConsistency();
+}
+
+}  // namespace core
+}  // namespace lor

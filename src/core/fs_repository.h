@@ -1,0 +1,86 @@
+// FsRepository: the paper's filesystem configuration (§4.1) — one file
+// per object on an otherwise-empty NTFS volume, updated with safe
+// writes (write temp file, force it, atomically replace the target).
+//
+// The object-name → path metadata database the paper co-located on
+// separate drives is modelled as per-operation CPU cost only (it stays
+// cached and its I/O goes to other spindles).
+
+#ifndef LOREPO_CORE_FS_REPOSITORY_H_
+#define LOREPO_CORE_FS_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_repository.h"
+#include "fs/file_store.h"
+#include "sim/block_device.h"
+
+namespace lor {
+namespace core {
+
+/// Configuration of the filesystem-backed repository.
+struct FsRepositoryConfig {
+  /// Data volume size.
+  uint64_t volume_bytes = 40 * kGiB;
+  /// Drive model; capacity is overridden by volume_bytes.
+  sim::DiskParams disk = sim::DiskParams::St3400832as();
+  /// Retain payload bytes (tests only).
+  sim::DataMode data_mode = sim::DataMode::kMetadataOnly;
+  /// Size of the application's append requests (64 KB in the paper).
+  uint64_t write_request_bytes = 64 * kKiB;
+  /// File store tuning.
+  fs::FileStoreOptions store;
+  /// When true, SafeWrite preallocates the temp file to its final size
+  /// before streaming — the paper's proposed interface extension.
+  bool preallocate_on_safe_write = false;
+};
+
+/// Filesystem-backed ObjectRepository.
+class FsRepository : public ObjectRepository {
+ public:
+  explicit FsRepository(FsRepositoryConfig config = {});
+
+  /// Variant that injects a custom allocator (policy ablations).
+  FsRepository(FsRepositoryConfig config,
+               std::unique_ptr<alloc::ExtentAllocator> allocator);
+
+  Status Put(const std::string& key, uint64_t size,
+             std::span<const uint8_t> data = {}) override;
+  Status SafeWrite(const std::string& key, uint64_t size,
+                   std::span<const uint8_t> data = {}) override;
+  Status Get(const std::string& key,
+             std::vector<uint8_t>* out = nullptr) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) const override;
+  Result<alloc::ExtentList> GetLayout(const std::string& key) const override;
+  Result<uint64_t> GetSize(const std::string& key) const override;
+  std::vector<std::string> ListKeys() const override;
+  uint64_t object_count() const override;
+  uint64_t live_bytes() const override;
+  uint64_t volume_bytes() const override;
+  uint64_t free_bytes() const override;
+  double now() const override;
+  Status CheckConsistency() const override;
+  std::string name() const override { return "filesystem"; }
+
+  fs::FileStore* store() { return store_.get(); }
+  sim::BlockDevice* device() { return device_.get(); }
+  const FsRepositoryConfig& config() const { return config_; }
+
+ private:
+  /// Streams `size` bytes into `file` in write-request-sized appends.
+  Status StreamAppend(const std::string& file, uint64_t size,
+                      std::span<const uint8_t> data);
+
+  FsRepositoryConfig config_;
+  std::unique_ptr<sim::BlockDevice> device_;
+  std::unique_ptr<fs::FileStore> store_;
+  uint64_t temp_counter_ = 0;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_FS_REPOSITORY_H_

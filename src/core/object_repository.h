@@ -1,0 +1,74 @@
+// ObjectRepository: the get/put abstraction the paper's applications
+// program against (§4). Both back ends — NTFS-like files and SQL-like
+// BLOBs — implement this interface with equivalent semantics: atomic
+// whole-object replacement, no recovery of object payloads after media
+// failure, and no partial updates.
+
+#ifndef LOREPO_CORE_OBJECT_REPOSITORY_H_
+#define LOREPO_CORE_OBJECT_REPOSITORY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/extent.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace core {
+
+/// Abstract get/put large-object repository.
+class ObjectRepository {
+ public:
+  virtual ~ObjectRepository() = default;
+
+  /// Stores a new object. Fails with AlreadyExists for a live key.
+  /// `data` may be empty (timing-only workloads).
+  virtual Status Put(const std::string& key, uint64_t size,
+                     std::span<const uint8_t> data = {}) = 0;
+
+  /// Atomically creates or replaces an object (the paper's safe write).
+  virtual Status SafeWrite(const std::string& key, uint64_t size,
+                           std::span<const uint8_t> data = {}) = 0;
+
+  /// Reads a whole object; `out` receives the payload when non-null.
+  virtual Status Get(const std::string& key,
+                     std::vector<uint8_t>* out = nullptr) = 0;
+
+  virtual Status Delete(const std::string& key) = 0;
+
+  virtual bool Exists(const std::string& key) const = 0;
+
+  /// Physical layout of the object in *byte* extents on the data
+  /// volume, in logical order. The analyzer counts fragments from this
+  /// (the role of the paper's marker-scanning tool).
+  virtual Result<alloc::ExtentList> GetLayout(
+      const std::string& key) const = 0;
+
+  virtual Result<uint64_t> GetSize(const std::string& key) const = 0;
+
+  virtual std::vector<std::string> ListKeys() const = 0;
+
+  virtual uint64_t object_count() const = 0;
+  virtual uint64_t live_bytes() const = 0;
+  /// Data-volume capacity in bytes.
+  virtual uint64_t volume_bytes() const = 0;
+  /// Unused bytes on the data volume.
+  virtual uint64_t free_bytes() const = 0;
+
+  /// Simulated seconds elapsed on this repository's clock.
+  virtual double now() const = 0;
+
+  /// Structural invariants (no shared clusters/extents, accounting).
+  virtual Status CheckConsistency() const = 0;
+
+  /// "filesystem" or "database" (the paper's series labels).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_OBJECT_REPOSITORY_H_

@@ -1,0 +1,59 @@
+// StorageAgeTracker: the paper's time axis (§4.4).
+//
+//   "We measure time using storage age; the ratio of bytes in objects
+//    that once existed on a volume to the number of bytes in use on the
+//    volume."
+//
+// For the safe-write workload this is "safe writes per object". Ages
+// are measured from the end of bulk load (the paper's age 0), so call
+// `MarkBulkLoadComplete()` once the initial population is in place.
+
+#ifndef LOREPO_CORE_STORAGE_AGE_H_
+#define LOREPO_CORE_STORAGE_AGE_H_
+
+#include <cstdint>
+
+namespace lor {
+namespace core {
+
+/// Tracks storage age over a repository's write traffic.
+class StorageAgeTracker {
+ public:
+  /// Records bytes written during initial population (age stays 0).
+  void RecordBulkLoad(uint64_t bytes) { live_bytes_ += bytes; }
+
+  /// Freezes the live-byte denominator; subsequent churn ages the store.
+  void MarkBulkLoadComplete() { bulk_load_done_ = true; }
+
+  /// Records a whole-object replacement (insert/update/delete churn).
+  /// `old_bytes` leave the store, `new_bytes` enter it.
+  void RecordReplacement(uint64_t old_bytes, uint64_t new_bytes) {
+    churned_bytes_ += new_bytes;
+    live_bytes_ += new_bytes;
+    live_bytes_ -= old_bytes;
+  }
+
+  /// Records a deletion without replacement.
+  void RecordDelete(uint64_t bytes) { live_bytes_ -= bytes; }
+
+  /// Current storage age: churned bytes / live bytes. Zero before or at
+  /// the end of bulk load.
+  double age() const {
+    if (!bulk_load_done_ || live_bytes_ == 0) return 0.0;
+    return static_cast<double>(churned_bytes_) /
+           static_cast<double>(live_bytes_);
+  }
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t churned_bytes() const { return churned_bytes_; }
+
+ private:
+  uint64_t live_bytes_ = 0;
+  uint64_t churned_bytes_ = 0;
+  bool bulk_load_done_ = false;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_STORAGE_AGE_H_

@@ -1,0 +1,309 @@
+#include "db/blob_btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lor {
+namespace db {
+
+namespace {
+
+/// Maximum bytes fetched by one read-ahead device request.
+constexpr uint64_t kReadAheadBytes = 512 * kKiB;
+
+/// Serializes a uint64 little-endian.
+void PutU64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t GetU64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  return v;
+}
+
+/// Enumerates all data page ids of a layout in logical order.
+std::vector<uint64_t> EnumeratePages(const alloc::ExtentList& runs) {
+  std::vector<uint64_t> pages;
+  pages.reserve(TotalLength(runs));
+  for (const alloc::Extent& run : runs) {
+    for (uint64_t p = run.start; p < run.end(); ++p) pages.push_back(p);
+  }
+  return pages;
+}
+
+}  // namespace
+
+uint64_t BlobBtree::DataPagesFor(const PageFile& file, uint64_t nbytes) {
+  const uint64_t payload = PayloadPerPage(file);
+  return (nbytes + payload - 1) / payload;
+}
+
+Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
+                                    uint64_t nbytes,
+                                    std::span<const uint8_t> data,
+                                    uint64_t write_request_bytes,
+                                    const sim::OpCostModel& costs) {
+  if (nbytes == 0) return Status::InvalidArgument("empty blob");
+  if (!data.empty() && data.size() != nbytes) {
+    return Status::InvalidArgument("data size does not match blob size");
+  }
+  if (write_request_bytes == 0) {
+    return Status::InvalidArgument("zero write request size");
+  }
+
+  const uint64_t payload = PayloadPerPage(*file);
+  const uint64_t page_bytes = file->page_bytes();
+  const uint64_t total_pages = DataPagesFor(*file, nbytes);
+  const bool retain =
+      file->device()->data_mode() == sim::DataMode::kRetain && !data.empty();
+
+  BlobLayout layout;
+  layout.data_bytes = nbytes;
+
+  auto free_partial = [&]() {
+    for (const alloc::Extent& run : layout.data_runs) {
+      for (uint64_t p = run.start; p < run.end(); ++p) {
+        Status s = unit->FreePage(p);
+        (void)s;
+      }
+    }
+    for (uint64_t p : layout.pointer_pages) {
+      Status s = unit->FreePage(p);
+      (void)s;
+    }
+  };
+
+  const double t0 = file->device()->clock().now();
+
+  // Stream the blob in client write-request slices; pages are
+  // allocated from the unit as each slice arrives.
+  uint64_t pages_done = 0;
+  uint64_t bytes_done = 0;
+
+  while (bytes_done < nbytes) {
+    const uint64_t slice = std::min(write_request_bytes, nbytes - bytes_done);
+    const uint64_t end_pages =
+        std::min(total_pages, (bytes_done + slice + payload - 1) / payload);
+
+    std::vector<alloc::Extent> slice_runs;  // Page runs for this slice.
+    for (uint64_t p = pages_done; p < end_pages; ++p) {
+      auto page = unit->AllocatePage();
+      if (!page.ok()) {
+        for (const alloc::Extent& run : slice_runs) {
+          for (uint64_t q = run.start; q < run.end(); ++q) {
+            Status s = unit->FreePage(q);
+            (void)s;
+          }
+        }
+        free_partial();
+        return page.status();
+      }
+      alloc::AppendCoalescing(&slice_runs, {*page, 1});
+    }
+
+    // Write the slice's pages, one device request per contiguous run.
+    // Content (in retain mode) is fixed up after the loop, once the
+    // full logical-to-physical mapping is known.
+    for (const alloc::Extent& run : slice_runs) {
+      Status s = file->WritePages(run.start, run.length);
+      if (!s.ok()) {
+        for (const alloc::Extent& r2 : slice_runs) {
+          for (uint64_t q = r2.start; q < r2.end(); ++q) {
+            Status undo = unit->FreePage(q);
+            (void)undo;
+          }
+        }
+        free_partial();
+        return s;
+      }
+    }
+    for (const alloc::Extent& run : slice_runs) {
+      alloc::AppendCoalescing(&layout.data_runs, run);
+    }
+    pages_done = end_pages;
+    bytes_done += slice;
+  }
+
+  // When retaining data (integrity tests on small volumes), rewrite the
+  // page payloads with the real bytes now that the full mapping is
+  // known. This charges extra device time; retain mode is a
+  // correctness harness, not a timing one.
+  if (retain) {
+    const std::vector<uint64_t> pages = EnumeratePages(layout.data_runs);
+    for (uint64_t i = 0; i < pages.size(); ++i) {
+      std::vector<uint8_t> image(page_bytes, 0);
+      const uint64_t off = i * payload;
+      const uint64_t chunk = std::min(payload, nbytes - off);
+      std::memcpy(image.data() + kPageHeaderBytes, data.data() + off, chunk);
+      Status s = file->device()->Write(file->PageOffset(pages[i]), page_bytes,
+                                       image);
+      if (!s.ok()) return s;
+    }
+  }
+
+  const double device_seconds = file->device()->clock().now() - t0;
+  file->device()->ChargeCpu(sim::OpCostModel::StreamPenalty(
+      nbytes, costs.db_write_stream_bandwidth, device_seconds));
+  file->device()->ChargeCpu(costs.db_per_page_cpu_s *
+                            static_cast<double>(total_pages));
+
+  // Build the pointer-page levels bottom-up, allocating tree pages from
+  // the same unit (SQL Server's LOB tree pages live in the same
+  // allocation unit as the data).
+  const uint64_t fanout = Fanout(*file);
+  std::vector<uint64_t> level = EnumeratePages(layout.data_runs);
+  while (level.size() > 1) {
+    const uint64_t nodes = (level.size() + fanout - 1) / fanout;
+    std::vector<uint64_t> node_pages;
+    node_pages.reserve(nodes);
+    for (uint64_t n = 0; n < nodes; ++n) {
+      auto page = unit->AllocatePage();
+      if (!page.ok()) {
+        for (uint64_t p : node_pages) {
+          Status s = unit->FreePage(p);
+          (void)s;
+        }
+        free_partial();
+        return page.status();
+      }
+      node_pages.push_back(*page);
+    }
+    // Serialize and write each pointer page.
+    for (uint64_t n = 0; n < nodes; ++n) {
+      const uint64_t begin = n * fanout;
+      const uint64_t end = std::min<uint64_t>(begin + fanout, level.size());
+      std::vector<uint8_t> image;
+      std::span<const uint8_t> span;
+      if (file->device()->data_mode() == sim::DataMode::kRetain) {
+        image.assign(page_bytes, 0);
+        PutU64(image.data(), end - begin);  // Child count in the header.
+        for (uint64_t c = begin; c < end; ++c) {
+          PutU64(image.data() + kPageHeaderBytes + (c - begin) * 8, level[c]);
+        }
+        span = image;
+      }
+      Status s = file->WritePages(node_pages[n], 1, span);
+      if (!s.ok()) {
+        for (uint64_t i = n; i < nodes; ++i) {
+          Status undo = unit->FreePage(node_pages[i]);
+          (void)undo;
+        }
+        free_partial();
+        return s;
+      }
+      layout.pointer_pages.push_back(node_pages[n]);
+    }
+    level.assign(node_pages.begin(), node_pages.begin() + nodes);
+  }
+
+  return layout;
+}
+
+Status BlobBtree::Read(PageFile* file, const BlobLayout& layout,
+                       const sim::OpCostModel& costs,
+                       std::vector<uint8_t>* out) {
+  // Pointer pages: buffer-pool hits, CPU only.
+  file->device()->ChargeCpu(
+      costs.db_per_page_cpu_s *
+      static_cast<double>(layout.pointer_pages.size() +
+                          layout.data_page_count()));
+
+  const uint64_t page_bytes = file->page_bytes();
+  const uint64_t payload = PayloadPerPage(*file);
+  const bool fetch =
+      out != nullptr && file->device()->data_mode() == sim::DataMode::kRetain;
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(layout.data_bytes);
+  }
+
+  const double t0 = file->device()->clock().now();
+  uint64_t emitted = 0;
+  std::vector<uint8_t> buf;
+  for (const alloc::Extent& run : layout.data_runs) {
+    // Read-ahead: contiguous page runs fetched in capped sequential
+    // requests.
+    uint64_t page = run.start;
+    uint64_t left = run.length;
+    while (left > 0) {
+      const uint64_t batch =
+          std::min(left, std::max<uint64_t>(1, kReadAheadBytes / page_bytes));
+      LOR_RETURN_IF_ERROR(
+          file->ReadPages(page, batch, fetch ? &buf : nullptr));
+      if (out != nullptr) {
+        for (uint64_t i = 0; i < batch && emitted < layout.data_bytes; ++i) {
+          const uint64_t chunk = std::min(payload, layout.data_bytes - emitted);
+          if (fetch) {
+            const uint8_t* src = buf.data() + i * page_bytes + kPageHeaderBytes;
+            out->insert(out->end(), src, src + chunk);
+          } else {
+            out->insert(out->end(), chunk, 0);
+          }
+          emitted += chunk;
+        }
+      }
+      page += batch;
+      left -= batch;
+    }
+  }
+  const double device_seconds = file->device()->clock().now() - t0;
+  file->device()->ChargeCpu(sim::OpCostModel::StreamPenalty(
+      layout.data_bytes, costs.db_read_stream_bandwidth, device_seconds));
+  return Status::OK();
+}
+
+Status BlobBtree::Free(LobAllocationUnit* unit, const BlobLayout& layout) {
+  for (const alloc::Extent& run : layout.data_runs) {
+    for (uint64_t p = run.start; p < run.end(); ++p) {
+      LOR_RETURN_IF_ERROR(unit->FreePage(p));
+    }
+  }
+  for (uint64_t p : layout.pointer_pages) {
+    LOR_RETURN_IF_ERROR(unit->FreePage(p));
+  }
+  return Status::OK();
+}
+
+Status BlobBtree::VerifyTree(PageFile* file, const BlobLayout& layout) {
+  if (file->device()->data_mode() != sim::DataMode::kRetain) {
+    return Status::NotSupported("tree verification needs a data-retaining device");
+  }
+  const std::vector<uint64_t> data_pages = EnumeratePages(layout.data_runs);
+  if (layout.pointer_pages.empty()) {
+    if (data_pages.size() > 1) {
+      return Status::Corruption("multi-page blob without pointer pages");
+    }
+    return Status::OK();
+  }
+  // Walk levels top-down starting from the root and expand to leaves.
+  std::vector<uint64_t> frontier = {layout.root_page()};
+  const uint64_t fanout = Fanout(*file);
+  (void)fanout;
+  // Expand until the frontier no longer consists of pointer pages.
+  auto is_pointer = [&](uint64_t page) {
+    return std::find(layout.pointer_pages.begin(), layout.pointer_pages.end(),
+                     page) != layout.pointer_pages.end();
+  };
+  while (!frontier.empty() && is_pointer(frontier.front())) {
+    std::vector<uint64_t> next;
+    for (uint64_t page : frontier) {
+      std::vector<uint8_t> image;
+      LOR_RETURN_IF_ERROR(
+          file->device()->Read(file->PageOffset(page), file->page_bytes(),
+                               &image));
+      const uint64_t children = GetU64(image.data());
+      for (uint64_t c = 0; c < children; ++c) {
+        next.push_back(GetU64(image.data() + kPageHeaderBytes + c * 8));
+      }
+    }
+    frontier.swap(next);
+  }
+  if (frontier != data_pages) {
+    return Status::Corruption("pointer tree does not enumerate data pages");
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace lor

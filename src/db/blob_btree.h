@@ -1,0 +1,105 @@
+// BlobBtree: Exodus-style B-tree storage of large objects (the design
+// SQL Server adopted for its BLOB storage; the paper cites Carey et
+// al.'s EXODUS paper and Biliris's measurements of it).
+//
+// A BLOB is a sequence of 8 KB data pages plus a tree of pointer pages
+// above them. Data pages are allocated extent-at-a-time from the GAM
+// (lowest-free-first), which is exactly the reuse pattern that causes
+// the database's fragmentation growth. Pointer pages are written with
+// real serialized child references so the tree structure on "disk" can
+// be independently re-parsed and verified.
+//
+// Caching model: pointer pages are assumed hot in the buffer pool
+// (they are a few KB per multi-MB object), so traversals charge CPU per
+// page; data pages always charge device reads, coalesced across
+// physically contiguous page runs (read-ahead).
+
+#ifndef LOREPO_DB_BLOB_BTREE_H_
+#define LOREPO_DB_BLOB_BTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alloc/extent.h"
+#include "db/lob_allocation_unit.h"
+#include "db/page_file.h"
+#include "sim/op_cost_model.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace db {
+
+/// Physical description of one stored BLOB. Pages are allocated from a
+/// LobAllocationUnit, so extents can be shared with other blobs; the
+/// layout therefore tracks pages, not extents.
+struct BlobLayout {
+  /// Bytes of application data.
+  uint64_t data_bytes = 0;
+  /// Data pages in logical order, as page-unit extents (coalesced).
+  alloc::ExtentList data_runs;
+  /// Pointer (tree) pages, bottom-up then root last. Empty for single-
+  /// page blobs, whose root is the lone data page.
+  std::vector<uint64_t> pointer_pages;
+
+  uint64_t data_page_count() const { return TotalLength(data_runs); }
+  uint64_t root_page() const {
+    return pointer_pages.empty()
+               ? (data_runs.empty() ? 0 : data_runs.front().start)
+               : pointer_pages.back();
+  }
+  /// The paper's fragments/object metric over the data pages.
+  uint64_t Fragments() const { return alloc::CountFragments(data_runs); }
+};
+
+/// Builder/reader for Exodus-style blob trees over a PageFile.
+class BlobBtree {
+ public:
+  /// Bytes of payload per 8 KB data page (96-byte header).
+  static uint64_t PayloadPerPage(const PageFile& file) {
+    return file.page_bytes() - kPageHeaderBytes;
+  }
+  /// Child references per pointer page.
+  static uint64_t Fanout(const PageFile& file) {
+    return (file.page_bytes() - kPageHeaderBytes) / sizeof(uint64_t);
+  }
+
+  /// Number of data pages a blob of `nbytes` occupies.
+  static uint64_t DataPagesFor(const PageFile& file, uint64_t nbytes);
+
+  /// Allocates space for and writes a blob of `nbytes` through `unit`.
+  ///
+  /// `data` may be empty (timing-only) or exactly `nbytes`. The write is
+  /// performed in `write_request_bytes` slices, as the client streams
+  /// it; pages are allocated per slice, so the write request size
+  /// shapes the physical layout (paper §5.4). `costs` provides the
+  /// client-stack bandwidth cap.
+  static Result<BlobLayout> Write(PageFile* file, LobAllocationUnit* unit,
+                                  uint64_t nbytes,
+                                  std::span<const uint8_t> data,
+                                  uint64_t write_request_bytes,
+                                  const sim::OpCostModel& costs);
+
+  /// Reads a blob back. Charges per-page CPU and coalesced device
+  /// reads; fills `out` with the payload bytes when non-null.
+  static Status Read(PageFile* file, const BlobLayout& layout,
+                     const sim::OpCostModel& costs,
+                     std::vector<uint8_t>* out = nullptr);
+
+  /// Frees every page of the blob back to the allocation unit (which
+  /// returns fully-freed extents to the GAM).
+  static Status Free(LobAllocationUnit* unit, const BlobLayout& layout);
+
+  /// Re-parses the pointer pages from the device (kRetain mode only)
+  /// and verifies they describe exactly `layout`'s data pages. Used by
+  /// integrity tests.
+  static Status VerifyTree(PageFile* file, const BlobLayout& layout);
+
+  static constexpr uint64_t kPageHeaderBytes = 96;
+};
+
+}  // namespace db
+}  // namespace lor
+
+#endif  // LOREPO_DB_BLOB_BTREE_H_

@@ -1,0 +1,260 @@
+#include "db/blob_store.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace db {
+
+namespace {
+constexpr uint64_t kCommitRecordBytes = 4096;
+}
+
+BlobStore::BlobStore(sim::BlockDevice* data_device,
+                     sim::BlockDevice* log_device, BlobStoreOptions options)
+    : data_device_(data_device),
+      log_device_(log_device),
+      options_(options),
+      page_file_(data_device, options.page_file),
+      lob_unit_(&page_file_, options.page_scan) {
+  metadata_ = std::make_unique<MetadataTable>(&page_file_, &options_.costs,
+                                              options_.ops_per_checkpoint);
+}
+
+void BlobStore::LogCommit(uint64_t payload_bytes) {
+  const uint64_t record =
+      kCommitRecordBytes + (options_.bulk_logged ? 0 : payload_bytes);
+  ++stats_.log_records;
+  stats_.log_bytes += record;
+  data_device_->ChargeCpu(options_.costs.db_commit_s);
+  if (log_device_ == nullptr) return;
+  if (log_cursor_ + record > log_device_->capacity()) log_cursor_ = 0;
+  // The transaction blocks until the log write completes, so the log
+  // device's time is charged to the session clock as well.
+  const double t0 = log_device_->clock().now();
+  Status s = log_device_->Write(log_cursor_, record);
+  (void)s;
+  log_cursor_ += record;
+  data_device_->ChargeCpu(log_device_->clock().now() - t0);
+}
+
+Status BlobStore::Put(const std::string& key, uint64_t size,
+                      std::span<const uint8_t> data) {
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  if (layouts_.count(key) != 0) {
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
+                                 options_.write_request_bytes,
+                                 options_.costs);
+  if (!layout.ok()) return layout.status();
+
+  ObjectRow row;
+  row.key = key;
+  row.blob_ref = layout->root_page();
+  row.size_bytes = size;
+  row.version = next_version_++;
+  Status s = metadata_->Insert(row);
+  if (!s.ok()) {
+    Status undo = BlobBtree::Free(&lob_unit_, *layout);
+    (void)undo;
+    return s;
+  }
+  layouts_.emplace(key, std::move(*layout));
+  LogCommit(size);
+  ++stats_.puts;
+  ++stats_.object_count;
+  stats_.live_bytes += size;
+  return Status::OK();
+}
+
+Status BlobStore::Replace(const std::string& key, uint64_t size,
+                          std::span<const uint8_t> data) {
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) {
+    return Status::NotFound("no object: " + key);
+  }
+  auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
+                                 options_.write_request_bytes,
+                                 options_.costs);
+  if (!layout.ok()) return layout.status();
+
+  ObjectRow row;
+  row.key = key;
+  row.blob_ref = layout->root_page();
+  row.size_bytes = size;
+  row.version = next_version_++;
+  LOR_RETURN_IF_ERROR(metadata_->Update(row));
+
+  // The old pages become reusable once the ghost-cleanup delay elapses.
+  const uint64_t old_size = it->second.data_bytes;
+  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  it->second = std::move(*layout);
+  LogCommit(size);
+  ++stats_.replaces;
+  stats_.live_bytes += size;
+  stats_.live_bytes -= old_size;
+  return Status::OK();
+}
+
+Status BlobStore::Get(const std::string& key, std::vector<uint8_t>* out) {
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  auto row = metadata_->Lookup(key);
+  if (!row.ok()) return row.status();
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) {
+    return Status::Corruption("row without layout: " + key);
+  }
+  LOR_RETURN_IF_ERROR(
+      BlobBtree::Read(&page_file_, it->second, options_.costs, out));
+  ++stats_.gets;
+  return Status::OK();
+}
+
+Status BlobStore::Delete(const std::string& key) {
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) {
+    return Status::NotFound("no object: " + key);
+  }
+  LOR_RETURN_IF_ERROR(metadata_->Delete(key));
+  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  stats_.live_bytes -= it->second.data_bytes;
+  layouts_.erase(it);
+  LogCommit(0);
+  ++stats_.deletes;
+  --stats_.object_count;
+  if (++deletes_since_purge_ >= options_.deletes_per_ghost_purge) {
+    deletes_since_purge_ = 0;
+    metadata_->PurgeGhosts();
+  }
+  return Status::OK();
+}
+
+bool BlobStore::Exists(const std::string& key) const {
+  return layouts_.count(key) != 0;
+}
+
+Result<BlobLayout> BlobStore::GetLayout(const std::string& key) const {
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) return Status::NotFound("no object: " + key);
+  return it->second;
+}
+
+Result<uint64_t> BlobStore::GetSize(const std::string& key) const {
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) return Status::NotFound("no object: " + key);
+  return it->second.data_bytes;
+}
+
+std::vector<std::string> BlobStore::ListKeys() const {
+  return metadata_->ScanKeys();
+}
+
+Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
+  RebuildReport report;
+  const double t0 = data_device_->clock().now();
+  const std::vector<std::string> keys = ListKeys();
+  if (keys.empty()) return report;
+
+  for (const std::string& key : keys) {
+    report.fragments_before +=
+        static_cast<double>(layouts_.at(key).Fragments());
+  }
+  report.fragments_before /= static_cast<double>(keys.size());
+
+  // A rebuild targets a fresh filegroup: grow a contiguous region big
+  // enough for all live data and point the allocation scan at it so
+  // copies land sequentially. (If the device cannot fit a full second
+  // copy, the rebuild still proceeds, reusing freed space as it goes.)
+  const uint64_t live_extents =
+      (stats_.live_bytes + page_file_.extent_bytes() - 1) /
+      page_file_.extent_bytes();
+  page_file_.SeekScanCursorToEnd();
+  page_file_.GrowBy(live_extents + live_extents / 16 + keys.size() / 4 + 1);
+  lob_unit_.set_sequential_fill(true);
+
+  const bool retain = data_device_->data_mode() == sim::DataMode::kRetain;
+  auto copy_all = [&]() -> Status {
+    for (const std::string& key : keys) {
+      auto it = layouts_.find(key);
+      std::vector<uint8_t> payload;
+      LOR_RETURN_IF_ERROR(BlobBtree::Read(&page_file_, it->second,
+                                          options_.costs,
+                                          retain ? &payload : nullptr));
+      auto fresh = BlobBtree::Write(&page_file_, &lob_unit_,
+                                    it->second.data_bytes, payload,
+                                    options_.write_request_bytes,
+                                    options_.costs);
+      if (!fresh.ok()) return fresh.status();
+      ObjectRow row;
+      row.key = key;
+      row.blob_ref = fresh->root_page();
+      row.size_bytes = fresh->data_bytes;
+      row.version = next_version_++;
+      LOR_RETURN_IF_ERROR(metadata_->Update(row));
+      LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+      report.bytes_moved += fresh->data_bytes;
+      ++report.objects_moved;
+      it->second = std::move(*fresh);
+      LogCommit(it->second.data_bytes);
+    }
+    return Status::OK();
+  };
+  Status copied = copy_all();
+  lob_unit_.set_sequential_fill(false);
+  LOR_RETURN_IF_ERROR(copied);
+
+  for (const std::string& key : keys) {
+    report.fragments_after +=
+        static_cast<double>(layouts_.at(key).Fragments());
+  }
+  report.fragments_after /= static_cast<double>(keys.size());
+  report.elapsed_seconds = data_device_->clock().now() - t0;
+  return report;
+}
+
+Status BlobStore::CheckConsistency() const {
+  // Page usage across layouts must be pairwise disjoint, every page's
+  // extent must be live in the GAM, and rows must agree with layouts.
+  std::vector<alloc::Extent> runs;
+  for (const auto& [key, layout] : layouts_) {
+    uint64_t pages = 0;
+    for (const alloc::Extent& run : layout.data_runs) {
+      pages += run.length;
+      runs.push_back(run);
+      for (uint64_t e = run.start / page_file_.pages_per_extent();
+           e <= (run.end() - 1) / page_file_.pages_per_extent(); ++e) {
+        if (page_file_.gam().IsFree(e)) {
+          return Status::Corruption("live page in free extent: " + key);
+        }
+      }
+    }
+    for (uint64_t p : layout.pointer_pages) runs.push_back({p, 1});
+    if (pages != BlobBtree::DataPagesFor(page_file_, layout.data_bytes)) {
+      return Status::Corruption("layout page count mismatch: " + key);
+    }
+    auto row = metadata_->Lookup(key);
+    if (!row.ok()) return Status::Corruption("layout without row: " + key);
+    if (row->size_bytes != layout.data_bytes) {
+      return Status::Corruption("row size disagrees with layout: " + key);
+    }
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const alloc::Extent& a, const alloc::Extent& b) {
+              return a.start < b.start;
+            });
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].start < runs[i - 1].end()) {
+      return Status::Corruption("blobs share pages");
+    }
+  }
+  if (metadata_->size() != layouts_.size()) {
+    return Status::Corruption("row count disagrees with layout count");
+  }
+  LOR_RETURN_IF_ERROR(lob_unit_.CheckConsistency());
+  return metadata_->CheckConsistency();
+}
+
+}  // namespace db
+}  // namespace lor

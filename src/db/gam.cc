@@ -1,0 +1,124 @@
+#include "db/gam.h"
+
+#include <bit>
+
+namespace lor {
+namespace db {
+
+GamBitmap::GamBitmap(uint64_t capacity_extents) : capacity_(capacity_extents) {
+  bits_.assign((capacity_ + 63) / 64, 0);
+  summary_.assign((bits_.size() + 63) / 64, 0);
+}
+
+void GamBitmap::SetFree(uint64_t extent) {
+  const uint64_t word = extent / 64;
+  bits_[word] |= 1ULL << (extent % 64);
+  summary_[word / 64] |= 1ULL << (word % 64);
+}
+
+void GamBitmap::ClearFree(uint64_t extent) {
+  const uint64_t word = extent / 64;
+  bits_[word] &= ~(1ULL << (extent % 64));
+  if (bits_[word] == 0) {
+    summary_[word / 64] &= ~(1ULL << (word % 64));
+  }
+}
+
+Status GamBitmap::Release(uint64_t first, uint64_t count) {
+  if (first + count > capacity_) {
+    return Status::InvalidArgument("release beyond GAM capacity");
+  }
+  for (uint64_t e = first; e < first + count; ++e) {
+    if (IsFree(e)) return Status::InvalidArgument("double release of extent");
+  }
+  for (uint64_t e = first; e < first + count; ++e) SetFree(e);
+  free_count_ += count;
+  return Status::OK();
+}
+
+bool GamBitmap::IsFree(uint64_t extent) const {
+  if (extent >= capacity_) return false;
+  return (bits_[extent / 64] >> (extent % 64)) & 1;
+}
+
+uint64_t GamBitmap::AllocateLowest(uint64_t from) {
+  if (free_count_ == 0 || from >= capacity_) return kNoExtent;
+  uint64_t word = from / 64;
+  // Check the partial first word.
+  if (word < bits_.size()) {
+    const uint64_t masked = bits_[word] & (~0ULL << (from % 64));
+    if (masked != 0) {
+      const uint64_t extent =
+          word * 64 + static_cast<uint64_t>(std::countr_zero(masked));
+      ClearFree(extent);
+      --free_count_;
+      return extent;
+    }
+    ++word;
+  }
+  // Walk the summary level from the next word group.
+  uint64_t group = word / 64;
+  while (group < summary_.size()) {
+    uint64_t smask = summary_[group];
+    if (group == word / 64) {
+      // Mask off word indices below `word` within this group.
+      smask &= ~0ULL << (word % 64);
+    }
+    if (smask != 0) {
+      const uint64_t w =
+          group * 64 + static_cast<uint64_t>(std::countr_zero(smask));
+      const uint64_t extent =
+          w * 64 + static_cast<uint64_t>(std::countr_zero(bits_[w]));
+      if (extent >= capacity_) return kNoExtent;
+      ClearFree(extent);
+      --free_count_;
+      return extent;
+    }
+    ++group;
+  }
+  return kNoExtent;
+}
+
+Status GamBitmap::AllocateSpecific(uint64_t extent) {
+  if (!IsFree(extent)) return Status::NoSpace("extent not free");
+  ClearFree(extent);
+  --free_count_;
+  return Status::OK();
+}
+
+std::pair<uint64_t, uint64_t> GamBitmap::AllocateRun(uint64_t count,
+                                                     uint64_t from) {
+  const uint64_t first = AllocateLowest(from);
+  if (first == kNoExtent) return {kNoExtent, 0};
+  uint64_t length = 1;
+  while (length < count && IsFree(first + length)) {
+    ClearFree(first + length);
+    --free_count_;
+    ++length;
+  }
+  return {first, length};
+}
+
+Status GamBitmap::CheckConsistency() const {
+  uint64_t free_bits = 0;
+  for (size_t w = 0; w < bits_.size(); ++w) {
+    free_bits += static_cast<uint64_t>(std::popcount(bits_[w]));
+    const bool summary_bit = (summary_[w / 64] >> (w % 64)) & 1;
+    if (summary_bit != (bits_[w] != 0)) {
+      return Status::Corruption("summary level disagrees with bitmap");
+    }
+  }
+  if (free_bits != free_count_) {
+    return Status::Corruption("free count disagrees with bitmap");
+  }
+  // Bits beyond capacity must never be set.
+  for (uint64_t e = capacity_; e < bits_.size() * 64; ++e) {
+    if ((bits_[e / 64] >> (e % 64)) & 1) {
+      return Status::Corruption("free bit beyond capacity");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace lor

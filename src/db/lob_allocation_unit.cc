@@ -1,0 +1,95 @@
+#include "db/lob_allocation_unit.h"
+
+#include <bit>
+
+namespace lor {
+namespace db {
+
+uint64_t LobAllocationUnit::PickExtent() {
+  if (sequential_fill_) {
+    // Only the tail of the extent we are currently filling qualifies.
+    return with_free_.count(hint_extent_) != 0 ? hint_extent_ : kNoExtent;
+  }
+  if (with_free_.empty()) return kNoExtent;
+  if (policy_ == PageScanPolicy::kLowestFirst) return *with_free_.begin();
+  auto it = with_free_.lower_bound(hint_extent_);
+  if (it == with_free_.end()) it = with_free_.begin();
+  return *it;
+}
+
+Result<uint64_t> LobAllocationUnit::AllocatePage() {
+  uint64_t extent = PickExtent();
+  if (extent == kNoExtent) {
+    auto fresh = file_->AllocateExtent();
+    if (!fresh.ok()) return fresh.status();
+    extent = *fresh;
+    const uint8_t all_free =
+        static_cast<uint8_t>((1u << file_->pages_per_extent()) - 1);
+    owned_.emplace(extent, all_free);
+    with_free_.insert(extent);
+    reserved_free_ += file_->pages_per_extent();
+  }
+  auto it = owned_.find(extent);
+  const int bit = std::countr_zero(it->second);
+  it->second = static_cast<uint8_t>(it->second & ~(1u << bit));
+  if (it->second == 0) with_free_.erase(extent);
+  --reserved_free_;
+  ++allocated_pages_;
+  hint_extent_ = extent;
+  return file_->ExtentFirstPage(extent) + static_cast<uint64_t>(bit);
+}
+
+Status LobAllocationUnit::FreePage(uint64_t page_id) {
+  const uint64_t extent = page_id / file_->pages_per_extent();
+  const uint64_t bit = page_id % file_->pages_per_extent();
+  auto it = owned_.find(extent);
+  if (it == owned_.end()) {
+    return Status::InvalidArgument("page's extent not owned by unit");
+  }
+  if ((it->second >> bit) & 1u) {
+    return Status::InvalidArgument("double free of page");
+  }
+  it->second = static_cast<uint8_t>(it->second | (1u << bit));
+  ++reserved_free_;
+  --allocated_pages_;
+  const uint8_t all_free =
+      static_cast<uint8_t>((1u << file_->pages_per_extent()) - 1);
+  if (it->second == all_free) {
+    owned_.erase(it);
+    with_free_.erase(extent);
+    reserved_free_ -= file_->pages_per_extent();
+    return file_->FreeExtents(extent, 1);
+  }
+  with_free_.insert(extent);
+  return Status::OK();
+}
+
+Status LobAllocationUnit::CheckConsistency() const {
+  uint64_t free_pages = 0;
+  uint64_t used_pages = 0;
+  for (const auto& [extent, bitmap] : owned_) {
+    const int free_bits = std::popcount(bitmap);
+    free_pages += static_cast<uint64_t>(free_bits);
+    used_pages += file_->pages_per_extent() - static_cast<uint64_t>(free_bits);
+    const bool has_free = bitmap != 0;
+    if (has_free != (with_free_.count(extent) != 0)) {
+      return Status::Corruption("with_free_ index disagrees with bitmap");
+    }
+    if (bitmap == ((1u << file_->pages_per_extent()) - 1)) {
+      return Status::Corruption("fully free extent still owned");
+    }
+    if (file_->gam().IsFree(extent)) {
+      return Status::Corruption("owned extent is free in the GAM");
+    }
+  }
+  if (free_pages != reserved_free_) {
+    return Status::Corruption("reserved free page count mismatch");
+  }
+  if (used_pages != allocated_pages_) {
+    return Status::Corruption("allocated page count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace lor

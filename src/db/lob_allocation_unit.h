@@ -1,0 +1,91 @@
+// LobAllocationUnit: page-granular allocation within extents owned by
+// one allocation unit — SQL Server's IAM/PFS discipline for LOB data.
+//
+// Extents are acquired from the GAM (lowest-first from a scan hint) and
+// *shared between blobs*: a blob's tail pages and the next blob's head
+// pages can occupy the same extent. Pages freed by deletions leave
+// partially-used extents whose free pages are reused by later writes,
+// so after churn a new blob's pages scatter across many partially-free
+// extents — the sub-extent mixing that drives the paper's near-linear
+// database fragmentation growth. A fully-freed extent is returned to
+// the GAM (subject to the PageFile's deferred-release discipline).
+
+#ifndef LOREPO_DB_LOB_ALLOCATION_UNIT_H_
+#define LOREPO_DB_LOB_ALLOCATION_UNIT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "db/page_file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace db {
+
+/// Page-allocation policy within the unit.
+enum class PageScanPolicy {
+  /// Scan owned extents from the lowest page id (PFS order). Strongest
+  /// reuse of low holes; scatters aggressively under churn.
+  kLowestFirst,
+  /// Scan from the extent of the most recent allocation, wrapping —
+  /// SQL Server caches allocation hints per unit rather than
+  /// re-scanning from the front each time.
+  kFromHint,
+};
+
+/// One table's LOB allocation unit.
+class LobAllocationUnit {
+ public:
+  LobAllocationUnit(PageFile* file,
+                    PageScanPolicy policy = PageScanPolicy::kFromHint)
+      : file_(file), policy_(policy) {}
+
+  /// Allocates one page, preferring free pages in owned extents before
+  /// acquiring a new extent from the GAM.
+  Result<uint64_t> AllocatePage();
+
+  /// Frees one page; returns the extent to the GAM once it is entirely
+  /// free.
+  Status FreePage(uint64_t page_id);
+
+  /// Pages currently allocated through this unit.
+  uint64_t allocated_pages() const { return allocated_pages_; }
+  /// Free pages inside owned (partially used) extents.
+  uint64_t reserved_free_pages() const { return reserved_free_; }
+  /// Extents currently owned by the unit.
+  uint64_t owned_extents() const { return owned_.size(); }
+
+  /// Sequential-fill mode for table rebuilds: while enabled, page
+  /// allocation never reuses free pages in old partially-used extents;
+  /// it only fills the tail of the most recently acquired extent or
+  /// acquires a fresh one, so copies land contiguously.
+  void set_sequential_fill(bool on) { sequential_fill_ = on; }
+
+  /// Verifies internal bookkeeping (bitmaps vs counters vs index).
+  Status CheckConsistency() const;
+
+ private:
+  /// Picks an owned extent with at least one free page, or returns
+  /// kNoExtent.
+  uint64_t PickExtent();
+
+  PageFile* file_;
+  PageScanPolicy policy_;
+  /// extent id -> bitmap of free pages (bit i = page i of extent free).
+  /// Only extents with used pages or free pages are owned; an extent
+  /// whose pages are all free is released back to the GAM.
+  std::map<uint64_t, uint8_t> owned_;
+  /// Extents with at least one free page, ordered by id.
+  std::set<uint64_t> with_free_;
+  uint64_t hint_extent_ = 0;
+  uint64_t allocated_pages_ = 0;
+  uint64_t reserved_free_ = 0;
+  bool sequential_fill_ = false;
+};
+
+}  // namespace db
+}  // namespace lor
+
+#endif  // LOREPO_DB_LOB_ALLOCATION_UNIT_H_

@@ -1,0 +1,421 @@
+#include "db/metadata_table.h"
+
+#include <algorithm>
+
+#include "db/blob_btree.h"
+
+namespace lor {
+namespace db {
+
+namespace {
+/// Assumed on-page row footprint (key + fixed columns + record
+/// overhead); determines leaf fanout.
+constexpr uint64_t kAssumedRowBytes = 128;
+/// Separator key + child pointer footprint in internal nodes.
+constexpr uint64_t kInternalEntryBytes = 40;
+}  // namespace
+
+struct MetadataTable::Node {
+  bool leaf = true;
+  uint64_t page_id = 0;
+  // Leaf: keys_ parallel to rows_. Internal: separators; children_ has
+  // one more entry than keys_, and keys_[i] is the smallest key in the
+  // subtree of children_[i + 1].
+  std::vector<std::string> keys;
+  std::vector<ObjectRow> rows;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+MetadataTable::MetadataTable(PageFile* file, const sim::OpCostModel* costs,
+                             uint32_t ops_per_checkpoint)
+    : file_(file), costs_(costs), ops_per_checkpoint_(ops_per_checkpoint) {
+  root_ = std::make_unique<Node>();
+  stats_.leaf_pages = 1;
+  // Allocate the root's page.
+  auto extent = file_->AllocateExtent();
+  if (extent.ok()) {
+    const uint64_t first = file_->ExtentFirstPage(*extent);
+    for (uint64_t i = 0; i < file_->pages_per_extent(); ++i) {
+      page_pool_.push_back(first + i);
+    }
+  }
+  if (!page_pool_.empty()) {
+    root_->page_id = page_pool_.back();
+    page_pool_.pop_back();
+  }
+}
+
+MetadataTable::~MetadataTable() = default;
+
+uint64_t MetadataTable::LeafCapacity() const {
+  return (file_->page_bytes() - BlobBtree::kPageHeaderBytes) /
+         kAssumedRowBytes;
+}
+
+uint64_t MetadataTable::InternalCapacity() const {
+  return (file_->page_bytes() - BlobBtree::kPageHeaderBytes) /
+         kInternalEntryBytes;
+}
+
+void MetadataTable::ChargeLookupCpu(uint64_t levels) const {
+  file_->device()->ChargeCpu(costs_->db_per_page_cpu_s *
+                             static_cast<double>(levels + 1));
+}
+
+void MetadataTable::MarkDirty(Node* node) {
+  dirty_pages_.push_back(node->page_id);
+}
+
+void MetadataTable::MaybeCheckpoint() {
+  if (ops_per_checkpoint_ == 0) return;
+  if (++ops_since_checkpoint_ < ops_per_checkpoint_) return;
+  ops_since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+  // Write back dirty pages, coalescing adjacent page ids.
+  std::sort(dirty_pages_.begin(), dirty_pages_.end());
+  dirty_pages_.erase(
+      std::unique(dirty_pages_.begin(), dirty_pages_.end()),
+      dirty_pages_.end());
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  for (uint64_t page : dirty_pages_) {
+    if (run_len != 0 && page == run_start + run_len) {
+      ++run_len;
+      continue;
+    }
+    if (run_len != 0) {
+      Status s = file_->WritePages(run_start, run_len);
+      (void)s;
+    }
+    run_start = page;
+    run_len = 1;
+  }
+  if (run_len != 0) {
+    Status s = file_->WritePages(run_start, run_len);
+    (void)s;
+  }
+  dirty_pages_.clear();
+}
+
+namespace {
+
+/// Result of a child insert that overflowed: the separator and the new
+/// right sibling.
+struct SplitResult {
+  std::string separator;
+  std::unique_ptr<MetadataTable::Node> right;
+};
+
+}  // namespace
+
+Status MetadataTable::Insert(const ObjectRow& row) {
+  if (row.key.empty()) return Status::InvalidArgument("empty key");
+
+  // Walk down, remembering the path for splits.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    const size_t idx =
+        std::upper_bound(node->keys.begin(), node->keys.end(), row.key) -
+        node->keys.begin();
+    node = node->children[idx].get();
+  }
+  ChargeLookupCpu(path.size() + 1);
+
+  const size_t pos =
+      std::lower_bound(node->keys.begin(), node->keys.end(), row.key) -
+      node->keys.begin();
+  if (pos < node->keys.size() && node->keys[pos] == row.key) {
+    ObjectRow& existing = node->rows[pos];
+    if (!existing.ghost) {
+      return Status::AlreadyExists("row exists: " + row.key);
+    }
+    // Resurrect the ghost in place.
+    existing = row;
+    existing.ghost = false;
+    --stats_.ghosts;
+    ++stats_.rows;
+    MarkDirty(node);
+    MaybeCheckpoint();
+    return Status::OK();
+  }
+
+  node->keys.insert(node->keys.begin() + pos, row.key);
+  node->rows.insert(node->rows.begin() + pos, row);
+  node->rows[pos].ghost = false;
+  ++stats_.rows;
+  MarkDirty(node);
+
+  // Split upward while nodes overflow.
+  Node* current = node;
+  size_t level = path.size();
+  std::unique_ptr<Node> pending_right;
+  std::string pending_sep;
+  const uint64_t leaf_cap = LeafCapacity();
+  const uint64_t internal_cap = InternalCapacity();
+
+  auto take_page = [&]() -> uint64_t {
+    if (page_pool_.empty()) {
+      auto extent = file_->AllocateExtent();
+      if (extent.ok()) {
+        const uint64_t first = file_->ExtentFirstPage(*extent);
+        for (uint64_t i = 0; i < file_->pages_per_extent(); ++i) {
+          page_pool_.push_back(first + i);
+        }
+      }
+    }
+    if (page_pool_.empty()) return 0;
+    const uint64_t page = page_pool_.back();
+    page_pool_.pop_back();
+    return page;
+  };
+
+  while (true) {
+    const uint64_t cap = current->leaf ? leaf_cap : internal_cap;
+    const uint64_t size =
+        current->leaf ? current->keys.size() : current->children.size();
+    if (size <= cap) break;
+
+    auto right = std::make_unique<Node>();
+    right->leaf = current->leaf;
+    right->page_id = take_page();
+    ++stats_.splits;
+    if (current->leaf) {
+      const size_t mid = current->keys.size() / 2;
+      pending_sep = current->keys[mid];
+      right->keys.assign(current->keys.begin() + mid, current->keys.end());
+      right->rows.assign(current->rows.begin() + mid, current->rows.end());
+      current->keys.resize(mid);
+      current->rows.resize(mid);
+      ++stats_.leaf_pages;
+    } else {
+      const size_t mid = current->keys.size() / 2;
+      pending_sep = current->keys[mid];
+      right->keys.assign(current->keys.begin() + mid + 1,
+                         current->keys.end());
+      for (size_t i = mid + 1; i < current->children.size(); ++i) {
+        right->children.push_back(std::move(current->children[i]));
+      }
+      current->keys.resize(mid);
+      current->children.resize(mid + 1);
+      ++stats_.internal_pages;
+    }
+    MarkDirty(current);
+    MarkDirty(right.get());
+    pending_right = std::move(right);
+
+    if (level == 0) {
+      // Split the root: grow the tree by one level.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->page_id = take_page();
+      new_root->keys.push_back(pending_sep);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(pending_right));
+      root_ = std::move(new_root);
+      ++stats_.internal_pages;
+      MarkDirty(root_.get());
+      break;
+    }
+    // Attach to the parent.
+    Node* parent = path[level - 1];
+    const size_t idx =
+        std::upper_bound(parent->keys.begin(), parent->keys.end(),
+                         pending_sep) -
+        parent->keys.begin();
+    parent->keys.insert(parent->keys.begin() + idx, pending_sep);
+    parent->children.insert(parent->children.begin() + idx + 1,
+                            std::move(pending_right));
+    MarkDirty(parent);
+    current = parent;
+    --level;
+  }
+
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+Result<ObjectRow> MetadataTable::Lookup(const std::string& key) const {
+  const Node* node = root_.get();
+  uint64_t levels = 1;
+  while (!node->leaf) {
+    const size_t idx =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin();
+    node = node->children[idx].get();
+    ++levels;
+  }
+  ChargeLookupCpu(levels);
+  const size_t pos =
+      std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin();
+  if (pos >= node->keys.size() || node->keys[pos] != key ||
+      node->rows[pos].ghost) {
+    return Status::NotFound("no row: " + key);
+  }
+  return node->rows[pos];
+}
+
+Status MetadataTable::Update(const ObjectRow& row) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    const size_t idx =
+        std::upper_bound(node->keys.begin(), node->keys.end(), row.key) -
+        node->keys.begin();
+    node = node->children[idx].get();
+  }
+  ChargeLookupCpu(1);
+  const size_t pos =
+      std::lower_bound(node->keys.begin(), node->keys.end(), row.key) -
+      node->keys.begin();
+  if (pos >= node->keys.size() || node->keys[pos] != row.key ||
+      node->rows[pos].ghost) {
+    return Status::NotFound("no row: " + row.key);
+  }
+  node->rows[pos] = row;
+  node->rows[pos].ghost = false;
+  MarkDirty(node);
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+Status MetadataTable::Delete(const std::string& key) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    const size_t idx =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin();
+    node = node->children[idx].get();
+  }
+  ChargeLookupCpu(1);
+  const size_t pos =
+      std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin();
+  if (pos >= node->keys.size() || node->keys[pos] != key ||
+      node->rows[pos].ghost) {
+    return Status::NotFound("no row: " + key);
+  }
+  node->rows[pos].ghost = true;
+  --stats_.rows;
+  ++stats_.ghosts;
+  MarkDirty(node);
+  MaybeCheckpoint();
+  return Status::OK();
+}
+
+namespace {
+
+void PurgeNode(MetadataTable::Node* node) {
+  if (node->leaf) {
+    size_t w = 0;
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (!node->rows[i].ghost) {
+        if (w != i) {
+          node->keys[w] = std::move(node->keys[i]);
+          node->rows[w] = std::move(node->rows[i]);
+        }
+        ++w;
+      }
+    }
+    node->keys.resize(w);
+    node->rows.resize(w);
+    return;
+  }
+  for (auto& child : node->children) PurgeNode(child.get());
+}
+
+void ScanNode(const MetadataTable::Node* node,
+              std::vector<std::string>* out) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (!node->rows[i].ghost) out->push_back(node->keys[i]);
+    }
+    return;
+  }
+  for (const auto& child : node->children) ScanNode(child.get(), out);
+}
+
+}  // namespace
+
+void MetadataTable::PurgeGhosts() {
+  PurgeNode(root_.get());
+  stats_.ghosts = 0;
+}
+
+std::vector<std::string> MetadataTable::ScanKeys() const {
+  std::vector<std::string> out;
+  out.reserve(stats_.rows);
+  ScanNode(root_.get(), &out);
+  return out;
+}
+
+MetadataTableStats MetadataTable::stats() const {
+  MetadataTableStats s = stats_;
+  uint64_t height = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++height;
+    node = node->children.front().get();
+  }
+  s.height = height;
+  return s;
+}
+
+namespace {
+
+// Recursive invariant check; returns leaf depth or -1 on failure.
+int CheckNode(const MetadataTable::Node* node, const std::string* lo,
+              const std::string* hi, uint64_t leaf_cap, uint64_t internal_cap,
+              Status* status) {
+  auto fail = [&](const char* msg) {
+    *status = Status::Corruption(msg);
+    return -1;
+  };
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+    return fail("keys out of order");
+  }
+  for (const std::string& k : node->keys) {
+    if (lo != nullptr && k < *lo) return fail("key below lower bound");
+    if (hi != nullptr && k >= *hi) return fail("key above upper bound");
+  }
+  if (node->leaf) {
+    if (node->keys.size() != node->rows.size()) {
+      return fail("leaf keys/rows size mismatch");
+    }
+    if (node->keys.size() > leaf_cap) return fail("leaf overflow");
+    return 1;
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return fail("internal child count mismatch");
+  }
+  if (node->children.size() > internal_cap + 1) {
+    return fail("internal overflow");
+  }
+  int depth = -2;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const std::string* child_lo = i == 0 ? lo : &node->keys[i - 1];
+    const std::string* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+    const int d = CheckNode(node->children[i].get(), child_lo, child_hi,
+                            leaf_cap, internal_cap, status);
+    if (d < 0) return -1;
+    if (depth == -2) {
+      depth = d;
+    } else if (depth != d) {
+      return fail("leaves at different depths");
+    }
+  }
+  return depth + 1;
+}
+
+}  // namespace
+
+Status MetadataTable::CheckConsistency() const {
+  Status status = Status::OK();
+  CheckNode(root_.get(), nullptr, nullptr, LeafCapacity(),
+            InternalCapacity(), &status);
+  return status;
+}
+
+}  // namespace db
+}  // namespace lor

@@ -1,0 +1,118 @@
+// MetadataTable: the clustered-index row table both experiment
+// configurations use (§4.1-4.2 of the paper: object names and metadata
+// live in SQL Server tables in both the file and the BLOB variants; the
+// BLOB variant keeps the large data out-of-row so the table stays
+// cacheable).
+//
+// Implemented as a B+tree keyed by object key. Node pages are allocated
+// from the data file; lookups are buffer-pool hits (CPU only), while
+// dirty nodes are written back at checkpoints, generating the modest
+// metadata write traffic a real server shows.
+
+#ifndef LOREPO_DB_METADATA_TABLE_H_
+#define LOREPO_DB_METADATA_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/page_file.h"
+#include "sim/op_cost_model.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace db {
+
+/// One metadata row.
+struct ObjectRow {
+  std::string key;
+  uint64_t blob_ref = 0;   ///< Opaque handle to the blob (or file id).
+  uint64_t size_bytes = 0;
+  uint64_t version = 0;
+  bool ghost = false;      ///< Deleted but not yet purged (ghost record).
+};
+
+/// Statistics about the tree.
+struct MetadataTableStats {
+  uint64_t rows = 0;          ///< Live rows.
+  uint64_t ghosts = 0;        ///< Ghost (deleted, unpurged) rows.
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;
+  uint64_t height = 0;
+  uint64_t splits = 0;
+  uint64_t checkpoints = 0;
+};
+
+/// Clustered B+tree over ObjectRow.
+class MetadataTable {
+ public:
+  /// `ops_per_checkpoint` controls how often dirty pages are written
+  /// back (0 disables checkpoints entirely).
+  MetadataTable(PageFile* file, const sim::OpCostModel* costs,
+                uint32_t ops_per_checkpoint = 256);
+  ~MetadataTable();
+
+  MetadataTable(const MetadataTable&) = delete;
+  MetadataTable& operator=(const MetadataTable&) = delete;
+
+  /// Inserts a row; AlreadyExists if a live row with the key exists.
+  /// A ghost with the same key is resurrected in place.
+  Status Insert(const ObjectRow& row);
+
+  /// Replaces the payload of an existing live row.
+  Status Update(const ObjectRow& row);
+
+  /// Point lookup. NotFound for missing or ghost rows.
+  Result<ObjectRow> Lookup(const std::string& key) const;
+
+  /// Marks the row as a ghost (SQL Server deletes leave ghosts that a
+  /// background task later purges).
+  Status Delete(const std::string& key);
+
+  /// Purges all ghost rows (the background ghost-cleanup task).
+  void PurgeGhosts();
+
+  /// All live keys in key order.
+  std::vector<std::string> ScanKeys() const;
+
+  /// Live row count.
+  uint64_t size() const { return stats_.rows; }
+
+  MetadataTableStats stats() const;
+
+  /// Verifies B+tree invariants: key order, fill bounds, uniform leaf
+  /// depth, parent separators bracketing children.
+  Status CheckConsistency() const;
+
+  /// Rows per leaf page (derived from the page size).
+  uint64_t LeafCapacity() const;
+  /// Children per internal page.
+  uint64_t InternalCapacity() const;
+
+  /// Tree node; public so the implementation's free helper functions
+  /// (scan, purge, invariant check) can traverse it.
+  struct Node;
+
+ private:
+
+  void ChargeLookupCpu(uint64_t levels) const;
+  void MaybeCheckpoint();
+  void MarkDirty(Node* node);
+
+  PageFile* file_;
+  const sim::OpCostModel* costs_;
+  uint32_t ops_per_checkpoint_;
+  uint32_t ops_since_checkpoint_ = 0;
+  std::unique_ptr<Node> root_;
+  mutable MetadataTableStats stats_;
+  std::vector<uint64_t> dirty_pages_;
+  /// Pool of pages available for new nodes (allocated extent-wise).
+  std::vector<uint64_t> page_pool_;
+};
+
+}  // namespace db
+}  // namespace lor
+
+#endif  // LOREPO_DB_METADATA_TABLE_H_

@@ -1,0 +1,154 @@
+#include "db/page_file.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace db {
+
+PageFile::PageFile(sim::BlockDevice* device, PageFileOptions options)
+    : device_(device),
+      options_(options),
+      gam_(0),
+      capacity_extents_(0) {
+  const uint64_t max_bytes =
+      options_.max_bytes == 0
+          ? device_->capacity()
+          : std::min(options_.max_bytes, device_->capacity());
+  capacity_extents_ = max_bytes / extent_bytes();
+  gam_ = GamBitmap(capacity_extents_);
+  const uint64_t initial_extents = std::min(
+      capacity_extents_,
+      std::max<uint64_t>(1, options_.initial_bytes / extent_bytes()));
+  file_extents_ = initial_extents;
+  Status s = gam_.Release(0, initial_extents);
+  (void)s;
+}
+
+Status PageFile::Grow() {
+  if (file_extents_ >= capacity_extents_) {
+    return Status::NoSpace("data file at capacity");
+  }
+  uint64_t grow_extents = static_cast<uint64_t>(
+      static_cast<double>(file_extents_) * options_.autogrow_fraction);
+  grow_extents = std::max<uint64_t>(grow_extents, 1);
+  grow_extents = std::min(grow_extents, capacity_extents_ - file_extents_);
+  LOR_RETURN_IF_ERROR(gam_.Release(file_extents_, grow_extents));
+  file_extents_ += grow_extents;
+  ++stats_.growths;
+  // Growth zero-fills the new region (instant file initialization was
+  // not the default in 2005); charge the sequential write.
+  LOR_RETURN_IF_ERROR(device_->Write(
+      (file_extents_ - grow_extents) * extent_bytes(),
+      grow_extents * extent_bytes()));
+  return Status::OK();
+}
+
+uint64_t PageFile::GrowBy(uint64_t extents) {
+  const uint64_t grow =
+      std::min(extents, capacity_extents_ - file_extents_);
+  if (grow == 0) return 0;
+  Status s = gam_.Release(file_extents_, grow);
+  if (!s.ok()) return 0;
+  file_extents_ += grow;
+  ++stats_.growths;
+  Status io = device_->Write((file_extents_ - grow) * extent_bytes(),
+                             grow * extent_bytes());
+  (void)io;
+  return grow;
+}
+
+Status PageFile::ReleaseDue() {
+  size_t released = 0;
+  while (released < pending_.size() &&
+         pending_[released].due <= alloc_counter_) {
+    LOR_RETURN_IF_ERROR(
+        gam_.Release(pending_[released].first, pending_[released].count));
+    pending_extents_ -= pending_[released].count;
+    ++released;
+  }
+  if (released > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(released));
+  }
+  return Status::OK();
+}
+
+Status PageFile::ReleaseAllPending() {
+  for (const PendingFree& p : pending_) {
+    LOR_RETURN_IF_ERROR(gam_.Release(p.first, p.count));
+    pending_extents_ -= p.count;
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+Result<uint64_t> PageFile::AllocateExtent() {
+  auto run = AllocateExtentRun(1);
+  if (!run.ok()) return run.status();
+  return run->first;
+}
+
+Result<std::pair<uint64_t, uint64_t>> PageFile::AllocateExtentRun(
+    uint64_t count) {
+  LOR_RETURN_IF_ERROR(ReleaseDue());
+  const uint64_t from = options_.scan_from_hint ? scan_cursor_ : 0;
+  auto run = gam_.AllocateRun(count, from);
+  if (run.first == kNoExtent && from != 0) {
+    run = gam_.AllocateRun(count, 0);  // Wrap the scan.
+  }
+  if (run.first == kNoExtent) {
+    Status grown = Grow();
+    if (!grown.ok()) {
+      // Space pressure: release everything pending and retry before
+      // failing, as the engine forces ghost cleanup when full.
+      LOR_RETURN_IF_ERROR(ReleaseAllPending());
+    }
+    run = gam_.AllocateRun(count, 0);
+    if (run.first == kNoExtent) return Status::NoSpace("no free extent");
+  }
+  scan_cursor_ = run.first + run.second;
+  stats_.extents_allocated += run.second;
+  alloc_counter_ += run.second;
+  return run;
+}
+
+Status PageFile::FreeExtents(uint64_t first, uint64_t count) {
+  if (first + count > file_extents_) {
+    return Status::InvalidArgument("free beyond end of file");
+  }
+  stats_.extents_freed += count;
+  if (options_.deferred_free_allocations == 0) {
+    return gam_.Release(first, count);
+  }
+  pending_.push_back(
+      {alloc_counter_ + options_.deferred_free_allocations, first, count});
+  pending_extents_ += count;
+  return Status::OK();
+}
+
+Status PageFile::ReadPages(uint64_t first_page, uint64_t count,
+                           std::vector<uint8_t>* out) {
+  if (count == 0) return Status::OK();
+  const uint64_t end_extent =
+      (first_page + count - 1) / options_.pages_per_extent;
+  if (end_extent >= file_extents_) {
+    return Status::InvalidArgument("page read beyond end of file");
+  }
+  return device_->Read(PageOffset(first_page), count * options_.page_bytes,
+                       out);
+}
+
+Status PageFile::WritePages(uint64_t first_page, uint64_t count,
+                            std::span<const uint8_t> data) {
+  if (count == 0) return Status::OK();
+  const uint64_t end_extent =
+      (first_page + count - 1) / options_.pages_per_extent;
+  if (end_extent >= file_extents_) {
+    return Status::InvalidArgument("page write beyond end of file");
+  }
+  return device_->Write(PageOffset(first_page), count * options_.page_bytes,
+                        data);
+}
+
+}  // namespace db
+}  // namespace lor

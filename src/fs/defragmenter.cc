@@ -1,0 +1,62 @@
+#include "fs/defragmenter.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lor {
+namespace fs {
+
+Result<DefragReport> Defragmenter::Run(uint64_t byte_budget) {
+  DefragReport report;
+  const double t0 = store_->device()->clock().now();
+
+  // Rank files by fragment count, worst first.
+  struct Candidate {
+    std::string name;
+    uint64_t fragments;
+    uint64_t size;
+  };
+  std::vector<Candidate> candidates;
+  for (const std::string& name : store_->ListFiles()) {
+    auto extents = store_->GetExtents(name);
+    if (!extents.ok()) continue;
+    auto size = store_->GetSize(name);
+    if (!size.ok()) continue;
+    const uint64_t fragments = alloc::CountFragments(*extents);
+    report.fragments_per_file_before += static_cast<double>(fragments);
+    candidates.push_back({name, fragments, *size});
+  }
+  if (candidates.empty()) return report;
+  report.fragments_per_file_before /=
+      static_cast<double>(candidates.size());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.fragments > b.fragments;
+            });
+
+  for (const Candidate& c : candidates) {
+    if (c.fragments <= 1) break;
+    if (byte_budget != 0 && report.bytes_moved + c.size > byte_budget) break;
+    ++report.files_examined;
+    auto moved = store_->DefragmentFile(c.name);
+    LOR_RETURN_IF_ERROR(moved.status());
+    if (*moved) {
+      ++report.files_moved;
+      report.bytes_moved += c.size;
+    }
+  }
+
+  for (const Candidate& c : candidates) {
+    auto extents = store_->GetExtents(c.name);
+    if (extents.ok()) {
+      report.fragments_per_file_after +=
+          static_cast<double>(alloc::CountFragments(*extents));
+    }
+  }
+  report.fragments_per_file_after /= static_cast<double>(candidates.size());
+  report.elapsed_seconds = store_->device()->clock().now() - t0;
+  return report;
+}
+
+}  // namespace fs
+}  // namespace lor

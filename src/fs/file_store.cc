@@ -1,0 +1,462 @@
+#include "fs/file_store.h"
+
+#include <algorithm>
+
+namespace lor {
+namespace fs {
+
+namespace {
+constexpr uint64_t kMftRecordBytes = 1024;
+constexpr uint64_t kJournalRecordBytes = 4096;
+}  // namespace
+
+FileStore::FileStore(sim::BlockDevice* device, FileStoreOptions options,
+                     std::unique_ptr<alloc::ExtentAllocator> allocator)
+    : device_(device), options_(options), allocator_(std::move(allocator)) {
+  total_clusters_ = device_->capacity() / options_.cluster_bytes;
+  mft_clusters_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(total_clusters_) *
+                               options_.mft_zone_fraction));
+  if (allocator_ == nullptr) {
+    allocator_ = std::make_unique<alloc::RunCacheAllocator>(
+        total_clusters_, options_.alloc, mft_clusters_);
+  }
+}
+
+FileInfo* FileStore::Find(const std::string& name) {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const FileInfo* FileStore::Find(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void FileStore::ChargeMftAccess(uint64_t file_id, bool write) {
+  if (!options_.charge_metadata_io) return;
+  // MFT records live in the first half of the reserved zone.
+  const uint64_t zone_bytes = mft_clusters_ * options_.cluster_bytes / 2;
+  const uint64_t slot =
+      (file_id * kMftRecordBytes) % std::max<uint64_t>(zone_bytes, 1);
+  Status s = write ? device_->Write(slot, kMftRecordBytes)
+                   : device_->Read(slot, kMftRecordBytes);
+  (void)s;
+}
+
+void FileStore::ChargeJournal(bool flush) {
+  if (!options_.charge_metadata_io) return;
+  // The journal occupies the second half of the reserved zone and is
+  // written sequentially with wraparound.
+  const uint64_t zone_bytes = mft_clusters_ * options_.cluster_bytes;
+  const uint64_t journal_base = zone_bytes / 2;
+  const uint64_t journal_size = std::max<uint64_t>(
+      2 * kJournalRecordBytes, zone_bytes - journal_base);
+  Status s = device_->Write(journal_base + journal_cursor_,
+                            kJournalRecordBytes);
+  (void)s;
+  journal_cursor_ = (journal_cursor_ + kJournalRecordBytes) %
+                    (journal_size - kJournalRecordBytes);
+  if (flush) device_->Flush();
+}
+
+void FileStore::NoteNameInsert() {
+  if (options_.names_per_index_buffer == 0) return;
+  if (++name_inserts_ % options_.names_per_index_buffer != 0) return;
+  // An index buffer splits: allocate one cluster for the new buffer.
+  alloc::ExtentList buffer;
+  if (allocator_->Allocate(1, alloc::kNoHint, &buffer).ok()) {
+    index_buffers_.push_back(buffer.front());
+    if (options_.charge_metadata_io) {
+      Status s = device_->Write(buffer.front().start * options_.cluster_bytes,
+                                options_.cluster_bytes);
+      (void)s;
+    }
+  }
+}
+
+void FileStore::NoteNameRemove() {
+  if (options_.names_per_index_buffer == 0) return;
+  if (++name_removes_ % options_.names_per_index_buffer != 0) return;
+  if (index_buffers_.empty()) return;
+  // Buffers merge as the directory shrinks: free the oldest.
+  Status s = allocator_->Free(index_buffers_.front());
+  (void)s;
+  index_buffers_.erase(index_buffers_.begin());
+}
+
+Status FileStore::Create(const std::string& name) {
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  FileInfo info;
+  info.id = next_file_id_++;
+  device_->ChargeCpu(options_.costs.fs_open_s);
+  ChargeMftAccess(info.id, /*write=*/true);
+  ChargeJournal(/*flush=*/false);
+  files_.emplace(name, std::move(info));
+  ++stats_.creates;
+  ++stats_.file_count;
+  NoteNameInsert();
+  allocator_->Tick();
+  return Status::OK();
+}
+
+Status FileStore::FreeFileClusters(const FileInfo& file) {
+  for (const alloc::Extent& e : file.extents) {
+    LOR_RETURN_IF_ERROR(allocator_->Free(e));
+  }
+  return Status::OK();
+}
+
+Status FileStore::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  LOR_RETURN_IF_ERROR(FreeFileClusters(it->second));
+  stats_.live_bytes -= it->second.size_bytes;
+  ChargeMftAccess(it->second.id, /*write=*/true);
+  ChargeJournal(/*flush=*/false);
+  device_->ChargeCpu(options_.costs.fs_close_s);
+  files_.erase(it);
+  ++stats_.deletes;
+  --stats_.file_count;
+  NoteNameRemove();
+  allocator_->Tick();
+  return Status::OK();
+}
+
+Status FileStore::Replace(const std::string& source,
+                          const std::string& target) {
+  auto src = files_.find(source);
+  if (src == files_.end()) {
+    return Status::NotFound("no such file: " + source);
+  }
+  device_->ChargeCpu(options_.costs.fs_rename_s);
+  auto dst = files_.find(target);
+  if (dst != files_.end()) {
+    LOR_RETURN_IF_ERROR(FreeFileClusters(dst->second));
+    stats_.live_bytes -= dst->second.size_bytes;
+    ChargeMftAccess(dst->second.id, /*write=*/true);
+    files_.erase(dst);
+    --stats_.file_count;
+  }
+  FileInfo moved = std::move(src->second);
+  files_.erase(src);
+  ChargeMftAccess(moved.id, /*write=*/true);
+  ChargeJournal(/*flush=*/true);
+  files_.emplace(target, std::move(moved));
+  ++stats_.renames;
+  // The rename removes one name from the directory index (source) —
+  // the target entry is rewritten in place.
+  NoteNameRemove();
+  allocator_->Tick();
+  return Status::OK();
+}
+
+bool FileStore::Exists(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> FileStore::MapRange(
+    const FileInfo& file, uint64_t offset, uint64_t length) const {
+  std::vector<std::pair<uint64_t, uint64_t>> runs;
+  uint64_t logical = 0;  // Byte offset covered so far.
+  uint64_t cur = offset;
+  uint64_t remaining = length;
+  for (const alloc::Extent& e : file.extents) {
+    if (remaining == 0) break;
+    const uint64_t ext_bytes = e.length * options_.cluster_bytes;
+    const uint64_t ext_end = logical + ext_bytes;
+    if (cur < ext_end) {
+      const uint64_t in_ext = cur - logical;
+      const uint64_t phys = e.start * options_.cluster_bytes + in_ext;
+      const uint64_t chunk = std::min(remaining, ext_bytes - in_ext);
+      if (!runs.empty() && runs.back().first + runs.back().second == phys) {
+        runs.back().second += chunk;
+      } else {
+        runs.emplace_back(phys, chunk);
+      }
+      cur += chunk;
+      remaining -= chunk;
+    }
+    logical = ext_end;
+  }
+  return runs;
+}
+
+Status FileStore::Append(const std::string& name, uint64_t length,
+                         std::span<const uint8_t> data) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (!data.empty() && data.size() != length) {
+    return Status::InvalidArgument("data size does not match length");
+  }
+  if (length == 0) return Status::OK();
+
+  const uint64_t needed = ClustersFor(file->size_bytes + length);
+  if (needed > file->allocated_clusters) {
+    const uint64_t grow = needed - file->allocated_clusters;
+    const uint64_t hint =
+        file->extents.empty() ? alloc::kNoHint : file->extents.back().end();
+    LOR_RETURN_IF_ERROR(allocator_->Allocate(grow, hint, &file->extents));
+    file->allocated_clusters = needed;
+  }
+
+  const double t0 = device_->clock().now();
+  const auto runs = MapRange(*file, file->size_bytes, length);
+  uint64_t consumed = 0;
+  for (const auto& [phys, len] : runs) {
+    std::span<const uint8_t> slice =
+        data.empty() ? std::span<const uint8_t>()
+                     : data.subspan(consumed, len);
+    LOR_RETURN_IF_ERROR(device_->Write(phys, len, slice));
+    consumed += len;
+  }
+  const double device_seconds = device_->clock().now() - t0;
+  device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
+      length, options_.costs.fs_stream_bandwidth, device_seconds));
+
+  file->size_bytes += length;
+  stats_.live_bytes += length;
+  ++stats_.appends;
+  return Status::OK();
+}
+
+Status FileStore::Read(const std::string& name, uint64_t offset,
+                       uint64_t length, std::vector<uint8_t>* out) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (offset + length > file->size_bytes) {
+    return Status::InvalidArgument("read beyond end of file");
+  }
+
+  device_->ChargeCpu(options_.costs.fs_open_s);
+  ChargeMftAccess(file->id, /*write=*/false);
+
+  if (out != nullptr) out->clear();
+  const double t0 = device_->clock().now();
+  std::vector<uint8_t> chunk;
+  for (const auto& [phys, len] : MapRange(*file, offset, length)) {
+    LOR_RETURN_IF_ERROR(
+        device_->Read(phys, len, out != nullptr ? &chunk : nullptr));
+    if (out != nullptr) out->insert(out->end(), chunk.begin(), chunk.end());
+  }
+  const double device_seconds = device_->clock().now() - t0;
+  device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
+      length, options_.costs.fs_stream_bandwidth, device_seconds));
+  device_->ChargeCpu(options_.costs.fs_close_s);
+  ++stats_.reads;
+  ++file->read_count;
+  return Status::OK();
+}
+
+Status FileStore::ReadAll(const std::string& name,
+                          std::vector<uint8_t>* out) {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return Read(name, 0, file->size_bytes, out);
+}
+
+Status FileStore::Preallocate(const std::string& name, uint64_t final_size) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  const uint64_t needed = ClustersFor(final_size);
+  if (needed <= file->allocated_clusters) return Status::OK();
+  const uint64_t grow = needed - file->allocated_clusters;
+  const uint64_t hint =
+      file->extents.empty() ? alloc::kNoHint : file->extents.back().end();
+  LOR_RETURN_IF_ERROR(allocator_->Allocate(grow, hint, &file->extents));
+  file->allocated_clusters = needed;
+  return Status::OK();
+}
+
+Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (new_size > file->size_bytes) {
+    return Status::InvalidArgument("truncate cannot grow a file");
+  }
+  const uint64_t keep = ClustersFor(new_size);
+  uint64_t have = file->allocated_clusters;
+  while (have > keep && !file->extents.empty()) {
+    alloc::Extent& tail = file->extents.back();
+    const uint64_t drop = std::min(tail.length, have - keep);
+    LOR_RETURN_IF_ERROR(
+        allocator_->Free({tail.end() - drop, drop}));
+    tail.length -= drop;
+    have -= drop;
+    if (tail.length == 0) file->extents.pop_back();
+  }
+  file->allocated_clusters = have;
+  stats_.live_bytes -= file->size_bytes - new_size;
+  file->size_bytes = new_size;
+  ChargeMftAccess(file->id, /*write=*/true);
+  ChargeJournal(/*flush=*/false);
+  return Status::OK();
+}
+
+Status FileStore::Fsync(const std::string& name) {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  ChargeJournal(/*flush=*/true);
+  return Status::OK();
+}
+
+Status FileStore::MoveFileData(FileInfo* file, alloc::ExtentList fresh) {
+  // Read the old layout, write the new one (payload preserved in
+  // retain mode).
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t>* buf =
+      device_->data_mode() == sim::DataMode::kRetain ? &payload : nullptr;
+  std::vector<uint8_t> chunk;
+  for (const auto& [phys, len] : MapRange(*file, 0, file->size_bytes)) {
+    LOR_RETURN_IF_ERROR(device_->Read(phys, len, buf ? &chunk : nullptr));
+    if (buf != nullptr) buf->insert(buf->end(), chunk.begin(), chunk.end());
+  }
+  FileInfo relaid = *file;
+  relaid.extents = fresh;
+  uint64_t copied = 0;
+  for (const auto& [phys, len] : MapRange(relaid, 0, file->size_bytes)) {
+    std::span<const uint8_t> slice =
+        buf != nullptr ? std::span<const uint8_t>(*buf).subspan(copied, len)
+                       : std::span<const uint8_t>();
+    LOR_RETURN_IF_ERROR(device_->Write(phys, len, slice));
+    copied += len;
+  }
+
+  for (const alloc::Extent& e : file->extents) {
+    LOR_RETURN_IF_ERROR(allocator_->Free(e));
+  }
+  file->extents = std::move(fresh);
+  ChargeMftAccess(file->id, /*write=*/true);
+  ChargeJournal(/*flush=*/true);
+  return Status::OK();
+}
+
+Result<bool> FileStore::DefragmentFile(const std::string& name) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  const uint64_t old_fragments = alloc::CountFragments(file->extents);
+  if (old_fragments <= 1 || file->allocated_clusters == 0) return false;
+
+  // Deferred frees hide reusable space from the mover; commit first, as
+  // the defragmentation utility runs after quiescing.
+  allocator_->CommitPending();
+
+  alloc::ExtentList fresh;
+  Status s = allocator_->Allocate(file->allocated_clusters, alloc::kNoHint,
+                                  &fresh);
+  if (s.IsNoSpace()) return false;
+  LOR_RETURN_IF_ERROR(s);
+  if (alloc::CountFragments(fresh) >= old_fragments) {
+    for (const alloc::Extent& e : fresh) {
+      LOR_RETURN_IF_ERROR(allocator_->Free(e));
+    }
+    return false;
+  }
+  LOR_RETURN_IF_ERROR(MoveFileData(file, std::move(fresh)));
+  return true;
+}
+
+Result<bool> FileStore::PromoteToOuterZone(const std::string& name) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (file->allocated_clusters == 0) return false;
+  alloc::FreeSpaceMap* map = allocator_->free_map();
+  if (map == nullptr) {
+    return Status::NotSupported("allocator exposes no free-space map");
+  }
+  allocator_->CommitPending();
+
+  // Lowest-addressed free run that holds the whole file.
+  alloc::Extent target{};
+  for (const alloc::Extent& run : map->Snapshot()) {
+    if (run.length >= file->allocated_clusters) {
+      target = {run.start, file->allocated_clusters};
+      break;
+    }
+  }
+  if (target.empty() || file->extents.empty() ||
+      target.start >= file->extents.front().start) {
+    return false;  // No better (more outward) placement exists.
+  }
+  LOR_RETURN_IF_ERROR(map->AllocateAt(target));
+  LOR_RETURN_IF_ERROR(MoveFileData(file, {target}));
+  return true;
+}
+
+Result<uint64_t> FileStore::GetReadCount(const std::string& name) const {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return file->read_count;
+}
+
+Result<alloc::ExtentList> FileStore::GetExtents(
+    const std::string& name) const {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return file->extents;
+}
+
+Result<uint64_t> FileStore::GetSize(const std::string& name) const {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return file->size_bytes;
+}
+
+std::vector<std::string> FileStore::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, info] : files_) names.push_back(name);
+  return names;
+}
+
+uint64_t FileStore::FreeBytes() const {
+  return allocator_->total_unused_clusters() * options_.cluster_bytes;
+}
+
+Status FileStore::CheckConsistency() const {
+  std::vector<alloc::Extent> all;
+  uint64_t allocated = 0;
+  for (const auto& [name, file] : files_) {
+    uint64_t file_clusters = 0;
+    for (const alloc::Extent& e : file.extents) {
+      if (e.start < mft_clusters_ || e.end() > total_clusters_) {
+        return Status::Corruption("extent outside data zone: " + name);
+      }
+      file_clusters += e.length;
+      all.push_back(e);
+    }
+    if (file_clusters != file.allocated_clusters) {
+      return Status::Corruption("allocated_clusters mismatch: " + name);
+    }
+    if (file_clusters < ClustersFor(file.size_bytes)) {
+      return Status::Corruption("file size exceeds layout: " + name);
+    }
+    allocated += file_clusters;
+  }
+  for (const alloc::Extent& e : index_buffers_) {
+    if (e.start < mft_clusters_ || e.end() > total_clusters_) {
+      return Status::Corruption("index buffer outside data zone");
+    }
+    all.push_back(e);
+    allocated += e.length;
+  }
+  std::sort(all.begin(), all.end(),
+            [](const alloc::Extent& a, const alloc::Extent& b) {
+              return a.start < b.start;
+            });
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].start < all[i - 1].end()) {
+      return Status::Corruption("files share clusters");
+    }
+  }
+  const uint64_t data_zone = total_clusters_ - mft_clusters_;
+  if (allocated + allocator_->total_unused_clusters() != data_zone) {
+    return Status::Corruption("cluster accounting mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace fs
+}  // namespace lor

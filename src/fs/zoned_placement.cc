@@ -1,0 +1,71 @@
+#include "fs/zoned_placement.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lor {
+namespace fs {
+
+Result<ZonedPlacementReport> ZonedPlacement::MigrateHotFiles(
+    double hot_fraction, uint64_t byte_budget) {
+  ZonedPlacementReport report;
+  if (hot_fraction <= 0.0 || hot_fraction > 1.0) {
+    return Status::InvalidArgument("hot_fraction must be in (0, 1]");
+  }
+  const double t0 = store_->device()->clock().now();
+
+  struct Candidate {
+    std::string name;
+    uint64_t reads;
+    uint64_t size;
+  };
+  std::vector<Candidate> files;
+  for (const std::string& name : store_->ListFiles()) {
+    auto reads = store_->GetReadCount(name);
+    auto size = store_->GetSize(name);
+    if (!reads.ok() || !size.ok()) continue;
+    files.push_back({name, *reads, *size});
+  }
+  if (files.empty()) return report;
+  std::sort(files.begin(), files.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.reads > b.reads;
+            });
+  const size_t hot_count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(files.size()) *
+                             hot_fraction));
+
+  auto centroid = [&]() -> double {
+    double sum = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < hot_count; ++i) {
+      auto extents = store_->GetExtents(files[i].name);
+      if (!extents.ok() || extents->empty()) continue;
+      sum += static_cast<double>(extents->front().start *
+                                 store_->options().cluster_bytes) /
+             static_cast<double>(store_->device()->capacity());
+      ++counted;
+    }
+    return counted ? sum / static_cast<double>(counted) : 0.0;
+  };
+
+  report.hot_centroid_before = centroid();
+  for (size_t i = 0; i < hot_count; ++i) {
+    if (byte_budget != 0 && report.bytes_moved + files[i].size > byte_budget) {
+      break;
+    }
+    ++report.files_considered;
+    auto moved = store_->PromoteToOuterZone(files[i].name);
+    if (moved.status().IsNotSupported()) return moved.status();
+    if (moved.ok() && *moved) {
+      ++report.files_moved;
+      report.bytes_moved += files[i].size;
+    }
+  }
+  report.hot_centroid_after = centroid();
+  report.elapsed_seconds = store_->device()->clock().now() - t0;
+  return report;
+}
+
+}  // namespace fs
+}  // namespace lor

@@ -1,0 +1,107 @@
+#include "sim/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lor {
+namespace sim {
+
+BlockDevice::BlockDevice(DiskParams params, DataMode mode)
+    : model_(params), mode_(mode) {}
+
+Status BlockDevice::CheckRange(uint64_t offset, uint64_t len) const {
+  if (offset > capacity() || len > capacity() - offset) {
+    return Status::InvalidArgument("request beyond device capacity");
+  }
+  return Status::OK();
+}
+
+void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
+  double t = model_.params().per_request_overhead_s;
+  if (head_valid_ && offset == head_) {
+    ++stats_.sequential_hits;
+  } else {
+    const double seek = model_.SeekTime(head_valid_ ? head_ : 0, offset);
+    const double rot = model_.RotationalLatency();
+    stats_.seek_time_s += seek;
+    stats_.rotational_time_s += rot;
+    t += seek + rot;
+    ++stats_.seeks;
+  }
+  const double transfer = model_.TransferTime(offset, len);
+  stats_.transfer_time_s += transfer;
+  t += transfer;
+  stats_.busy_time_s += t;
+  clock_.Advance(t);
+  head_ = offset + len;
+  head_valid_ = true;
+}
+
+void BlockDevice::StoreBytes(uint64_t offset, std::span<const uint8_t> data,
+                             uint64_t len) {
+  uint64_t pos = 0;
+  while (pos < len) {
+    const uint64_t page = (offset + pos) / kDataPageBytes;
+    const uint64_t in_page = (offset + pos) % kDataPageBytes;
+    const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
+    auto& storage = pages_[page];
+    if (storage.empty()) storage.resize(kDataPageBytes, 0);
+    if (!data.empty()) {
+      std::memcpy(storage.data() + in_page, data.data() + pos, chunk);
+    } else {
+      std::memset(storage.data() + in_page, 0, chunk);
+    }
+    pos += chunk;
+  }
+}
+
+void BlockDevice::LoadBytes(uint64_t offset, uint64_t len,
+                            std::vector<uint8_t>* out) {
+  out->assign(len, 0);
+  if (mode_ != DataMode::kRetain) return;
+  uint64_t pos = 0;
+  while (pos < len) {
+    const uint64_t page = (offset + pos) / kDataPageBytes;
+    const uint64_t in_page = (offset + pos) % kDataPageBytes;
+    const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+      std::memcpy(out->data() + pos, it->second.data() + in_page, chunk);
+    }
+    pos += chunk;
+  }
+}
+
+Status BlockDevice::Write(uint64_t offset, uint64_t len,
+                          std::span<const uint8_t> data) {
+  LOR_RETURN_IF_ERROR(CheckRange(offset, len));
+  if (!data.empty() && data.size() != len) {
+    return Status::InvalidArgument("data size does not match request length");
+  }
+  ChargePositioning(offset, len);
+  ++stats_.writes;
+  stats_.bytes_written += len;
+  if (mode_ == DataMode::kRetain) StoreBytes(offset, data, len);
+  return Status::OK();
+}
+
+Status BlockDevice::Read(uint64_t offset, uint64_t len,
+                         std::vector<uint8_t>* out) {
+  LOR_RETURN_IF_ERROR(CheckRange(offset, len));
+  ChargePositioning(offset, len);
+  ++stats_.reads;
+  stats_.bytes_read += len;
+  if (out != nullptr) LoadBytes(offset, len, out);
+  return Status::OK();
+}
+
+void BlockDevice::Flush() {
+  head_valid_ = false;
+  stats_.busy_time_s += kFlushCost;
+  clock_.Advance(kFlushCost);
+}
+
+void BlockDevice::ChargeCpu(double seconds) { clock_.Advance(seconds); }
+
+}  // namespace sim
+}  // namespace lor

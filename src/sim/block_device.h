@@ -1,0 +1,97 @@
+// BlockDevice: the simulated volume both storage back ends sit on.
+//
+// The device is byte-addressed. Every request advances the shared
+// SimClock by the modelled seek, rotational, and transfer time;
+// back-to-back requests that continue at the previous request's end are
+// recognized as sequential and skip the positioning cost.
+//
+// Payload bytes are not retained by default (a 400 GB experiment would
+// not fit in memory); layout and timing do not need them. Tests that
+// verify end-to-end data integrity construct the device with
+// `DataMode::kRetain`, which keeps a sparse page map of real bytes.
+
+#ifndef LOREPO_SIM_BLOCK_DEVICE_H_
+#define LOREPO_SIM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/disk_model.h"
+#include "sim/io_stats.h"
+#include "sim/sim_clock.h"
+#include "util/status.h"
+
+namespace lor {
+namespace sim {
+
+/// Whether the device retains payload bytes.
+enum class DataMode {
+  kMetadataOnly,  ///< Timing and layout only; reads return zeros.
+  kRetain,        ///< Sparse in-memory store; reads return written bytes.
+};
+
+/// Simulated rotating block device.
+class BlockDevice {
+ public:
+  BlockDevice(DiskParams params, DataMode mode = DataMode::kMetadataOnly);
+
+  uint64_t capacity() const { return model_.params().capacity_bytes; }
+  const DiskModel& model() const { return model_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const IoStats& stats() const { return stats_; }
+  DataMode data_mode() const { return mode_; }
+
+  /// Writes `len` bytes at `offset`. `data` may be empty in
+  /// kMetadataOnly mode (or even in kRetain mode, in which case zeros are
+  /// stored); if non-empty it must be exactly `len` bytes.
+  Status Write(uint64_t offset, uint64_t len, std::span<const uint8_t> data);
+
+  /// Convenience for timing-only writes.
+  Status Write(uint64_t offset, uint64_t len) { return Write(offset, len, {}); }
+
+  /// Reads `len` bytes at `offset`. If `out` is non-null it is resized
+  /// and filled (zeros in kMetadataOnly mode).
+  Status Read(uint64_t offset, uint64_t len, std::vector<uint8_t>* out);
+
+  /// Timing-only read.
+  Status Read(uint64_t offset, uint64_t len) { return Read(offset, len, nullptr); }
+
+  /// Charges a cache-flush barrier: the next request never counts as
+  /// sequential, plus a fixed settle cost. Models FUA/flush commands.
+  void Flush();
+
+  /// Charges host CPU / software-stack time to the same clock.
+  void ChargeCpu(double seconds);
+
+  /// Byte offset one past the end of the last request (head position).
+  uint64_t head_position() const { return head_; }
+
+ private:
+  Status CheckRange(uint64_t offset, uint64_t len) const;
+  /// Advances the clock for a request at [offset, offset+len); returns
+  /// whether it was sequential.
+  void ChargePositioning(uint64_t offset, uint64_t len);
+  void StoreBytes(uint64_t offset, std::span<const uint8_t> data,
+                  uint64_t len);
+  void LoadBytes(uint64_t offset, uint64_t len, std::vector<uint8_t>* out);
+
+  static constexpr uint64_t kDataPageBytes = 64 * kKiB;
+  static constexpr double kFlushCost = 0.0005;
+
+  DiskModel model_;
+  DataMode mode_;
+  SimClock clock_;
+  IoStats stats_;
+  uint64_t head_ = 0;
+  bool head_valid_ = false;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_BLOCK_DEVICE_H_

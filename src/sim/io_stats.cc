@@ -1,0 +1,54 @@
+#include "sim/io_stats.h"
+
+#include <cstdio>
+
+#include "util/units.h"
+
+namespace lor {
+namespace sim {
+
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats d;
+  d.reads = reads - other.reads;
+  d.writes = writes - other.writes;
+  d.bytes_read = bytes_read - other.bytes_read;
+  d.bytes_written = bytes_written - other.bytes_written;
+  d.seeks = seeks - other.seeks;
+  d.sequential_hits = sequential_hits - other.sequential_hits;
+  d.seek_time_s = seek_time_s - other.seek_time_s;
+  d.rotational_time_s = rotational_time_s - other.rotational_time_s;
+  d.transfer_time_s = transfer_time_s - other.transfer_time_s;
+  d.busy_time_s = busy_time_s - other.busy_time_s;
+  return d;
+}
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  reads += other.reads;
+  writes += other.writes;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  seeks += other.seeks;
+  sequential_hits += other.sequential_hits;
+  seek_time_s += other.seek_time_s;
+  rotational_time_s += other.rotational_time_s;
+  transfer_time_s += other.transfer_time_s;
+  busy_time_s += other.busy_time_s;
+  return *this;
+}
+
+std::string IoStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "reads=%llu (%s) writes=%llu (%s) seeks=%llu seq=%llu busy=%s",
+      static_cast<unsigned long long>(reads), FormatBytes(bytes_read).c_str(),
+      static_cast<unsigned long long>(writes),
+      FormatBytes(bytes_written).c_str(),
+      static_cast<unsigned long long>(seeks),
+      static_cast<unsigned long long>(sequential_hits),
+      FormatSeconds(busy_time_s).c_str());
+  return buf;
+}
+
+}  // namespace sim
+}  // namespace lor

@@ -1,0 +1,34 @@
+// Counters describing the I/O a BlockDevice has performed.
+
+#ifndef LOREPO_SIM_IO_STATS_H_
+#define LOREPO_SIM_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lor {
+namespace sim {
+
+/// Cumulative device activity. Snapshot-and-subtract to measure a phase.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t seeks = 0;            ///< Requests that required head movement.
+  uint64_t sequential_hits = 0;  ///< Requests that continued the last one.
+  double seek_time_s = 0.0;
+  double rotational_time_s = 0.0;
+  double transfer_time_s = 0.0;
+  double busy_time_s = 0.0;      ///< Total device time including overheads.
+
+  IoStats operator-(const IoStats& other) const;
+  IoStats& operator+=(const IoStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_IO_STATS_H_

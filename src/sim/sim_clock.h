@@ -1,0 +1,30 @@
+// Simulated wall clock. All device and CPU costs in lorepo accumulate
+// into a SimClock so that experiments measure layout-determined time, not
+// host wall time.
+
+#ifndef LOREPO_SIM_SIM_CLOCK_H_
+#define LOREPO_SIM_SIM_CLOCK_H_
+
+namespace lor {
+namespace sim {
+
+/// Monotonic simulated time in seconds.
+class SimClock {
+ public:
+  double now() const { return now_s_; }
+
+  /// Advances time by `seconds` (negative advances are ignored).
+  void Advance(double seconds) {
+    if (seconds > 0.0) now_s_ += seconds;
+  }
+
+  void Reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_SIM_CLOCK_H_

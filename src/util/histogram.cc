@@ -1,0 +1,146 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lor {
+
+void SummaryStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ = total;
+}
+
+void SummaryStats::Reset() { *this = SummaryStats(); }
+
+double SummaryStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+std::string SummaryStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f min=%.3f max=%.3f stddev=%.3f",
+                static_cast<unsigned long long>(count_), mean(), min(), max(),
+                stddev());
+  return buf;
+}
+
+IntHistogram::IntHistogram(uint64_t max_tracked)
+    : buckets_(max_tracked + 1, 0) {}
+
+void IntHistogram::Add(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  if (value < buckets_.size()) {
+    ++buckets_[value];
+  } else {
+    ++overflow_;
+    overflow_max_ = std::max(overflow_max_, value);
+  }
+}
+
+void IntHistogram::Merge(const IntHistogram& other) {
+  const size_t shared = std::min(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < shared; ++i) buckets_[i] += other.buckets_[i];
+  for (size_t i = shared; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i] != 0) {
+      overflow_ += other.buckets_[i];
+      overflow_max_ = std::max(overflow_max_, static_cast<uint64_t>(i));
+    }
+  }
+  overflow_ += other.overflow_;
+  overflow_max_ = std::max(overflow_max_, other.overflow_max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void IntHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  overflow_max_ = 0;
+  count_ = 0;
+  sum_ = 0;
+}
+
+double IntHistogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+uint64_t IntHistogram::min() const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) return i;
+  }
+  return overflow_ != 0 ? buckets_.size() : 0;
+}
+
+uint64_t IntHistogram::max() const {
+  if (overflow_ != 0) return overflow_max_;
+  for (size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i] != 0) return i;
+  }
+  return 0;
+}
+
+uint64_t IntHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return i;
+  }
+  return overflow_max_;
+}
+
+uint64_t IntHistogram::BucketCount(uint64_t value) const {
+  return value < buckets_.size() ? buckets_[value] : 0;
+}
+
+std::string IntHistogram::ToString() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf), "n=%llu mean=%.3f min=%llu p50=%llu p99=%llu max=%llu",
+      static_cast<unsigned long long>(count_), mean(),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(Percentile(0.5)),
+      static_cast<unsigned long long>(Percentile(0.99)),
+      static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace lor

@@ -1,0 +1,71 @@
+// Streaming summary statistics and a fixed-resolution histogram, used by
+// the fragmentation analyzer and the benchmark harness.
+
+#ifndef LOREPO_UTIL_HISTOGRAM_H_
+#define LOREPO_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lor {
+
+/// Running mean/min/max/stddev without storing samples (Welford).
+class SummaryStats {
+ public:
+  void Add(double x);
+  void Merge(const SummaryStats& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Population variance.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Histogram over integer values with unit-width buckets up to a cap;
+/// values above the cap land in an overflow bucket. Suited to
+/// fragments-per-object distributions, which are small integers.
+class IntHistogram {
+ public:
+  explicit IntHistogram(uint64_t max_tracked = 1024);
+
+  void Add(uint64_t value);
+  void Merge(const IntHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  uint64_t min() const;
+  uint64_t max() const;
+  /// Smallest v such that at least `q` fraction of samples are <= v.
+  uint64_t Percentile(double q) const;
+  uint64_t BucketCount(uint64_t value) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t overflow_ = 0;
+  uint64_t overflow_max_ = 0;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace lor
+
+#endif  // LOREPO_UTIL_HISTOGRAM_H_

@@ -1,0 +1,57 @@
+// Deterministic PRNG for workload generation.
+//
+// All randomness in lorepo flows through `Rng` so that every experiment is
+// reproducible from a seed. The generator is xoshiro256++, which is fast,
+// has a 2^256-1 period, and passes BigCrush.
+
+#ifndef LOREPO_UTIL_RANDOM_H_
+#define LOREPO_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace lor {
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n == 0 returns 0. Uses Lemire's unbiased method.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Skips ahead as-if 2^128 calls; used to derive independent streams.
+  void LongJump();
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace lor
+
+#endif  // LOREPO_UTIL_RANDOM_H_

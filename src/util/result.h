@@ -1,0 +1,85 @@
+// Result<T>: a value-or-Status union, the companion of Status for
+// functions that produce a value on success.
+
+#ifndef LOREPO_UTIL_RESULT_H_
+#define LOREPO_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lor {
+
+/// Either a `T` or a non-OK `Status`.
+///
+/// Constructing from a value yields an OK result; constructing from a
+/// status requires the status to be non-OK. Access to the value asserts
+/// `ok()` in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace lor
+
+/// Evaluate `rexpr` (a Result<T>); on error return its status, otherwise
+/// bind the value to `lhs`.
+#define LOR_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  LOR_ASSIGN_OR_RETURN_IMPL_(                            \
+      LOR_STATUS_MACRO_CONCAT_(_lor_result, __LINE__), lhs, rexpr)
+
+#define LOR_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define LOR_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define LOR_STATUS_MACRO_CONCAT_(x, y) LOR_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // LOREPO_UTIL_RESULT_H_

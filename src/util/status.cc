@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace lor {
+
+std::string_view StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kNoSpace:
+      return "NoSpace";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace lor

@@ -1,0 +1,110 @@
+// Status: lightweight error propagation for lorepo, following the
+// RocksDB/Arrow idiom of returning status objects instead of throwing
+// exceptions on storage-layer failure paths.
+
+#ifndef LOREPO_UTIL_STATUS_H_
+#define LOREPO_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lor {
+
+/// Outcome of a storage operation.
+///
+/// A `Status` is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy in the OK case and
+/// must be checked by the caller; helper macros `LOR_RETURN_IF_ERROR` and
+/// `LOR_ASSIGN_OR_RETURN` make propagation terse.
+class Status {
+ public:
+  /// Error taxonomy. Mirrors the failure classes a get/put repository can
+  /// report to an application.
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,        ///< No object/file/row with the given key.
+    kAlreadyExists = 2,   ///< Create of a key that is present.
+    kNoSpace = 3,         ///< Volume cannot satisfy the allocation.
+    kInvalidArgument = 4, ///< Caller passed an out-of-contract value.
+    kCorruption = 5,      ///< On-disk state failed an integrity check.
+    kIoError = 6,         ///< Simulated device rejected the request.
+    kNotSupported = 7,    ///< Operation not implemented by this back end.
+    kBusy = 8,            ///< Resource is temporarily unavailable.
+    kAborted = 9,         ///< Operation was rolled back.
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status NoSpace(std::string_view msg) {
+    return Status(Code::kNoSpace, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg) { return Status(Code::kBusy, msg); }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Human-readable name of a status code ("NotFound", ...).
+std::string_view StatusCodeName(Status::Code code);
+
+}  // namespace lor
+
+/// Propagate a non-OK Status to the caller.
+#define LOR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::lor::Status _lor_status = (expr);          \
+    if (!_lor_status.ok()) return _lor_status;   \
+  } while (false)
+
+#endif  // LOREPO_UTIL_STATUS_H_

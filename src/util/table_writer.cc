@@ -1,0 +1,100 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace lor {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TableWriter& TableWriter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(const char* value) {
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  rows_.back().emplace_back(buf);
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(uint64_t value) {
+  rows_.back().push_back(std::to_string(value));
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(int value) {
+  rows_.back().push_back(std::to_string(value));
+  return *this;
+}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "| " : " ");
+      os << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    os << (i == 0 ? "|" : "") << std::string(widths[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::PrintText() const { PrintText(std::cout); }
+
+void TableWriter::PrintCsv() const { PrintCsv(std::cout); }
+
+void TableWriter::PrintCsv(std::ostream& os) const {
+  auto print_field = [&](const std::string& field) {
+    if (field.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char c : field) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << field;
+    }
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      print_field(row[i]);
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace lor

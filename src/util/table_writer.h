@@ -1,0 +1,48 @@
+// Plain-text table / CSV emitter for the benchmark harness, so every
+// bench binary prints the paper's rows in an aligned, diff-friendly form.
+
+#ifndef LOREPO_UTIL_TABLE_WRITER_H_
+#define LOREPO_UTIL_TABLE_WRITER_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lor {
+
+/// Collects rows of strings and prints them as an aligned text table or
+/// as CSV. Numeric convenience overloads format with sensible precision.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  TableWriter& Row();
+  TableWriter& Cell(const std::string& value);
+  TableWriter& Cell(const char* value);
+  TableWriter& Cell(double value, int precision = 2);
+  TableWriter& Cell(uint64_t value);
+  TableWriter& Cell(int value);
+
+  /// Adds a complete row at once.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Aligned, pipe-separated text table with a rule under the header.
+  void PrintText(std::ostream& os) const;
+  /// RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+  /// Convenience overloads writing to stdout.
+  void PrintText() const;
+  void PrintCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lor
+
+#endif  // LOREPO_UTIL_TABLE_WRITER_H_

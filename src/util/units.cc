@@ -1,0 +1,96 @@
+#include "util/units.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lor {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kTiB && bytes % kTiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu TB",
+                  static_cast<unsigned long long>(bytes / kTiB));
+  } else if (bytes >= kGiB) {
+    if (bytes % kGiB == 0) {
+      std::snprintf(buf, sizeof(buf), "%llu GB",
+                    static_cast<unsigned long long>(bytes / kGiB));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f GB",
+                    static_cast<double>(bytes) / static_cast<double>(kGiB));
+    }
+  } else if (bytes >= kMiB) {
+    if (bytes % kMiB == 0) {
+      std::snprintf(buf, sizeof(buf), "%llu MB",
+                    static_cast<unsigned long long>(bytes / kMiB));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f MB",
+                    static_cast<double>(bytes) / static_cast<double>(kMiB));
+    }
+  } else if (bytes >= kKiB) {
+    if (bytes % kKiB == 0) {
+      std::snprintf(buf, sizeof(buf), "%llu KB",
+                    static_cast<unsigned long long>(bytes / kKiB));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f KB",
+                    static_cast<double>(bytes) / static_cast<double>(kKiB));
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatThroughput(uint64_t bytes, double seconds) {
+  char buf[64];
+  if (seconds <= 0.0) return "inf";
+  const double mbps =
+      static_cast<double>(bytes) / static_cast<double>(kMiB) / seconds;
+  std::snprintf(buf, sizeof(buf), "%.2f MB/s", mbps);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+uint64_t ParseBytes(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return 0;
+  uint64_t multiplier = 1;
+  // Accept K/KB/KiB, M/MB/MiB, G, T; case-insensitive.
+  if (*end != '\0') {
+    switch (std::toupper(*end)) {
+      case 'K':
+        multiplier = kKiB;
+        break;
+      case 'M':
+        multiplier = kMiB;
+        break;
+      case 'G':
+        multiplier = kGiB;
+        break;
+      case 'T':
+        multiplier = kTiB;
+        break;
+      default:
+        return 0;
+    }
+  }
+  return static_cast<uint64_t>(value * static_cast<double>(multiplier));
+}
+
+}  // namespace lor

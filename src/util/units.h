@@ -1,0 +1,31 @@
+// Byte-size units and formatting helpers used throughout lorepo.
+
+#ifndef LOREPO_UTIL_UNITS_H_
+#define LOREPO_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lor {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+/// "64 KB", "1.5 MB", "400 GB" — compact human form (power-of-two units,
+/// printed with the decimal suffixes the paper uses).
+std::string FormatBytes(uint64_t bytes);
+
+/// "12.34 MB/s" from bytes and seconds; "inf" guarded.
+std::string FormatThroughput(uint64_t bytes, double seconds);
+
+/// Seconds to "1.23 ms" / "4.5 s" style.
+std::string FormatSeconds(double seconds);
+
+/// Parse "256K", "1M", "40G", "123" (bytes). Returns 0 on parse failure.
+uint64_t ParseBytes(const std::string& text);
+
+}  // namespace lor
+
+#endif  // LOREPO_UTIL_UNITS_H_

@@ -1,0 +1,89 @@
+// GetPutRunner: drives a repository with the paper's synthetic workload
+// (§4.3): bulk load to a target occupancy, then rounds of uniform-random
+// safe-write replacements with measurement checkpoints at chosen
+// storage ages, plus randomized read-throughput probes.
+
+#ifndef LOREPO_WORKLOAD_GETPUT_RUNNER_H_
+#define LOREPO_WORKLOAD_GETPUT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fragmentation.h"
+#include "core/object_repository.h"
+#include "core/storage_age.h"
+#include "util/random.h"
+#include "util/units.h"
+#include "workload/size_distribution.h"
+
+namespace lor {
+namespace workload {
+
+/// Workload parameters.
+struct WorkloadConfig {
+  SizeDistribution sizes = SizeDistribution::Constant(10 * kMiB);
+  /// Fraction of the volume occupied after bulk load.
+  double target_occupancy = 0.5;
+  /// Random seed (all randomness derives from it).
+  uint64_t seed = 42;
+  /// Objects sampled per read-throughput probe (capped at the
+  /// population).
+  uint64_t read_probe_samples = 256;
+};
+
+/// Throughput measured over an interval of simulated time.
+struct ThroughputSample {
+  uint64_t bytes = 0;
+  uint64_t operations = 0;
+  double seconds = 0.0;
+
+  double mb_per_s() const {
+    return seconds > 0.0
+               ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds
+               : 0.0;
+  }
+};
+
+/// Drives one repository through the paper's workload.
+class GetPutRunner {
+ public:
+  GetPutRunner(core::ObjectRepository* repo, WorkloadConfig config);
+
+  /// Inserts objects until the target occupancy is reached. Returns the
+  /// write throughput during the load (Fig. 4's "during bulk load").
+  Result<ThroughputSample> BulkLoad();
+
+  /// Ages the store with uniform-random safe-write replacements until
+  /// `target_age` (safe writes per object); returns the write
+  /// throughput over the interval.
+  Result<ThroughputSample> AgeTo(double target_age);
+
+  /// Reads a uniform-random sample of objects; returns read throughput.
+  /// Does not change the store's state (but does advance its clock).
+  Result<ThroughputSample> MeasureReadThroughput();
+
+  /// Current fragmentation across all objects.
+  core::FragmentationReport Fragmentation() const;
+
+  double storage_age() const { return age_.age(); }
+  uint64_t object_count() const { return keys_.size(); }
+  const core::StorageAgeTracker& age_tracker() const { return age_; }
+  core::ObjectRepository* repository() { return repo_; }
+
+ private:
+  std::string KeyFor(uint64_t index) const;
+
+  core::ObjectRepository* repo_;
+  WorkloadConfig config_;
+  Rng rng_;
+  core::StorageAgeTracker age_;
+  std::vector<std::string> keys_;
+  std::vector<uint64_t> sizes_;
+  bool loaded_ = false;
+};
+
+}  // namespace workload
+}  // namespace lor
+
+#endif  // LOREPO_WORKLOAD_GETPUT_RUNNER_H_

@@ -1,0 +1,58 @@
+#include "workload/size_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace lor {
+namespace workload {
+
+SizeDistribution SizeDistribution::Constant(uint64_t mean_bytes) {
+  return SizeDistribution(SizeDistributionKind::kConstant, mean_bytes, 0.0);
+}
+
+SizeDistribution SizeDistribution::Uniform(uint64_t mean_bytes) {
+  return SizeDistribution(SizeDistributionKind::kUniform, mean_bytes, 0.0);
+}
+
+SizeDistribution SizeDistribution::LogNormal(uint64_t mean_bytes,
+                                             double sigma) {
+  return SizeDistribution(SizeDistributionKind::kLogNormal, mean_bytes,
+                          sigma);
+}
+
+uint64_t SizeDistribution::Sample(Rng* rng) const {
+  uint64_t size = mean_bytes_;
+  switch (kind_) {
+    case SizeDistributionKind::kConstant:
+      break;
+    case SizeDistributionKind::kUniform:
+      size = rng->UniformRange(mean_bytes_ / 2,
+                               mean_bytes_ + mean_bytes_ / 2);
+      break;
+    case SizeDistributionKind::kLogNormal: {
+      // Choose mu so the distribution's mean equals mean_bytes_.
+      const double mu =
+          std::log(static_cast<double>(mean_bytes_)) - sigma_ * sigma_ / 2.0;
+      size = static_cast<uint64_t>(rng->NextLogNormal(mu, sigma_));
+      break;
+    }
+  }
+  return std::max<uint64_t>(size, kKiB);
+}
+
+std::string SizeDistribution::ToString() const {
+  switch (kind_) {
+    case SizeDistributionKind::kConstant:
+      return "constant(" + FormatBytes(mean_bytes_) + ")";
+    case SizeDistributionKind::kUniform:
+      return "uniform(mean " + FormatBytes(mean_bytes_) + ")";
+    case SizeDistributionKind::kLogNormal:
+      return "lognormal(mean " + FormatBytes(mean_bytes_) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace workload
+}  // namespace lor

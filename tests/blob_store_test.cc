@@ -1,0 +1,244 @@
+// Tests for the SQL-Server-like BlobStore engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/blob_store.h"
+#include "util/random.h"
+
+namespace lor {
+namespace db {
+namespace {
+
+struct Rig {
+  std::unique_ptr<sim::BlockDevice> data;
+  std::unique_ptr<sim::BlockDevice> log;
+  std::unique_ptr<BlobStore> store;
+};
+
+Rig MakeRig(sim::DataMode mode = sim::DataMode::kMetadataOnly,
+            BlobStoreOptions options = {}, uint64_t capacity = 512 * kMiB) {
+  Rig rig;
+  rig.data = std::make_unique<sim::BlockDevice>(
+      sim::DiskParams::St3400832as().WithCapacity(capacity), mode);
+  rig.log = std::make_unique<sim::BlockDevice>(
+      sim::DiskParams::St3400832as().WithCapacity(64 * kMiB));
+  rig.store =
+      std::make_unique<BlobStore>(rig.data.get(), rig.log.get(), options);
+  return rig;
+}
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+TEST(BlobStoreTest, PutGetDeleteLifecycle) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.store->Put("a", 256 * kKiB).ok());
+  EXPECT_TRUE(rig.store->Exists("a"));
+  EXPECT_TRUE(rig.store->Put("a", 1).IsAlreadyExists());
+  EXPECT_TRUE(rig.store->Get("a").ok());
+  ASSERT_TRUE(rig.store->Delete("a").ok());
+  EXPECT_FALSE(rig.store->Exists("a"));
+  EXPECT_TRUE(rig.store->Get("a").IsNotFound());
+  EXPECT_TRUE(rig.store->Delete("a").IsNotFound());
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, RoundTripData) {
+  Rig rig = MakeRig(sim::DataMode::kRetain);
+  const auto data = Pattern(777 * kKiB + 13, 21);
+  ASSERT_TRUE(rig.store->Put("obj", data.size(), data).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(rig.store->Get("obj", &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlobStoreTest, ReplaceSwapsContent) {
+  Rig rig = MakeRig(sim::DataMode::kRetain);
+  const auto v1 = Pattern(300 * kKiB, 1);
+  const auto v2 = Pattern(500 * kKiB, 2);
+  ASSERT_TRUE(rig.store->Put("obj", v1.size(), v1).ok());
+  ASSERT_TRUE(rig.store->Replace("obj", v2.size(), v2).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(rig.store->Get("obj", &out).ok());
+  EXPECT_EQ(out, v2);
+  EXPECT_EQ(rig.store->stats().live_bytes, v2.size());
+  EXPECT_TRUE(rig.store->Replace("missing", 100).IsNotFound());
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, BulkLoadIsSequentialAndContiguous) {
+  Rig rig = MakeRig();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rig.store->Put("obj" + std::to_string(i), kMiB).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto layout = rig.store->GetLayout("obj" + std::to_string(i));
+    ASSERT_TRUE(layout.ok());
+    EXPECT_EQ(layout->Fragments(), 1u);
+  }
+}
+
+TEST(BlobStoreTest, ChurnFragmentsReplacements) {
+  Rig rig = MakeRig();
+  Rng rng(3);
+  constexpr int kObjects = 50;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(rig.store->Put("obj" + std::to_string(i), kMiB).ok());
+  }
+  for (int round = 0; round < 500; ++round) {
+    const std::string key =
+        "obj" + std::to_string(rng.Uniform(kObjects));
+    ASSERT_TRUE(rig.store->Replace(key, kMiB).ok());
+  }
+  double total_fragments = 0;
+  for (int i = 0; i < kObjects; ++i) {
+    auto layout = rig.store->GetLayout("obj" + std::to_string(i));
+    ASSERT_TRUE(layout.ok());
+    total_fragments += static_cast<double>(layout->Fragments());
+  }
+  // After heavy churn the average object is visibly fragmented.
+  EXPECT_GT(total_fragments / kObjects, 2.0);
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, LogDeviceReceivesCommits) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.store->Put("a", kMiB).ok());
+  ASSERT_TRUE(rig.store->Delete("a").ok());
+  EXPECT_EQ(rig.store->stats().log_records, 2u);
+  EXPECT_GT(rig.log->stats().writes, 0u);
+  // Bulk-logged: the log stays small (no payload bytes).
+  EXPECT_LT(rig.log->stats().bytes_written, 64 * kKiB);
+}
+
+TEST(BlobStoreTest, FullyLoggedWritesPayloadToLog) {
+  BlobStoreOptions opts;
+  opts.bulk_logged = false;
+  Rig rig = MakeRig(sim::DataMode::kMetadataOnly, opts);
+  ASSERT_TRUE(rig.store->Put("a", kMiB).ok());
+  EXPECT_GT(rig.log->stats().bytes_written, kMiB);
+}
+
+TEST(BlobStoreTest, NullLogDeviceStillWorks) {
+  auto data = std::make_unique<sim::BlockDevice>(
+      sim::DiskParams::St3400832as().WithCapacity(256 * kMiB));
+  BlobStore store(data.get(), nullptr);
+  ASSERT_TRUE(store.Put("a", kMiB).ok());
+  EXPECT_TRUE(store.Get("a").ok());
+}
+
+TEST(BlobStoreTest, NoSpaceSurfacedWhenVolumeFull) {
+  Rig rig = MakeRig(sim::DataMode::kMetadataOnly, {}, 16 * kMiB);
+  Status last = Status::OK();
+  for (int i = 0; i < 64 && last.ok(); ++i) {
+    last = rig.store->Put("obj" + std::to_string(i), kMiB);
+  }
+  EXPECT_TRUE(last.IsNoSpace());
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, FailedPutLeaksNothing) {
+  Rig rig = MakeRig(sim::DataMode::kMetadataOnly, {}, 16 * kMiB);
+  // Fill most of the volume, then fail a put and verify the free pool
+  // is unchanged afterwards.
+  ASSERT_TRUE(rig.store->Put("base", 8 * kMiB).ok());
+  const uint64_t free_before = rig.store->page_file().unused_extents();
+  ASSERT_TRUE(rig.store->Put("big", 32 * kMiB).IsNoSpace());
+  const uint64_t free_after = rig.store->page_file().unused_extents();
+  EXPECT_EQ(free_before, free_after);
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, ListKeysSorted) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.store->Put("c", 1024).ok());
+  ASSERT_TRUE(rig.store->Put("a", 1024).ok());
+  ASSERT_TRUE(rig.store->Put("b", 1024).ok());
+  auto keys = rig.store->ListKeys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[2], "c");
+}
+
+TEST(BlobStoreTest, StatsAccounting) {
+  Rig rig = MakeRig();
+  ASSERT_TRUE(rig.store->Put("a", kMiB).ok());
+  ASSERT_TRUE(rig.store->Put("b", 2 * kMiB).ok());
+  ASSERT_TRUE(rig.store->Replace("a", 3 * kMiB).ok());
+  ASSERT_TRUE(rig.store->Delete("b").ok());
+  const BlobStoreStats& s = rig.store->stats();
+  EXPECT_EQ(s.puts, 2u);
+  EXPECT_EQ(s.replaces, 1u);
+  EXPECT_EQ(s.deletes, 1u);
+  EXPECT_EQ(s.object_count, 1u);
+  EXPECT_EQ(s.live_bytes, 3 * kMiB);
+}
+
+TEST(BlobStoreTest, GhostPurgeCadence) {
+  BlobStoreOptions opts;
+  opts.deletes_per_ghost_purge = 4;
+  Rig rig = MakeRig(sim::DataMode::kMetadataOnly, opts);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.store->Put("k" + std::to_string(i), 64 * kKiB).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.store->Delete("k" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(rig.store->metadata().stats().ghosts, 0u);
+}
+
+TEST(BlobStoreTest, RebuildTableRestoresContiguity) {
+  Rig rig = MakeRig();
+  Rng rng(9);
+  constexpr int kObjects = 40;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(rig.store->Put("obj" + std::to_string(i), kMiB).ok());
+  }
+  for (int round = 0; round < 400; ++round) {
+    ASSERT_TRUE(
+        rig.store->Replace("obj" + std::to_string(rng.Uniform(kObjects)),
+                           kMiB)
+            .ok());
+  }
+  auto report = rig.store->RebuildTable();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->objects_moved, static_cast<uint64_t>(kObjects));
+  EXPECT_GT(report->fragments_before, 2.0);
+  EXPECT_LT(report->fragments_after, report->fragments_before / 2);
+  EXPECT_GT(report->elapsed_seconds, 0.0);
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, RebuildTablePreservesData) {
+  Rig rig = MakeRig(sim::DataMode::kRetain);
+  const auto a = Pattern(300 * kKiB, 41);
+  const auto b = Pattern(700 * kKiB, 42);
+  ASSERT_TRUE(rig.store->Put("a", a.size(), a).ok());
+  ASSERT_TRUE(rig.store->Put("b", b.size(), b).ok());
+  ASSERT_TRUE(rig.store->Replace("a", a.size(), a).ok());
+  auto report = rig.store->RebuildTable();
+  ASSERT_TRUE(report.ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(rig.store->Get("a", &out).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(rig.store->Get("b", &out).ok());
+  EXPECT_EQ(out, b);
+  EXPECT_TRUE(rig.store->CheckConsistency().ok());
+}
+
+TEST(BlobStoreTest, RebuildEmptyTableIsNoop) {
+  Rig rig = MakeRig();
+  auto report = rig.store->RebuildTable();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects_moved, 0u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace lor

@@ -1,0 +1,477 @@
+// Tests for PageFile, BlobBtree, and MetadataTable.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/blob_btree.h"
+#include "db/lob_allocation_unit.h"
+#include "db/metadata_table.h"
+#include "db/page_file.h"
+#include "util/random.h"
+
+namespace lor {
+namespace db {
+namespace {
+
+std::unique_ptr<sim::BlockDevice> MakeDevice(
+    uint64_t capacity = 512 * kMiB,
+    sim::DataMode mode = sim::DataMode::kMetadataOnly) {
+  return std::make_unique<sim::BlockDevice>(
+      sim::DiskParams::St3400832as().WithCapacity(capacity), mode);
+}
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+struct BlobRig {
+  PageFile file;
+  LobAllocationUnit unit;
+  explicit BlobRig(sim::BlockDevice* dev, PageFileOptions opts = {})
+      : file(dev, opts), unit(&file) {}
+};
+
+TEST(PageFileTest, InitialSizeAndGeometry) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  EXPECT_EQ(file.page_bytes(), 8192u);
+  EXPECT_EQ(file.extent_bytes(), 64 * kKiB);
+  EXPECT_EQ(file.file_bytes(), 32 * kMiB);
+  EXPECT_EQ(file.free_extents(), 32 * kMiB / (64 * kKiB));
+}
+
+TEST(PageFileTest, AllocateSequentialOnFreshFile) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto e = file.AllocateExtent();
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(*e, i);
+  }
+}
+
+TEST(PageFileTest, AutogrowWhenExhausted) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.initial_bytes = kMiB;  // 16 extents.
+  PageFile file(dev.get(), opts);
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(file.AllocateExtent().ok());
+  EXPECT_EQ(file.free_extents(), 0u);
+  auto e = file.AllocateExtent();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(file.stats().growths, 1u);
+  EXPECT_GT(file.file_bytes(), kMiB);
+}
+
+TEST(PageFileTest, GrowthCappedByDevice) {
+  auto dev = MakeDevice(4 * kMiB);
+  PageFileOptions opts;
+  opts.initial_bytes = 4 * kMiB;
+  PageFile file(dev.get(), opts);
+  const uint64_t total = file.capacity_extents();
+  for (uint64_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(file.AllocateExtent().ok());
+  }
+  EXPECT_TRUE(file.AllocateExtent().status().IsNoSpace());
+}
+
+TEST(PageFileTest, FreeAndReuseLowest) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.deferred_free_allocations = 0;  // Immediate release.
+  opts.scan_from_hint = false;         // Pure lowest-first scan.
+  PageFile file(dev.get(), opts);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(file.AllocateExtent().ok());
+  ASSERT_TRUE(file.FreeExtents(2, 1).ok());
+  ASSERT_TRUE(file.FreeExtents(5, 2).ok());
+  auto e = file.AllocateExtent();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 2u);
+}
+
+TEST(PageFileTest, DeferredFreeDelaysReuse) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.deferred_free_allocations = 4;
+  opts.scan_from_hint = false;
+  PageFile file(dev.get(), opts);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(file.AllocateExtent().ok());
+  ASSERT_TRUE(file.FreeExtents(2, 1).ok());
+  EXPECT_EQ(file.pending_free_extents(), 1u);
+  // The freed extent is invisible for the next 4 allocations.
+  for (int i = 0; i < 4; ++i) {
+    auto e = file.AllocateExtent();
+    ASSERT_TRUE(e.ok());
+    EXPECT_NE(*e, 2u);
+  }
+  auto e = file.AllocateExtent();
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 2u);
+  EXPECT_EQ(file.pending_free_extents(), 0u);
+}
+
+TEST(PageFileTest, ReleaseAllPendingUnderPressure) {
+  auto dev = MakeDevice(4 * kMiB);
+  PageFileOptions opts;
+  opts.initial_bytes = 4 * kMiB;
+  opts.deferred_free_allocations = 1000;
+  PageFile file(dev.get(), opts);
+  const uint64_t total = file.capacity_extents();
+  for (uint64_t i = 0; i < total; ++i) ASSERT_TRUE(file.AllocateExtent().ok());
+  ASSERT_TRUE(file.FreeExtents(0, 1).ok());
+  // The pending extent must be force-released rather than failing.
+  EXPECT_TRUE(file.AllocateExtent().ok());
+  EXPECT_TRUE(file.AllocateExtent().status().IsNoSpace());
+}
+
+TEST(PageFileTest, PageIoBoundsChecked) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.initial_bytes = kMiB;
+  PageFile file(dev.get(), opts);
+  EXPECT_TRUE(file.ReadPages(0, 8).ok());
+  const uint64_t file_pages = file.file_extents() * file.pages_per_extent();
+  EXPECT_TRUE(file.ReadPages(file_pages, 1).IsInvalidArgument());
+  EXPECT_TRUE(file.WritePages(file_pages - 1, 2).IsInvalidArgument());
+  EXPECT_TRUE(file.WritePages(file_pages - 1, 1).ok());
+}
+
+TEST(BlobBtreeTest, DataPagesForRoundsUp) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  const uint64_t payload = BlobBtree::PayloadPerPage(file);
+  EXPECT_EQ(BlobBtree::DataPagesFor(file, 1), 1u);
+  EXPECT_EQ(BlobBtree::DataPagesFor(file, payload), 1u);
+  EXPECT_EQ(BlobBtree::DataPagesFor(file, payload + 1), 2u);
+}
+
+TEST(BlobBtreeTest, SmallBlobSinglePageNoPointers) {
+  auto dev = MakeDevice();
+  BlobRig rig(dev.get());
+  auto layout =
+      BlobBtree::Write(&rig.file, &rig.unit, 1000, {}, 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->data_page_count(), 1u);
+  EXPECT_TRUE(layout->pointer_pages.empty());
+  EXPECT_EQ(layout->Fragments(), 1u);
+}
+
+TEST(BlobBtreeTest, BulkLoadBlobIsContiguous) {
+  auto dev = MakeDevice();
+  BlobRig rig(dev.get());
+  auto layout =
+      BlobBtree::Write(&rig.file, &rig.unit, 10 * kMiB, {}, 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->Fragments(), 1u);
+  EXPECT_EQ(layout->data_page_count(),
+            BlobBtree::DataPagesFor(rig.file, 10 * kMiB));
+  EXPECT_FALSE(layout->pointer_pages.empty());
+  EXPECT_TRUE(rig.unit.CheckConsistency().ok());
+}
+
+TEST(BlobBtreeTest, RoundTripData) {
+  auto dev = MakeDevice(512 * kMiB, sim::DataMode::kRetain);
+  BlobRig rig(dev.get());
+  const auto data = Pattern(300 * kKiB + 77, 11);
+  auto layout = BlobBtree::Write(&rig.file, &rig.unit, data.size(), data,
+                                 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(BlobBtree::Read(&rig.file, *layout, {}, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlobBtreeTest, PointerTreeVerifies) {
+  auto dev = MakeDevice(512 * kMiB, sim::DataMode::kRetain);
+  BlobRig rig(dev.get());
+  const auto data = Pattern(5 * kMiB, 12);
+  auto layout = BlobBtree::Write(&rig.file, &rig.unit, data.size(), data,
+                                 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(BlobBtree::VerifyTree(&rig.file, *layout).ok());
+}
+
+TEST(BlobBtreeTest, FreeReturnsAllPages) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.deferred_free_allocations = 0;
+  BlobRig rig(dev.get(), opts);
+  auto layout =
+      BlobBtree::Write(&rig.file, &rig.unit, 2 * kMiB, {}, 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  const uint64_t allocated = rig.unit.allocated_pages();
+  EXPECT_EQ(allocated,
+            layout->data_page_count() + layout->pointer_pages.size());
+  ASSERT_TRUE(BlobBtree::Free(&rig.unit, *layout).ok());
+  EXPECT_EQ(rig.unit.allocated_pages(), 0u);
+  EXPECT_EQ(rig.unit.owned_extents(), 0u);
+  EXPECT_TRUE(rig.unit.CheckConsistency().ok());
+}
+
+TEST(BlobBtreeTest, FragmentedFreeSpaceFragmentsBlob) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.initial_bytes = 8 * kMiB;
+  opts.max_bytes = 8 * kMiB;  // No autogrow: force reuse of holes.
+  opts.deferred_free_allocations = 0;
+  opts.scan_from_hint = false;
+  BlobRig rig(dev.get(), opts);
+  // Allocate every extent, then free every other one.
+  std::vector<uint64_t> all;
+  while (rig.file.free_extents() > 0) {
+    auto e = rig.file.AllocateExtent();
+    ASSERT_TRUE(e.ok());
+    all.push_back(*e);
+  }
+  for (size_t i = 0; i < all.size(); i += 2) {
+    ASSERT_TRUE(rig.file.FreeExtents(all[i], 1).ok());
+  }
+  // A 1 MB blob must now be assembled from scattered single-extent
+  // holes.
+  auto layout =
+      BlobBtree::Write(&rig.file, &rig.unit, kMiB, {}, 64 * kKiB, {});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_GT(layout->Fragments(), 8u);
+}
+
+TEST(BlobBtreeTest, InvalidArguments) {
+  auto dev = MakeDevice();
+  BlobRig rig(dev.get());
+  EXPECT_TRUE(BlobBtree::Write(&rig.file, &rig.unit, 0, {}, 64 * kKiB, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BlobBtree::Write(&rig.file, &rig.unit, 100, {}, 0, {})
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<uint8_t> tiny(3);
+  EXPECT_TRUE(BlobBtree::Write(&rig.file, &rig.unit, 100, tiny, 64 * kKiB, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LobAllocationUnitTest, SharesExtentsBetweenAllocations) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  LobAllocationUnit unit(&file);
+  // Nine pages: the first extent (8 pages) is shared with the ninth.
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < 9; ++i) {
+    auto p = unit.AllocatePage();
+    ASSERT_TRUE(p.ok());
+    pages.push_back(*p);
+  }
+  EXPECT_EQ(unit.owned_extents(), 2u);
+  EXPECT_EQ(unit.reserved_free_pages(), 7u);
+  EXPECT_TRUE(unit.CheckConsistency().ok());
+}
+
+TEST(LobAllocationUnitTest, FreedPagesReusedBeforeNewExtents) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  LobAllocationUnit unit(&file, PageScanPolicy::kLowestFirst);
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < 16; ++i) {
+    auto p = unit.AllocatePage();
+    ASSERT_TRUE(p.ok());
+    pages.push_back(*p);
+  }
+  ASSERT_TRUE(unit.FreePage(pages[3]).ok());
+  auto p = unit.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, pages[3]);
+  EXPECT_TRUE(unit.CheckConsistency().ok());
+}
+
+TEST(LobAllocationUnitTest, FullyFreeExtentReturnsToGam) {
+  auto dev = MakeDevice();
+  PageFileOptions opts;
+  opts.deferred_free_allocations = 0;
+  PageFile file(dev.get(), opts);
+  LobAllocationUnit unit(&file);
+  std::vector<uint64_t> pages;
+  for (uint64_t i = 0; i < file.pages_per_extent(); ++i) {
+    auto p = unit.AllocatePage();
+    ASSERT_TRUE(p.ok());
+    pages.push_back(*p);
+  }
+  EXPECT_EQ(unit.owned_extents(), 1u);
+  const uint64_t extent = pages[0] / file.pages_per_extent();
+  for (uint64_t p : pages) ASSERT_TRUE(unit.FreePage(p).ok());
+  EXPECT_EQ(unit.owned_extents(), 0u);
+  EXPECT_TRUE(file.gam().IsFree(extent));
+}
+
+TEST(LobAllocationUnitTest, DoubleFreeAndForeignPageRejected) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  LobAllocationUnit unit(&file);
+  auto p = unit.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(unit.FreePage(*p).ok());
+  EXPECT_TRUE(unit.FreePage(*p).IsInvalidArgument());
+  EXPECT_TRUE(unit.FreePage(100000).IsInvalidArgument());
+}
+
+TEST(LobAllocationUnitTest, RandomChurnStaysConsistent) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  LobAllocationUnit unit(&file);
+  Rng rng(33);
+  std::vector<uint64_t> live;
+  for (int op = 0; op < 20000; ++op) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      auto p = unit.AllocatePage();
+      ASSERT_TRUE(p.ok());
+      live.push_back(*p);
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      ASSERT_TRUE(unit.FreePage(live[i]).ok());
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(unit.allocated_pages(), live.size());
+  EXPECT_TRUE(unit.CheckConsistency().ok());
+}
+
+TEST(MetadataTableTest, InsertLookupDelete) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  ObjectRow row{.key = "alpha", .blob_ref = 7, .size_bytes = 100,
+                .version = 1};
+  ASSERT_TRUE(table.Insert(row).ok());
+  auto got = table.Lookup("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->blob_ref, 7u);
+  EXPECT_TRUE(table.Insert(row).IsAlreadyExists());
+  ASSERT_TRUE(table.Delete("alpha").ok());
+  EXPECT_TRUE(table.Lookup("alpha").status().IsNotFound());
+  EXPECT_TRUE(table.Delete("alpha").IsNotFound());
+}
+
+TEST(MetadataTableTest, GhostResurrection) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  ASSERT_TRUE(table.Insert({.key = "k", .blob_ref = 1}).ok());
+  ASSERT_TRUE(table.Delete("k").ok());
+  EXPECT_EQ(table.stats().ghosts, 1u);
+  ASSERT_TRUE(table.Insert({.key = "k", .blob_ref = 2}).ok());
+  EXPECT_EQ(table.stats().ghosts, 0u);
+  auto got = table.Lookup("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->blob_ref, 2u);
+}
+
+TEST(MetadataTableTest, UpdateChangesRow) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  ASSERT_TRUE(table.Insert({.key = "k", .blob_ref = 1, .version = 1}).ok());
+  ASSERT_TRUE(table.Update({.key = "k", .blob_ref = 9, .version = 2}).ok());
+  auto got = table.Lookup("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->blob_ref, 9u);
+  EXPECT_TRUE(table.Update({.key = "zz"}).IsNotFound());
+}
+
+TEST(MetadataTableTest, ManyInsertsSplitAndStayConsistent) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  constexpr int kRows = 10000;
+  for (int i = 0; i < kRows; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i * 37 % kRows);
+    ASSERT_TRUE(
+        table.Insert({.key = key, .blob_ref = static_cast<uint64_t>(i)})
+            .ok())
+        << key;
+  }
+  EXPECT_EQ(table.size(), static_cast<uint64_t>(kRows));
+  EXPECT_GT(table.stats().splits, 0u);
+  EXPECT_GT(table.stats().height, 1u);
+  ASSERT_TRUE(table.CheckConsistency().ok());
+  // Keys come back sorted and complete.
+  auto keys = table.ScanKeys();
+  ASSERT_EQ(keys.size(), static_cast<size_t>(kRows));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Every row is findable.
+  for (int i = 0; i < kRows; i += 97) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    EXPECT_TRUE(table.Lookup(key).ok()) << key;
+  }
+}
+
+TEST(MetadataTableTest, PurgeGhostsRemovesDeletedRows) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table.Insert({.key = "k" + std::to_string(i)}).ok());
+  }
+  for (int i = 0; i < 500; i += 2) {
+    ASSERT_TRUE(table.Delete("k" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(table.stats().ghosts, 250u);
+  table.PurgeGhosts();
+  EXPECT_EQ(table.stats().ghosts, 0u);
+  EXPECT_EQ(table.size(), 250u);
+  EXPECT_TRUE(table.CheckConsistency().ok());
+  EXPECT_TRUE(table.Lookup("k0").status().IsNotFound());
+  EXPECT_TRUE(table.Lookup("k1").ok());
+}
+
+TEST(MetadataTableTest, CheckpointWritesDirtyPages) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs, /*ops_per_checkpoint=*/10);
+  const uint64_t writes_before = dev->stats().writes;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(table.Insert({.key = "k" + std::to_string(i)}).ok());
+  }
+  EXPECT_GE(table.stats().checkpoints, 2u);
+  EXPECT_GT(dev->stats().writes, writes_before);
+}
+
+TEST(MetadataTableTest, RandomChurnKeepsInvariants) {
+  auto dev = MakeDevice();
+  PageFile file(dev.get());
+  sim::OpCostModel costs;
+  MetadataTable table(&file, &costs);
+  Rng rng(5);
+  std::vector<std::string> live;
+  for (int op = 0; op < 5000; ++op) {
+    const double r = rng.NextDouble();
+    if (live.empty() || r < 0.5) {
+      std::string key = "obj" + std::to_string(rng.Uniform(100000));
+      if (table.Insert({.key = key}).ok()) live.push_back(key);
+    } else if (r < 0.8) {
+      const size_t i = rng.Uniform(live.size());
+      ASSERT_TRUE(table.Lookup(live[i]).ok());
+    } else {
+      const size_t i = rng.Uniform(live.size());
+      ASSERT_TRUE(table.Delete(live[i]).ok());
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(table.size(), live.size());
+  ASSERT_TRUE(table.CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace lor

@@ -1,0 +1,215 @@
+// Integration tests: miniature versions of the paper's experiments run
+// end to end across all modules, asserting the *shape* claims the
+// benchmarks reproduce at full scale. If one of these fails, a figure
+// bench has silently stopped reproducing the paper.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/db_repository.h"
+#include "core/fragmentation.h"
+#include "core/fs_repository.h"
+#include "workload/getput_runner.h"
+
+namespace lor {
+namespace {
+
+constexpr uint64_t kVolume = 2 * kGiB;
+
+std::unique_ptr<core::FsRepository> MakeFs(uint64_t volume = kVolume) {
+  core::FsRepositoryConfig config;
+  config.volume_bytes = volume;
+  return std::make_unique<core::FsRepository>(config);
+}
+
+std::unique_ptr<core::DbRepository> MakeDb(uint64_t volume = kVolume) {
+  core::DbRepositoryConfig config;
+  config.volume_bytes = volume;
+  return std::make_unique<core::DbRepository>(config);
+}
+
+struct AgingResult {
+  double bulk_write_mbps = 0;
+  double clean_read_mbps = 0;
+  double aged_read_mbps = 0;
+  double frag_age2 = 0;
+  double frag_age4 = 0;
+  double frag_age8 = 0;
+};
+
+AgingResult Age(core::ObjectRepository* repo, uint64_t object_size,
+                workload::SizeDistribution dist) {
+  workload::WorkloadConfig config;
+  config.sizes = dist;
+  config.read_probe_samples = 128;
+  workload::GetPutRunner runner(repo, config);
+  AgingResult result;
+  auto load = runner.BulkLoad();
+  EXPECT_TRUE(load.ok()) << load.status().ToString();
+  result.bulk_write_mbps = load->mb_per_s();
+  auto read0 = runner.MeasureReadThroughput();
+  EXPECT_TRUE(read0.ok());
+  result.clean_read_mbps = read0->mb_per_s();
+  EXPECT_TRUE(runner.AgeTo(2.0).ok());
+  result.frag_age2 = runner.Fragmentation().fragments_per_object;
+  EXPECT_TRUE(runner.AgeTo(4.0).ok());
+  result.frag_age4 = runner.Fragmentation().fragments_per_object;
+  EXPECT_TRUE(runner.AgeTo(8.0).ok());
+  result.frag_age8 = runner.Fragmentation().fragments_per_object;
+  auto read8 = runner.MeasureReadThroughput();
+  EXPECT_TRUE(read8.ok());
+  result.aged_read_mbps = read8->mb_per_s();
+  EXPECT_TRUE(repo->CheckConsistency().ok());
+  (void)object_size;
+  return result;
+}
+
+// Figure 2's shape: database fragmentation grows roughly linearly while
+// the filesystem stays far lower and decelerates.
+TEST(PaperShapeTest, DatabaseFragmentsMuchFasterThanFilesystem) {
+  // This shape needs a reasonable object population; run at the Fig. 2
+  // geometry (10 MB objects, ~200 of them).
+  auto fs = MakeFs(4 * kGiB);
+  auto db = MakeDb(4 * kGiB);
+  const auto dist = workload::SizeDistribution::Constant(10 * kMiB);
+  AgingResult fs_result = Age(fs.get(), 10 * kMiB, dist);
+  AgingResult db_result = Age(db.get(), 10 * kMiB, dist);
+
+  EXPECT_GT(db_result.frag_age4, 1.5 * fs_result.frag_age4);
+  EXPECT_GT(db_result.frag_age8, 1.8 * fs_result.frag_age8);
+  EXPECT_GT(db_result.frag_age8, db_result.frag_age4 * 1.3)
+      << "database growth should not have stalled by age 8";
+  // The filesystem stays in the single digits while the database has
+  // left them behind.
+  EXPECT_LT(fs_result.frag_age8, 8.0);
+  EXPECT_GT(db_result.frag_age8, 8.0);
+}
+
+// Figure 1/4's clean-store ordering: database wins small-object reads
+// and bulk-load writes.
+TEST(PaperShapeTest, CleanStoreFolkloreHolds) {
+  const auto small = workload::SizeDistribution::Constant(256 * kKiB);
+  auto fs = MakeFs();
+  auto db = MakeDb();
+  AgingResult fs_small = Age(fs.get(), 256 * kKiB, small);
+  AgingResult db_small = Age(db.get(), 256 * kKiB, small);
+  EXPECT_GT(db_small.clean_read_mbps, fs_small.clean_read_mbps)
+      << "database should win 256 KB reads on a clean store";
+  EXPECT_GT(db_small.bulk_write_mbps, fs_small.bulk_write_mbps)
+      << "database should win bulk-load writes";
+}
+
+// The 10 MB end of Figure 1: the filesystem wins large-object reads
+// even on a clean store.
+TEST(PaperShapeTest, FilesystemWinsLargeObjectStreaming) {
+  core::FsRepositoryConfig fs_config;
+  fs_config.volume_bytes = 4 * kGiB;
+  core::FsRepository fs(fs_config);
+  core::DbRepositoryConfig db_config;
+  db_config.volume_bytes = 4 * kGiB;
+  core::DbRepository db(db_config);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs.Put("obj" + std::to_string(i), 10 * kMiB).ok());
+    ASSERT_TRUE(db.Put("obj" + std::to_string(i), 10 * kMiB).ok());
+  }
+  double fs_t0 = fs.now();
+  double db_t0 = db.now();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs.Get("obj" + std::to_string(i)).ok());
+    ASSERT_TRUE(db.Get("obj" + std::to_string(i)).ok());
+  }
+  EXPECT_LT(fs.now() - fs_t0, db.now() - db_t0);
+}
+
+// Figure 4's shape: database write throughput collapses after bulk
+// load; aged writes are slower than the bulk load by a large factor.
+TEST(PaperShapeTest, DatabaseWriteThroughputCollapsesWithAge) {
+  auto db = MakeDb();
+  workload::WorkloadConfig config;
+  config.sizes = workload::SizeDistribution::Constant(512 * kKiB);
+  workload::GetPutRunner runner(db.get(), config);
+  auto load = runner.BulkLoad();
+  ASSERT_TRUE(load.ok());
+  ASSERT_TRUE(runner.AgeTo(2.0).ok());
+  auto aged = runner.AgeTo(4.0);
+  ASSERT_TRUE(aged.ok());
+  EXPECT_LT(aged->mb_per_s(), load->mb_per_s() * 0.7);
+}
+
+// Figure 5's surprise: constant-size objects fragment too, and not an
+// order of magnitude less than uniform sizes.
+TEST(PaperShapeTest, ConstantSizesFragmentLikeUniform) {
+  auto db_const = MakeDb();
+  auto db_uniform = MakeDb();
+  AgingResult c =
+      Age(db_const.get(), 4 * kMiB,
+          workload::SizeDistribution::Constant(4 * kMiB));
+  AgingResult u =
+      Age(db_uniform.get(), 4 * kMiB,
+          workload::SizeDistribution::Uniform(4 * kMiB));
+  EXPECT_GT(c.frag_age8, 3.0) << "constant sizes must fragment";
+  EXPECT_GT(c.frag_age8, 0.2 * u.frag_age8);
+  EXPECT_LT(c.frag_age8, 5.0 * u.frag_age8);
+}
+
+// Aged reads are slower than clean reads (fragmentation costs seeks).
+TEST(PaperShapeTest, AgedReadsSlowerThanCleanReads) {
+  auto db = MakeDb();
+  AgingResult result =
+      Age(db.get(), kMiB, workload::SizeDistribution::Constant(kMiB));
+  EXPECT_LT(result.aged_read_mbps, result.clean_read_mbps * 0.85);
+}
+
+// Storage age bookkeeping matches the runner's work.
+TEST(PaperShapeTest, StorageAgeMatchesChurn) {
+  auto fs = MakeFs();
+  workload::WorkloadConfig config;
+  config.sizes = workload::SizeDistribution::Constant(kMiB);
+  workload::GetPutRunner runner(fs.get(), config);
+  ASSERT_TRUE(runner.BulkLoad().ok());
+  const uint64_t objects = runner.object_count();
+  auto aged = runner.AgeTo(3.0);
+  ASSERT_TRUE(aged.ok());
+  // Age 3 == three safe writes per object on average.
+  EXPECT_NEAR(static_cast<double>(aged->operations),
+              3.0 * static_cast<double>(objects),
+              static_cast<double>(objects) * 0.05);
+}
+
+// Live-byte accounting stays exact across both back ends under mixed
+// churn with varying sizes.
+TEST(PaperShapeTest, LiveByteAccountingExact) {
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<core::ObjectRepository> repo;
+    if (which == 0) {
+      repo = MakeFs();
+    } else {
+      repo = MakeDb();
+    }
+    Rng rng(7);
+    auto sizes = workload::SizeDistribution::Uniform(kMiB);
+    uint64_t expected = 0;
+    std::map<std::string, uint64_t> live;
+    for (int op = 0; op < 300; ++op) {
+      const std::string key = "k" + std::to_string(rng.Uniform(50));
+      const double r = rng.NextDouble();
+      if (r < 0.6) {
+        const uint64_t size = sizes.Sample(&rng);
+        ASSERT_TRUE(repo->SafeWrite(key, size).ok());
+        expected += size;
+        expected -= live[key];
+        live[key] = size;
+      } else if (live.count(key) && live[key] > 0) {
+        ASSERT_TRUE(repo->Delete(key).ok());
+        expected -= live[key];
+        live[key] = 0;
+      }
+    }
+    EXPECT_EQ(repo->live_bytes(), expected) << repo->name();
+    EXPECT_TRUE(repo->CheckConsistency().ok()) << repo->name();
+  }
+}
+
+}  // namespace
+}  // namespace lor

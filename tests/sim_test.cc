@@ -1,0 +1,204 @@
+// Tests for the disk model, block device, and I/O statistics.
+
+#include <gtest/gtest.h>
+
+#include "sim/block_device.h"
+#include "sim/disk_model.h"
+#include "sim/op_cost_model.h"
+
+namespace lor {
+namespace sim {
+namespace {
+
+DiskParams SmallDisk() {
+  DiskParams p = DiskParams::St3400832as();
+  return p.WithCapacity(kGiB);
+}
+
+TEST(DiskModelTest, SeekTimeZeroForSamePosition) {
+  DiskModel m(SmallDisk());
+  EXPECT_DOUBLE_EQ(m.SeekTime(1000, 1000), 0.0);
+}
+
+TEST(DiskModelTest, SeekTimeMonotonicInDistance) {
+  DiskModel m(SmallDisk());
+  double prev = 0.0;
+  for (uint64_t d = 1; d <= kGiB / 2; d *= 4) {
+    const double t = m.SeekTime(0, d);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DiskModelTest, SeekTimeBounded) {
+  DiskModel m(SmallDisk());
+  const DiskParams& p = m.params();
+  EXPECT_GE(m.SeekTime(0, 1), p.min_seek_s);
+  EXPECT_LE(m.SeekTime(0, p.capacity_bytes), p.max_seek_s + 1e-12);
+  EXPECT_NEAR(m.SeekTime(0, p.capacity_bytes), p.max_seek_s, 1e-9);
+}
+
+TEST(DiskModelTest, SeekTimeSymmetric) {
+  DiskModel m(SmallDisk());
+  EXPECT_DOUBLE_EQ(m.SeekTime(0, kMiB), m.SeekTime(kMiB, 0));
+}
+
+TEST(DiskModelTest, RotationalLatencyHalfRevolution) {
+  DiskModel m(SmallDisk());
+  EXPECT_NEAR(m.RotationalLatency(), 60.0 / 7200.0 / 2.0, 1e-12);
+}
+
+TEST(DiskModelTest, OuterZoneFasterThanInner) {
+  DiskModel m(SmallDisk());
+  EXPECT_GT(m.BandwidthAt(0), m.BandwidthAt(m.params().capacity_bytes - 1));
+  EXPECT_EQ(m.ZoneOf(0), 0u);
+  EXPECT_EQ(m.ZoneOf(m.params().capacity_bytes - 1),
+            m.params().num_zones - 1);
+}
+
+TEST(DiskModelTest, TransferTimeMatchesBandwidth) {
+  DiskModel m(SmallDisk());
+  const double t = m.TransferTime(0, 65 * 1000 * 1000);
+  EXPECT_NEAR(t, 1.0, 1e-9);  // Outer zone: 65 MB/s.
+}
+
+TEST(DiskModelTest, TransferAcrossZonesIsPiecewise) {
+  DiskParams p = SmallDisk();
+  p.num_zones = 2;
+  DiskModel m(p);
+  const uint64_t half = p.capacity_bytes / 2;
+  const double inner = m.TransferTime(half, kMiB);
+  const double outer = m.TransferTime(0, kMiB);
+  const double straddle = m.TransferTime(half - kMiB / 2, kMiB);
+  EXPECT_GT(inner, outer);
+  EXPECT_NEAR(straddle, (inner + outer) / 2.0, 1e-9);
+}
+
+TEST(BlockDeviceTest, SequentialSkipsPositioning) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.Write(0, kMiB).ok());
+  const double after_first = dev.clock().now();
+  ASSERT_TRUE(dev.Write(kMiB, kMiB).ok());
+  const double second = dev.clock().now() - after_first;
+  // Second write is sequential: transfer + overhead only.
+  EXPECT_LT(second, after_first);
+  EXPECT_EQ(dev.stats().sequential_hits, 1u);
+  EXPECT_EQ(dev.stats().seeks, 1u);
+}
+
+TEST(BlockDeviceTest, RandomAccessPaysSeekAndRotation) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.Write(0, 4096).ok());
+  const double t0 = dev.clock().now();
+  ASSERT_TRUE(dev.Write(512 * kMiB, 4096).ok());
+  const double t = dev.clock().now() - t0;
+  DiskModel m(SmallDisk());
+  EXPECT_GE(t, m.RotationalLatency());
+  EXPECT_EQ(dev.stats().seeks, 2u);
+}
+
+TEST(BlockDeviceTest, RejectsOutOfRange) {
+  BlockDevice dev(SmallDisk());
+  EXPECT_TRUE(dev.Write(kGiB - 10, 20).IsInvalidArgument());
+  EXPECT_TRUE(dev.Read(2 * kGiB, 1).IsInvalidArgument());
+}
+
+TEST(BlockDeviceTest, RetainModeRoundTripsData) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  std::vector<uint8_t> data(100 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(dev.Write(12345, data.size(), data).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(dev.Read(12345, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(BlockDeviceTest, RetainModeUnwrittenReadsZero) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(dev.Read(999, 64, &back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(64, 0));
+}
+
+TEST(BlockDeviceTest, RetainModePartialOverwrite) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  std::vector<uint8_t> a(256, 0xAA), b(64, 0xBB);
+  ASSERT_TRUE(dev.Write(0, a.size(), a).ok());
+  ASSERT_TRUE(dev.Write(100, b.size(), b).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(dev.Read(0, 256, &back).ok());
+  EXPECT_EQ(back[99], 0xAA);
+  EXPECT_EQ(back[100], 0xBB);
+  EXPECT_EQ(back[163], 0xBB);
+  EXPECT_EQ(back[164], 0xAA);
+}
+
+TEST(BlockDeviceTest, MetadataOnlyReadsZeros) {
+  BlockDevice dev(SmallDisk());
+  std::vector<uint8_t> data(64, 0xCC);
+  ASSERT_TRUE(dev.Write(0, data.size(), data).ok());
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(dev.Read(0, 64, &back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(64, 0));
+}
+
+TEST(BlockDeviceTest, MismatchedDataLengthRejected) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  std::vector<uint8_t> data(10);
+  EXPECT_TRUE(dev.Write(0, 20, data).IsInvalidArgument());
+}
+
+TEST(BlockDeviceTest, FlushBreaksSequentiality) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.Write(0, kMiB).ok());
+  dev.Flush();
+  ASSERT_TRUE(dev.Write(kMiB, kMiB).ok());
+  EXPECT_EQ(dev.stats().sequential_hits, 0u);
+}
+
+TEST(BlockDeviceTest, ChargeCpuAdvancesClockOnly) {
+  BlockDevice dev(SmallDisk());
+  dev.ChargeCpu(0.5);
+  EXPECT_DOUBLE_EQ(dev.clock().now(), 0.5);
+  EXPECT_EQ(dev.stats().reads + dev.stats().writes, 0u);
+}
+
+TEST(BlockDeviceTest, StatsSubtractionIsolatesPhases) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.Write(0, kMiB).ok());
+  const IoStats snap = dev.stats();
+  ASSERT_TRUE(dev.Read(0, kMiB).ok());
+  const IoStats delta = dev.stats() - snap;
+  EXPECT_EQ(delta.reads, 1u);
+  EXPECT_EQ(delta.writes, 0u);
+  EXPECT_EQ(delta.bytes_read, kMiB);
+}
+
+TEST(OpCostModelTest, StreamPenaltyNonNegative) {
+  // Device slower than the stack: no penalty.
+  EXPECT_DOUBLE_EQ(OpCostModel::StreamPenalty(kMiB, 100e6, 1.0), 0.0);
+  // Stack slower than the device: the difference is charged.
+  const double penalty = OpCostModel::StreamPenalty(10 * kMiB, 10e6, 0.2);
+  EXPECT_NEAR(penalty, 10.0 * kMiB / 10e6 - 0.2, 1e-9);
+}
+
+TEST(DiskParamsTest, ToStringMentionsCapacity) {
+  const std::string s = DiskParams::St3400832as().ToString();
+  EXPECT_NE(s.find("400 GB"), std::string::npos);
+  EXPECT_NE(s.find("7200"), std::string::npos);
+}
+
+TEST(SimClockTest, IgnoresNegativeAdvance) {
+  SimClock c;
+  c.Advance(1.0);
+  c.Advance(-0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace lor

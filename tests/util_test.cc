@@ -1,0 +1,304 @@
+// Unit tests for src/util: Status/Result, Rng, units, histograms,
+// table writer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/table_writer.h"
+#include "util/units.h"
+
+namespace lor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsMatchPredicates) {
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NoSpace("x").IsNoSpace());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  LOR_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_TRUE(Propagates(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NoSpace("full"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNoSpace());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  LOR_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformRange(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(64 * kKiB), "64 KB");
+  EXPECT_EQ(FormatBytes(10 * kMiB), "10 MB");
+  EXPECT_EQ(FormatBytes(400 * kGiB), "400 GB");
+  EXPECT_EQ(FormatBytes(kTiB), "1 TB");
+}
+
+TEST(UnitsTest, ParseBytes) {
+  EXPECT_EQ(ParseBytes("256K"), 256 * kKiB);
+  EXPECT_EQ(ParseBytes("1M"), kMiB);
+  EXPECT_EQ(ParseBytes("40G"), 40 * kGiB);
+  EXPECT_EQ(ParseBytes("123"), 123u);
+  EXPECT_EQ(ParseBytes("1.5M"), kMiB + kMiB / 2);
+  EXPECT_EQ(ParseBytes(""), 0u);
+  EXPECT_EQ(ParseBytes("abc"), 0u);
+}
+
+TEST(UnitsTest, ParseFormatsRoundTrip) {
+  for (uint64_t v : {kKiB, 64 * kKiB, kMiB, 10 * kMiB, kGiB, 400 * kGiB}) {
+    std::string text = FormatBytes(v);
+    // Strip the space before the unit for parser compatibility.
+    text.erase(text.find(' '), 1);
+    EXPECT_EQ(ParseBytes(text), v) << text;
+  }
+}
+
+TEST(UnitsTest, FormatThroughputAndSeconds) {
+  EXPECT_EQ(FormatThroughput(10 * kMiB, 1.0), "10.00 MB/s");
+  EXPECT_EQ(FormatThroughput(123, 0.0), "inf");
+  EXPECT_EQ(FormatSeconds(0.0005), "500.0 us");
+  EXPECT_EQ(FormatSeconds(0.25), "250.00 ms");
+  EXPECT_EQ(FormatSeconds(2.0), "2.00 s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombined) {
+  SummaryStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble() * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.min(), all.min(), 1e-12);
+  EXPECT_NEAR(a.max(), all.max(), 1e-12);
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(IntHistogramTest, MeanMinMaxPercentiles) {
+  IntHistogram h(100);
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Percentile(0.5), 50u);
+  EXPECT_EQ(h.Percentile(0.99), 99u);
+  EXPECT_EQ(h.Percentile(1.0), 100u);
+}
+
+TEST(IntHistogramTest, OverflowBucket) {
+  IntHistogram h(10);
+  h.Add(5);
+  h.Add(5000);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_EQ(h.min(), 5u);
+}
+
+TEST(IntHistogramTest, MergeAddsCounts) {
+  IntHistogram a(10), b(10);
+  a.Add(1);
+  b.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.BucketCount(1), 2u);
+  EXPECT_EQ(a.BucketCount(2), 1u);
+}
+
+TEST(TableWriterTest, AlignedText) {
+  TableWriter t({"name", "value"});
+  t.Row().Cell("x").Cell(uint64_t{42});
+  t.Row().Cell("longer-name").Cell(3.14159, 2);
+  std::ostringstream os;
+  t.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriterTest, CsvQuoting) {
+  TableWriter t({"a", "b"});
+  t.Row().Cell("plain").Cell("has,comma");
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nplain,\"has,comma\"\n");
+}
+
+}  // namespace
+}  // namespace lor
