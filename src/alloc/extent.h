@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/config.h"  // C++20 floor guard (defaulted operator== below)
+
 namespace lor {
 namespace alloc {
 

@@ -22,6 +22,7 @@
 #include "sim/disk_model.h"
 #include "sim/io_stats.h"
 #include "sim/sim_clock.h"
+#include "util/config.h"  // C++20 floor guard (std::span above)
 #include "util/status.h"
 
 namespace lor {

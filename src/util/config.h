@@ -1,0 +1,15 @@
+// Build-configuration guards for lorepo.
+
+#ifndef LOREPO_UTIL_CONFIG_H_
+#define LOREPO_UTIL_CONFIG_H_
+
+// The codebase requires C++20: alloc/extent.h uses a defaulted
+// operator== and sim/block_device.h uses std::span. Without this guard a
+// C++17 build dies deep inside extent.h with a cryptic "defaulted
+// comparison only available with -std=c++20" error; fail up front with
+// an actionable message instead.
+#if !defined(__cplusplus) || __cplusplus < 202002L
+#error "lorepo requires C++20. Build with -std=c++20 (the CMake build sets this via CMAKE_CXX_STANDARD 20)."
+#endif
+
+#endif  // LOREPO_UTIL_CONFIG_H_

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/config.h"  // C++20 floor guard
+
 namespace lor {
 
 inline constexpr uint64_t kKiB = 1024ULL;
