@@ -40,15 +40,6 @@ void CoalesceAdjacent(ExtentList* extents) {
   extents->swap(merged);
 }
 
-void AppendCoalescing(ExtentList* extents, const Extent& extent) {
-  if (extent.empty()) return;
-  if (!extents->empty() && extents->back().AdjacentBefore(extent)) {
-    extents->back().length += extent.length;
-  } else {
-    extents->push_back(extent);
-  }
-}
-
 std::string ToString(const ExtentList& extents) {
   std::string out = "{";
   for (size_t i = 0; i < extents.size(); ++i) {

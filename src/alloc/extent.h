@@ -50,7 +50,25 @@ uint64_t CountFragments(const ExtentList& extents);
 void CoalesceAdjacent(ExtentList* extents);
 
 /// Appends `extent` to the list, merging with the tail when adjacent.
-void AppendCoalescing(ExtentList* extents, const Extent& extent);
+/// Inline: every allocation and range mapping goes through this.
+inline void AppendCoalescing(ExtentList* extents, const Extent& extent) {
+  if (extent.empty()) return;
+  if (!extents->empty() && extents->back().AdjacentBefore(extent)) {
+    extents->back().length += extent.length;
+  } else {
+    extents->push_back(extent);
+  }
+}
+
+/// Appends `extents` scaled by `unit_bytes` into `out`, coalescing
+/// adjacent runs — how cluster/page layouts become the byte layouts the
+/// repository API exposes (GetLayout, VisitObjects).
+inline void AppendScaledBytes(const ExtentList& extents, uint64_t unit_bytes,
+                              ExtentList* out) {
+  for (const Extent& e : extents) {
+    AppendCoalescing(out, {e.start * unit_bytes, e.length * unit_bytes});
+  }
+}
 
 std::string ToString(const ExtentList& extents);
 

@@ -7,6 +7,8 @@
 #ifndef LOREPO_ALLOC_FREE_SPACE_MAP_H_
 #define LOREPO_ALLOC_FREE_SPACE_MAP_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -40,18 +42,35 @@ struct FreeSpaceStats {
   double external_fragmentation = 0.0;
 };
 
-/// Address-ordered run map with a size-ordered secondary index.
+/// Address-ordered run map with a size-ordered secondary index and
+/// power-of-two size-bucketed free lists (the bblocks extentfs idiom).
 ///
 /// Complexity: Free/AllocateAt/ExtendAt and best/worst-fit selection are
-/// O(log R) for R runs; first-fit and next-fit selection are O(R) scans
-/// (acceptable for the baseline policies; the production-path allocators
-/// use best-fit-style selection).
+/// O(log R) for R runs. First-fit and next-fit select through the size
+/// buckets: every bucket that guarantees a fit contributes its lowest
+/// candidate in O(log R), and only the single boundary bucket (runs
+/// within the same power-of-two band as the request) is scanned, with
+/// early exit once addresses pass the best candidate — O(log buckets +
+/// log R) in practice instead of the former O(R) address-order scans.
+/// Placement decisions are bit-identical to the linear scans.
+///
+/// The bucket index is pay-as-you-go: it is built on the first
+/// first/next-fit query and maintained from then on, so callers that
+/// never issue those queries (the NTFS run-cache path lives on
+/// ExtendAt/AllocateAt/ForEachLargestRun) carry no bucket overhead.
 class FreeSpaceMap {
  public:
   FreeSpaceMap() = default;
 
   /// Map with a single free run [0, clusters).
   explicit FreeSpaceMap(uint64_t clusters);
+
+  // Copies/moves reconcile the deferred by_size_ re-key and drop the
+  // shrink-position cache (its iterator must not cross containers).
+  FreeSpaceMap(const FreeSpaceMap& other);
+  FreeSpaceMap& operator=(const FreeSpaceMap& other);
+  FreeSpaceMap(FreeSpaceMap&& other) noexcept;
+  FreeSpaceMap& operator=(FreeSpaceMap&& other) noexcept;
 
   /// Marks a run free, coalescing with neighbours. Double frees are
   /// rejected with InvalidArgument.
@@ -98,6 +117,21 @@ class FreeSpaceMap {
   /// start — the ordering of NTFS's run cache.
   std::vector<Extent> LargestRuns(uint32_t k) const;
 
+  /// Allocation-free walk over the same `k`-run subset LargestRuns
+  /// returns, in (size desc, start desc) iteration order. `fn` returns
+  /// false to stop early. Hot-path alternative for callers (the NTFS
+  /// run cache) that only need one pass and no materialized vector;
+  /// note the tie order differs from LargestRuns' sorted output.
+  template <typename Fn>
+  void ForEachLargestRun(uint32_t k, Fn&& fn) const {
+    FlushPendingResize();
+    uint32_t seen = 0;
+    for (auto it = by_size_.rbegin(); it != by_size_.rend() && seen < k;
+         ++it, ++seen) {
+      if (!fn(Extent{it->second, it->first})) return;
+    }
+  }
+
   /// Checks internal invariants (index agreement, no adjacency); used by
   /// property tests.
   Status CheckConsistency() const;
@@ -105,9 +139,16 @@ class FreeSpaceMap {
  private:
   using RunMap = std::map<uint64_t, uint64_t>;  // start -> length
 
-  /// Removes a run from both indexes.
+  /// One free list per power-of-two size class: bucket k holds runs
+  /// with length in [2^k, 2^(k+1)), address-ordered.
+  static constexpr int kBucketCount = 64;
+  static int BucketFor(uint64_t length) {
+    return std::bit_width(length) - 1;  // length >= 1 always holds.
+  }
+
+  /// Removes a run from all indexes.
   void EraseRun(RunMap::iterator it);
-  /// Inserts a run into both indexes (no coalescing).
+  /// Inserts a run into all indexes (no coalescing).
   void InsertRun(uint64_t start, uint64_t length);
   /// Chooses a run with length >= `length`, or runs_.end().
   RunMap::iterator SelectRun(uint64_t length, FitPolicy policy);
@@ -115,9 +156,40 @@ class FreeSpaceMap {
   RunMap::iterator LargestRun();
   /// Takes `take` clusters from the head of run `it`.
   Extent TakeFromRun(RunMap::iterator it, uint64_t take);
+  /// Lowest start >= `cursor` among runs with length >= `length`
+  /// (bucketed first-fit query), or kNoRun. Builds the bucket index on
+  /// first use.
+  uint64_t FindFrom(uint64_t length, uint64_t cursor);
+  /// Populates the bucket index from runs_ and starts maintaining it.
+  void BuildBuckets();
+  /// Applies the deferred by_size_ re-key of the run under sequential
+  /// shrinking (see pending_* below). Must run before any by_size_
+  /// read; mutates only mutable state so const readers can call it.
+  void FlushPendingResize() const;
+
+  static constexpr uint64_t kNoRun = ~0ULL;
 
   RunMap runs_;
-  std::set<std::pair<uint64_t, uint64_t>> by_size_;  // (length, start)
+  /// (length, start). For the single run recorded in pending_*, the
+  /// entry is stale until FlushPendingResize() runs; everything else is
+  /// exact. Mutable so const readers can reconcile.
+  mutable std::set<std::pair<uint64_t, uint64_t>> by_size_;
+  std::array<std::map<uint64_t, uint64_t>, kBucketCount>
+      buckets_;                   // Per size class: start -> length.
+  uint64_t bucket_mask_ = 0;      ///< Bit k set iff buckets_[k] non-empty.
+  bool buckets_enabled_ = false;  ///< Built on first first/next-fit query.
+  /// Sequential extension shrinks one run thousands of times in a row;
+  /// its by_size_ entry is re-keyed lazily (one reconcile per reader
+  /// instead of two tree walks per shrink). `pending_stale_` is the key
+  /// still present in by_size_, `pending_true_` the live (length,
+  /// start) held by runs_.
+  mutable std::pair<uint64_t, uint64_t> pending_stale_{};
+  mutable std::pair<uint64_t, uint64_t> pending_true_{};
+  mutable bool pending_valid_ = false;
+  /// Position of the most recently shrunk run: lets the next ExtendAt
+  /// at its head skip the address lookup entirely.
+  RunMap::iterator shrink_cache_it_{};
+  bool shrink_cache_valid_ = false;
   uint64_t free_clusters_ = 0;
   uint64_t next_fit_cursor_ = 0;
 };

@@ -20,44 +20,68 @@ RunCacheAllocator::RunCacheAllocator(uint64_t clusters,
 }
 
 Extent RunCacheAllocator::TakeRun(uint64_t length, bool new_stream) {
-  const std::vector<Extent> cache = map_.LargestRuns(options_.cache_size);
-  if (cache.empty()) return Extent{};
+  // One allocation-free pass over the run cache (the `cache_size`
+  // largest runs) computes every candidate the policy can pick:
+  //   * outer: lowest-offset fitting run starting inside the outer band,
+  //   * best:  snuggest fitting cached run (ties to the highest offset,
+  //            matching the former size-descending rescan),
+  //   * largest: the cache head (ties to the lowest cached offset),
+  // exactly as the former materialize-and-sort selection chose them.
+  constexpr uint64_t kNone = ~0ULL;
+  bool any = false;
+  uint64_t largest_length = 0;
+  uint64_t largest_start = 0;
+  uint64_t outer_start = kNone;
+  uint64_t best_length = 0;
+  uint64_t best_start = kNone;
+  map_.ForEachLargestRun(options_.cache_size, [&](const Extent& run) {
+    if (!any) {
+      any = true;
+      largest_length = run.length;
+    }
+    if (run.length == largest_length) {
+      largest_start = run.start;  // Walk is start-descending within ties.
+    }
+    if (run.length >= length) {
+      if (run.start < band_limit_ && run.start < outer_start) {
+        outer_start = run.start;
+      }
+      if (best_start == kNone || run.length < best_length) {
+        best_length = run.length;
+        best_start = run.start;  // First of a tie group = highest start.
+      }
+    }
+    return true;
+  });
+  if (!any) return Extent{};
 
-  // Outer-band attempt: lowest-offset cached run starting inside the
-  // band that satisfies the request in one piece.
-  const Extent* chosen = nullptr;
-  for (const Extent& run : cache) {
-    if (run.length < length) break;  // Cache is size-descending.
-    if (run.start >= band_limit_) continue;
-    if (chosen == nullptr || run.start < chosen->start) chosen = &run;
-  }
+  uint64_t chosen_start = outer_start;
+  uint64_t take = length;
 
   const bool sweep =
       options_.selection == RunSelection::kCursorSweep ||
       (options_.selection == RunSelection::kSweepThenBestFit && new_stream);
-  if (chosen == nullptr && sweep) {
+  if (chosen_start == kNone && sweep) {
     Extent taken = map_.AllocateFrom(sweep_cursor_, length);
     if (!taken.empty()) sweep_cursor_ = taken.end();
     return taken;
   }
 
-  if (chosen == nullptr &&
+  if (chosen_start == kNone &&
       (options_.selection == RunSelection::kBestFitCached ||
        options_.selection == RunSelection::kSweepThenBestFit)) {
-    // The cache is size-descending; the last entry that still fits is
-    // the snuggest cached run.
-    for (const Extent& run : cache) {
-      if (run.length >= length) chosen = &run;
-    }
+    chosen_start = best_start;
     // Nothing fits: fall through to consume the largest whole.
   }
 
   // Largest-first path: when even the largest run is smaller than the
   // request, it is consumed whole and the caller loops — the file
   // fragments.
-  if (chosen == nullptr) chosen = &cache.front();
-  const uint64_t take = std::min(length, chosen->length);
-  Extent result{chosen->start, take};
+  if (chosen_start == kNone) {
+    chosen_start = largest_start;
+    take = std::min(length, largest_length);
+  }
+  Extent result{chosen_start, take};
   Status s = map_.AllocateAt(result);
   if (!s.ok()) return Extent{};
   return result;

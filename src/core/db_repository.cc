@@ -45,10 +45,8 @@ Result<alloc::ExtentList> DbRepository::GetLayout(
   if (!layout.ok()) return layout.status();
   alloc::ExtentList bytes;
   bytes.reserve(layout->data_runs.size());
-  const uint64_t unit = store_->page_file().page_bytes();
-  for (const alloc::Extent& run : layout->data_runs) {
-    alloc::AppendCoalescing(&bytes, {run.start * unit, run.length * unit});
-  }
+  alloc::AppendScaledBytes(layout->data_runs,
+                           store_->page_file().page_bytes(), &bytes);
   return bytes;
 }
 
@@ -58,6 +56,23 @@ Result<uint64_t> DbRepository::GetSize(const std::string& key) const {
 
 std::vector<std::string> DbRepository::ListKeys() const {
   return store_->ListKeys();
+}
+
+void DbRepository::VisitObjects(
+    const std::function<void(const std::string& key,
+                             const alloc::ExtentList& layout,
+                             uint64_t size_bytes)>& visit) const {
+  const uint64_t unit = store_->page_file().page_bytes();
+  alloc::ExtentList bytes;  // Scratch reused across objects.
+  store_->VisitBlobs([&](const std::string& key, const db::BlobLayout& layout) {
+    bytes.clear();
+    alloc::AppendScaledBytes(layout.data_runs, unit, &bytes);
+    visit(key, bytes, layout.data_bytes);
+  });
+}
+
+const FragmentationTracker* DbRepository::fragmentation_tracker() const {
+  return &store_->fragmentation_tracker();
 }
 
 uint64_t DbRepository::object_count() const {

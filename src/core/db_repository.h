@@ -46,6 +46,11 @@ class DbRepository : public ObjectRepository {
   Result<alloc::ExtentList> GetLayout(const std::string& key) const override;
   Result<uint64_t> GetSize(const std::string& key) const override;
   std::vector<std::string> ListKeys() const override;
+  void VisitObjects(
+      const std::function<void(const std::string& key,
+                               const alloc::ExtentList& layout,
+                               uint64_t size_bytes)>& visit) const override;
+  const FragmentationTracker* fragmentation_tracker() const override;
   uint64_t object_count() const override;
   uint64_t live_bytes() const override;
   uint64_t volume_bytes() const override;

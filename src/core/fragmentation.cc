@@ -1,5 +1,6 @@
 #include "core/fragmentation.h"
 
+#include <cassert>
 #include <cstdio>
 
 namespace lor {
@@ -19,23 +20,22 @@ std::string FragmentationReport::ToString() const {
   return buf;
 }
 
-FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo) {
+FragmentationReport AnalyzeFragmentationFullScan(
+    const ObjectRepository& repo) {
   FragmentationReport report;
   uint64_t total_fragments = 0;
   uint64_t total_bytes = 0;
   uint64_t contiguous = 0;
-  for (const std::string& key : repo.ListKeys()) {
-    auto layout = repo.GetLayout(key);
-    if (!layout.ok()) continue;
-    auto size = repo.GetSize(key);
-    if (!size.ok()) continue;
-    const uint64_t fragments = alloc::CountFragments(*layout);
+  repo.VisitObjects([&](const std::string& /*key*/,
+                        const alloc::ExtentList& layout,
+                        uint64_t size_bytes) {
+    const uint64_t fragments = alloc::CountFragments(layout);
     report.histogram.Add(fragments);
     total_fragments += fragments;
-    total_bytes += *size;
+    total_bytes += size_bytes;
     if (fragments <= 1) ++contiguous;
     ++report.objects;
-  }
+  });
   if (report.objects == 0) return report;
   report.fragments_per_object =
       static_cast<double>(total_fragments) /
@@ -50,6 +50,23 @@ FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo) {
                 static_cast<double>(total_fragments);
   report.contiguous_fraction =
       static_cast<double>(contiguous) / static_cast<double>(report.objects);
+  return report;
+}
+
+FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo) {
+  const FragmentationTracker* tracker = repo.fragmentation_tracker();
+  if (tracker == nullptr) return AnalyzeFragmentationFullScan(repo);
+  FragmentationReport report = tracker->Snapshot();
+#ifndef NDEBUG
+  // Debug-mode cross-check: the maintained counts must agree with a
+  // fresh walk of every object's layout.
+  const FragmentationReport full = AnalyzeFragmentationFullScan(repo);
+  assert(report.objects == full.objects);
+  assert(report.max_fragments == full.max_fragments);
+  assert(report.p50_fragments == full.p50_fragments);
+  assert(report.p99_fragments == full.p99_fragments);
+  assert(report.histogram.count() == full.histogram.count());
+#endif
   return report;
 }
 

@@ -1,41 +1,33 @@
-// FragmentationAnalyzer: measures fragments per object across a
+// Fragmentation analysis: measures fragments per object across a
 // repository — the role of the paper's marker-tagging scan tool (§5.3),
 // which the authors validated against the Windows defragmentation
 // utility's reports. Our back ends expose physical layout directly, so
 // the analyzer reads it rather than scanning for markers.
+//
+// Two paths produce the same FragmentationReport:
+//   * AnalyzeFragmentation reads the repository's incrementally
+//     maintained FragmentationTracker when one exists — O(histogram
+//     resolution) per checkpoint, independent of stored bytes. Debug
+//     builds cross-check the snapshot against the full scan.
+//   * AnalyzeFragmentationFullScan walks every object's layout through
+//     ObjectRepository::VisitObjects (no key-list materialization).
 
 #ifndef LOREPO_CORE_FRAGMENTATION_H_
 #define LOREPO_CORE_FRAGMENTATION_H_
 
-#include <cstdint>
-#include <string>
-
+#include "core/fragmentation_tracker.h"
 #include "core/object_repository.h"
-#include "util/histogram.h"
 
 namespace lor {
 namespace core {
 
-/// Volume-wide fragmentation measurements.
-struct FragmentationReport {
-  uint64_t objects = 0;
-  /// The paper's headline metric (contiguous object == 1).
-  double fragments_per_object = 0.0;
-  uint64_t max_fragments = 0;
-  uint64_t p50_fragments = 0;
-  uint64_t p99_fragments = 0;
-  /// Mean bytes per physically contiguous piece.
-  double mean_fragment_bytes = 0.0;
-  /// Fraction of objects stored contiguously.
-  double contiguous_fraction = 0.0;
-  /// Full distribution for further analysis.
-  IntHistogram histogram{4096};
-
-  std::string ToString() const;
-};
+/// Computes a FragmentationReport. Uses the repository's tracker when
+/// available, falling back to the full scan.
+FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo);
 
 /// Computes a FragmentationReport by walking every object's layout.
-FragmentationReport AnalyzeFragmentation(const ObjectRepository& repo);
+/// Kept as the tracker's cross-check and for repositories without one.
+FragmentationReport AnalyzeFragmentationFullScan(const ObjectRepository& repo);
 
 }  // namespace core
 }  // namespace lor

@@ -1,0 +1,70 @@
+#include "core/fragmentation_tracker.h"
+
+#include <cassert>
+
+namespace lor {
+namespace core {
+
+void FragmentationTracker::Add(uint64_t fragments, uint64_t bytes) {
+  if (fragments < counts_.size()) {
+    ++counts_[fragments];
+  } else {
+    ++overflow_[fragments];
+  }
+  ++objects_;
+  total_fragments_ += fragments;
+  total_bytes_ += bytes;
+  if (fragments <= 1) ++contiguous_;
+}
+
+void FragmentationTracker::Remove(uint64_t fragments, uint64_t bytes) {
+  assert(objects_ > 0);
+  if (fragments < counts_.size()) {
+    assert(counts_[fragments] > 0);
+    --counts_[fragments];
+  } else {
+    auto it = overflow_.find(fragments);
+    assert(it != overflow_.end());
+    if (it != overflow_.end() && --it->second == 0) overflow_.erase(it);
+  }
+  --objects_;
+  total_fragments_ -= fragments;
+  total_bytes_ -= bytes;
+  if (fragments <= 1) --contiguous_;
+}
+
+void FragmentationTracker::Update(uint64_t old_fragments, uint64_t old_bytes,
+                                  uint64_t new_fragments,
+                                  uint64_t new_bytes) {
+  if (old_fragments == new_fragments && old_bytes == new_bytes) return;
+  Remove(old_fragments, old_bytes);
+  Add(new_fragments, new_bytes);
+}
+
+FragmentationReport FragmentationTracker::Snapshot() const {
+  FragmentationReport report;
+  report.objects = objects_;
+  for (uint64_t f = 0; f < counts_.size(); ++f) {
+    report.histogram.AddCount(f, counts_[f]);
+  }
+  for (const auto& [fragments, n] : overflow_) {
+    report.histogram.AddCount(fragments, n);
+  }
+  if (objects_ == 0) return report;
+  report.fragments_per_object = static_cast<double>(total_fragments_) /
+                                static_cast<double>(objects_);
+  report.max_fragments = report.histogram.max();
+  report.p50_fragments = report.histogram.Percentile(0.5);
+  report.p99_fragments = report.histogram.Percentile(0.99);
+  report.mean_fragment_bytes =
+      total_fragments_ == 0
+          ? 0.0
+          : static_cast<double>(total_bytes_) /
+                static_cast<double>(total_fragments_);
+  report.contiguous_fraction =
+      static_cast<double>(contiguous_) / static_cast<double>(objects_);
+  return report;
+}
+
+}  // namespace core
+}  // namespace lor

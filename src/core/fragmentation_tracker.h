@@ -1,0 +1,85 @@
+// FragmentationTracker: incrementally maintained fragments-per-object
+// accounting. The storage back ends notify the tracker on every extent
+// mutation (append, preallocate, replace, delete, defrag relocate), so
+// a checkpoint's FragmentationReport is a snapshot of maintained state
+// — O(histogram resolution), independent of object count and stored
+// bytes — instead of a walk over every object's full layout. The
+// full-layout scan survives in AnalyzeFragmentationFullScan as the
+// debug-mode cross-check.
+
+#ifndef LOREPO_CORE_FRAGMENTATION_TRACKER_H_
+#define LOREPO_CORE_FRAGMENTATION_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace lor {
+namespace core {
+
+/// Volume-wide fragmentation measurements.
+struct FragmentationReport {
+  uint64_t objects = 0;
+  /// The paper's headline metric (contiguous object == 1).
+  double fragments_per_object = 0.0;
+  uint64_t max_fragments = 0;
+  uint64_t p50_fragments = 0;
+  uint64_t p99_fragments = 0;
+  /// Mean bytes per physically contiguous piece.
+  double mean_fragment_bytes = 0.0;
+  /// Fraction of objects stored contiguously.
+  double contiguous_fraction = 0.0;
+  /// Full distribution for further analysis.
+  IntHistogram histogram{kHistogramResolution};
+
+  /// Unit-width histogram buckets; fragment counts above this land in
+  /// the overflow bucket. The tracker uses the same resolution so its
+  /// snapshots are bit-identical to full-scan reports.
+  static constexpr uint64_t kHistogramResolution = 4096;
+
+  std::string ToString() const;
+};
+
+/// Live fragment-count accounting for one repository.
+///
+/// Repositories report per-object (fragment count, byte size) pairs:
+/// Add when an object appears, Remove when it disappears, Update when a
+/// mutation changes its layout or size. All three are O(1) except for
+/// objects beyond kHistogramResolution fragments (O(log distinct
+/// overflow values) — pathological layouts only).
+class FragmentationTracker {
+ public:
+  void Add(uint64_t fragments, uint64_t bytes);
+  void Remove(uint64_t fragments, uint64_t bytes);
+  void Update(uint64_t old_fragments, uint64_t old_bytes,
+              uint64_t new_fragments, uint64_t new_bytes);
+
+  uint64_t objects() const { return objects_; }
+  uint64_t total_fragments() const { return total_fragments_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Builds a FragmentationReport from the maintained counts. Field-for-
+  /// field identical to AnalyzeFragmentationFullScan over the same
+  /// population (same integer totals, same histogram contents).
+  FragmentationReport Snapshot() const;
+
+ private:
+  /// counts_[f] = live objects currently laid out in f fragments.
+  std::vector<uint64_t> counts_ =
+      std::vector<uint64_t>(FragmentationReport::kHistogramResolution + 1, 0);
+  /// Exact counts for fragment values beyond the bucket range.
+  std::map<uint64_t, uint64_t> overflow_;
+  uint64_t objects_ = 0;
+  uint64_t total_fragments_ = 0;
+  uint64_t total_bytes_ = 0;
+  /// Objects with <= 1 fragment (the report's contiguous fraction).
+  uint64_t contiguous_ = 0;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_FRAGMENTATION_TRACKER_H_

@@ -19,17 +19,7 @@ FsRepository::FsRepository(FsRepositoryConfig config,
 
 Status FsRepository::StreamAppend(const std::string& file, uint64_t size,
                                   std::span<const uint8_t> data) {
-  uint64_t written = 0;
-  while (written < size) {
-    const uint64_t chunk =
-        std::min(config_.write_request_bytes, size - written);
-    std::span<const uint8_t> slice =
-        data.empty() ? std::span<const uint8_t>()
-                     : data.subspan(written, chunk);
-    LOR_RETURN_IF_ERROR(store_->Append(file, chunk, slice));
-    written += chunk;
-  }
-  return Status::OK();
+  return store_->AppendStream(file, size, config_.write_request_bytes, data);
 }
 
 Status FsRepository::Put(const std::string& key, uint64_t size,
@@ -84,10 +74,7 @@ Result<alloc::ExtentList> FsRepository::GetLayout(
   if (!extents.ok()) return extents.status();
   alloc::ExtentList bytes;
   bytes.reserve(extents->size());
-  const uint64_t unit = config_.store.cluster_bytes;
-  for (const alloc::Extent& e : *extents) {
-    alloc::AppendCoalescing(&bytes, {e.start * unit, e.length * unit});
-  }
+  alloc::AppendScaledBytes(*extents, config_.store.cluster_bytes, &bytes);
   return bytes;
 }
 
@@ -97,6 +84,23 @@ Result<uint64_t> FsRepository::GetSize(const std::string& key) const {
 
 std::vector<std::string> FsRepository::ListKeys() const {
   return store_->ListFiles();
+}
+
+void FsRepository::VisitObjects(
+    const std::function<void(const std::string& key,
+                             const alloc::ExtentList& layout,
+                             uint64_t size_bytes)>& visit) const {
+  const uint64_t unit = config_.store.cluster_bytes;
+  alloc::ExtentList bytes;  // Scratch reused across files.
+  store_->VisitFiles([&](const std::string& name, const fs::FileInfo& info) {
+    bytes.clear();
+    alloc::AppendScaledBytes(info.extents, unit, &bytes);
+    visit(name, bytes, info.size_bytes);
+  });
+}
+
+const FragmentationTracker* FsRepository::fragmentation_tracker() const {
+  return &store_->fragmentation_tracker();
 }
 
 uint64_t FsRepository::object_count() const {

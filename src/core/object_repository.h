@@ -8,6 +8,7 @@
 #define LOREPO_CORE_OBJECT_REPOSITORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 
 namespace lor {
 namespace core {
+
+class FragmentationTracker;
 
 /// Abstract get/put large-object repository.
 class ObjectRepository {
@@ -50,6 +53,22 @@ class ObjectRepository {
   virtual Result<uint64_t> GetSize(const std::string& key) const = 0;
 
   virtual std::vector<std::string> ListKeys() const = 0;
+
+  /// Visits every live object without materializing a key list:
+  /// `visit(key, layout, size_bytes)`, where `layout` is the byte-extent
+  /// layout GetLayout would return. Visit order is unspecified. This is
+  /// the checkpoint-scan path — one pass, no per-object lookups.
+  virtual void VisitObjects(
+      const std::function<void(const std::string& key,
+                               const alloc::ExtentList& layout,
+                               uint64_t size_bytes)>& visit) const = 0;
+
+  /// Incrementally maintained fragmentation accounting, or null when
+  /// the back end does not keep one (analysis then falls back to the
+  /// full layout scan).
+  virtual const FragmentationTracker* fragmentation_tracker() const {
+    return nullptr;
+  }
 
   virtual uint64_t object_count() const = 0;
   virtual uint64_t live_bytes() const = 0;

@@ -63,10 +63,8 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
 
   auto free_partial = [&]() {
     for (const alloc::Extent& run : layout.data_runs) {
-      for (uint64_t p = run.start; p < run.end(); ++p) {
-        Status s = unit->FreePage(p);
-        (void)s;
-      }
+      Status s = unit->FreePages(run);
+      (void)s;
     }
     for (uint64_t p : layout.pointer_pages) {
       Status s = unit->FreePage(p);
@@ -80,26 +78,20 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
   // allocated from the unit as each slice arrives.
   uint64_t pages_done = 0;
   uint64_t bytes_done = 0;
+  std::vector<alloc::Extent> slice_runs;  // Page runs, reused per slice.
 
   while (bytes_done < nbytes) {
     const uint64_t slice = std::min(write_request_bytes, nbytes - bytes_done);
     const uint64_t end_pages =
         std::min(total_pages, (bytes_done + slice + payload - 1) / payload);
 
-    std::vector<alloc::Extent> slice_runs;  // Page runs for this slice.
-    for (uint64_t p = pages_done; p < end_pages; ++p) {
-      auto page = unit->AllocatePage();
-      if (!page.ok()) {
-        for (const alloc::Extent& run : slice_runs) {
-          for (uint64_t q = run.start; q < run.end(); ++q) {
-            Status s = unit->FreePage(q);
-            (void)s;
-          }
-        }
-        free_partial();
-        return page.status();
-      }
-      alloc::AppendCoalescing(&slice_runs, {*page, 1});
+    slice_runs.clear();
+    Status allocated = unit->AllocatePages(end_pages - pages_done,
+                                           &slice_runs);
+    if (!allocated.ok()) {
+      // AllocatePages rolled its own pages back; release prior slices.
+      free_partial();
+      return allocated;
     }
 
     // Write the slice's pages, one device request per contiguous run.
@@ -109,10 +101,8 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
       Status s = file->WritePages(run.start, run.length);
       if (!s.ok()) {
         for (const alloc::Extent& r2 : slice_runs) {
-          for (uint64_t q = r2.start; q < r2.end(); ++q) {
-            Status undo = unit->FreePage(q);
-            (void)undo;
-          }
+          Status undo = unit->FreePages(r2);
+          (void)undo;
         }
         free_partial();
         return s;
@@ -255,9 +245,7 @@ Status BlobBtree::Read(PageFile* file, const BlobLayout& layout,
 
 Status BlobBtree::Free(LobAllocationUnit* unit, const BlobLayout& layout) {
   for (const alloc::Extent& run : layout.data_runs) {
-    for (uint64_t p = run.start; p < run.end(); ++p) {
-      LOR_RETURN_IF_ERROR(unit->FreePage(p));
-    }
+    LOR_RETURN_IF_ERROR(unit->FreePages(run));
   }
   for (uint64_t p : layout.pointer_pages) {
     LOR_RETURN_IF_ERROR(unit->FreePage(p));

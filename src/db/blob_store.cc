@@ -59,6 +59,7 @@ Status BlobStore::Put(const std::string& key, uint64_t size,
     (void)undo;
     return s;
   }
+  tracker_.Add(layout->Fragments(), size);
   layouts_.emplace(key, std::move(*layout));
   LogCommit(size);
   ++stats_.puts;
@@ -88,7 +89,9 @@ Status BlobStore::Replace(const std::string& key, uint64_t size,
 
   // The old pages become reusable once the ghost-cleanup delay elapses.
   const uint64_t old_size = it->second.data_bytes;
+  const uint64_t old_fragments = it->second.Fragments();
   LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  tracker_.Update(old_fragments, old_size, layout->Fragments(), size);
   it->second = std::move(*layout);
   LogCommit(size);
   ++stats_.replaces;
@@ -120,6 +123,7 @@ Status BlobStore::Delete(const std::string& key) {
   LOR_RETURN_IF_ERROR(metadata_->Delete(key));
   LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
   stats_.live_bytes -= it->second.data_bytes;
+  tracker_.Remove(it->second.Fragments(), it->second.data_bytes);
   layouts_.erase(it);
   LogCommit(0);
   ++stats_.deletes;
@@ -149,6 +153,12 @@ Result<uint64_t> BlobStore::GetSize(const std::string& key) const {
 
 std::vector<std::string> BlobStore::ListKeys() const {
   return metadata_->ScanKeys();
+}
+
+void BlobStore::VisitBlobs(
+    const std::function<void(const std::string& key, const BlobLayout& layout)>&
+        visit) const {
+  for (const auto& [key, layout] : layouts_) visit(key, layout);
 }
 
 Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
@@ -193,7 +203,11 @@ Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
       row.size_bytes = fresh->data_bytes;
       row.version = next_version_++;
       LOR_RETURN_IF_ERROR(metadata_->Update(row));
+      const uint64_t old_fragments = it->second.Fragments();
+      const uint64_t old_bytes = it->second.data_bytes;
       LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+      tracker_.Update(old_fragments, old_bytes, fresh->Fragments(),
+                      fresh->data_bytes);
       report.bytes_moved += fresh->data_bytes;
       ++report.objects_moved;
       it->second = std::move(*fresh);

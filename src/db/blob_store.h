@@ -16,12 +16,14 @@
 #define LOREPO_DB_BLOB_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/fragmentation_tracker.h"
 #include "db/blob_btree.h"
 #include "db/lob_allocation_unit.h"
 #include "db/metadata_table.h"
@@ -97,6 +99,18 @@ class BlobStore {
 
   std::vector<std::string> ListKeys() const;
 
+  /// Visits every live object's layout without materializing a key list
+  /// (unordered).
+  void VisitBlobs(
+      const std::function<void(const std::string& key,
+                               const BlobLayout& layout)>& visit) const;
+
+  /// Incrementally maintained fragments-per-object accounting; updated
+  /// on every BLOB allocation, replacement, delete, and rebuild.
+  const core::FragmentationTracker& fragmentation_tracker() const {
+    return tracker_;
+  }
+
   const BlobStoreStats& stats() const { return stats_; }
   const PageFile& page_file() const { return page_file_; }
   PageFile* mutable_page_file() { return &page_file_; }
@@ -140,6 +154,7 @@ class BlobStore {
   LobAllocationUnit lob_unit_;
   std::unique_ptr<MetadataTable> metadata_;
   std::unordered_map<std::string, BlobLayout> layouts_;
+  core::FragmentationTracker tracker_;
   BlobStoreStats stats_;
   uint64_t log_cursor_ = 0;
   uint64_t next_version_ = 1;

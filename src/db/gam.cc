@@ -41,18 +41,14 @@ bool GamBitmap::IsFree(uint64_t extent) const {
   return (bits_[extent / 64] >> (extent % 64)) & 1;
 }
 
-uint64_t GamBitmap::AllocateLowest(uint64_t from) {
+uint64_t GamBitmap::FindLowestFree(uint64_t from) const {
   if (free_count_ == 0 || from >= capacity_) return kNoExtent;
   uint64_t word = from / 64;
   // Check the partial first word.
   if (word < bits_.size()) {
     const uint64_t masked = bits_[word] & (~0ULL << (from % 64));
     if (masked != 0) {
-      const uint64_t extent =
-          word * 64 + static_cast<uint64_t>(std::countr_zero(masked));
-      ClearFree(extent);
-      --free_count_;
-      return extent;
+      return word * 64 + static_cast<uint64_t>(std::countr_zero(masked));
     }
     ++word;
   }
@@ -69,14 +65,31 @@ uint64_t GamBitmap::AllocateLowest(uint64_t from) {
           group * 64 + static_cast<uint64_t>(std::countr_zero(smask));
       const uint64_t extent =
           w * 64 + static_cast<uint64_t>(std::countr_zero(bits_[w]));
-      if (extent >= capacity_) return kNoExtent;
-      ClearFree(extent);
-      --free_count_;
-      return extent;
+      return extent < capacity_ ? extent : kNoExtent;
     }
     ++group;
   }
   return kNoExtent;
+}
+
+void GamBitmap::MarkFree(uint64_t extent) {
+  if (extent >= capacity_ || IsFree(extent)) return;
+  SetFree(extent);
+  ++free_count_;
+}
+
+void GamBitmap::MarkUsed(uint64_t extent) {
+  if (!IsFree(extent)) return;
+  ClearFree(extent);
+  --free_count_;
+}
+
+uint64_t GamBitmap::AllocateLowest(uint64_t from) {
+  const uint64_t extent = FindLowestFree(from);
+  if (extent == kNoExtent) return kNoExtent;
+  ClearFree(extent);
+  --free_count_;
+  return extent;
 }
 
 Status GamBitmap::AllocateSpecific(uint64_t extent) {

@@ -44,6 +44,17 @@ class GamBitmap {
   /// when none exists.
   uint64_t AllocateLowest(uint64_t from = 0);
 
+  /// Lowest free extent at or above `from` without claiming it, or
+  /// kNoExtent. O(capacity / 4096) worst case via the summary level.
+  uint64_t FindLowestFree(uint64_t from = 0) const;
+
+  /// Idempotently marks one extent free / not free, maintaining the
+  /// free count. Unlike Release/AllocateSpecific these never fail,
+  /// which lets callers (e.g. LobAllocationUnit's free-page index) use
+  /// the bitmap as a plain membership index.
+  void MarkFree(uint64_t extent);
+  void MarkUsed(uint64_t extent);
+
   /// Claims a specific extent; fails if it is not free.
   Status AllocateSpecific(uint64_t extent);
 

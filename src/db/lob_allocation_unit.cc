@@ -8,13 +8,14 @@ namespace db {
 uint64_t LobAllocationUnit::PickExtent() {
   if (sequential_fill_) {
     // Only the tail of the extent we are currently filling qualifies.
-    return with_free_.count(hint_extent_) != 0 ? hint_extent_ : kNoExtent;
+    return with_free_.IsFree(hint_extent_) ? hint_extent_ : kNoExtent;
   }
-  if (with_free_.empty()) return kNoExtent;
-  if (policy_ == PageScanPolicy::kLowestFirst) return *with_free_.begin();
-  auto it = with_free_.lower_bound(hint_extent_);
-  if (it == with_free_.end()) it = with_free_.begin();
-  return *it;
+  if (with_free_.free_count() == 0) return kNoExtent;
+  if (policy_ == PageScanPolicy::kLowestFirst) {
+    return with_free_.FindLowestFree(0);
+  }
+  const uint64_t extent = with_free_.FindLowestFree(hint_extent_);
+  return extent != kNoExtent ? extent : with_free_.FindLowestFree(0);
 }
 
 Result<uint64_t> LobAllocationUnit::AllocatePage() {
@@ -23,57 +24,152 @@ Result<uint64_t> LobAllocationUnit::AllocatePage() {
     auto fresh = file_->AllocateExtent();
     if (!fresh.ok()) return fresh.status();
     extent = *fresh;
-    const uint8_t all_free =
-        static_cast<uint8_t>((1u << file_->pages_per_extent()) - 1);
-    owned_.emplace(extent, all_free);
-    with_free_.insert(extent);
-    reserved_free_ += file_->pages_per_extent();
+    bitmaps_[extent] = all_free_;
+    with_free_.MarkFree(extent);
+    ++owned_count_;
+    reserved_free_ += pages_per_extent_;
   }
-  auto it = owned_.find(extent);
-  const int bit = std::countr_zero(it->second);
-  it->second = static_cast<uint8_t>(it->second & ~(1u << bit));
-  if (it->second == 0) with_free_.erase(extent);
+  uint16_t& bitmap = bitmaps_[extent];
+  const int bit = std::countr_zero(bitmap);
+  bitmap = static_cast<uint16_t>(bitmap & ~(1u << bit));
+  if (bitmap == 0) with_free_.MarkUsed(extent);
   --reserved_free_;
   ++allocated_pages_;
   hint_extent_ = extent;
   return file_->ExtentFirstPage(extent) + static_cast<uint64_t>(bit);
 }
 
+Status LobAllocationUnit::AllocatePages(uint64_t count,
+                                        alloc::ExtentList* out) {
+  const size_t base = out->size();
+  const uint64_t base_back_length = base > 0 ? (*out)[base - 1].length : 0;
+  auto rollback = [&]() {
+    for (size_t i = base; i < out->size(); ++i) {
+      Status s = FreePages((*out)[i]);
+      (void)s;
+    }
+    out->resize(base);
+    if (base > 0 && (*out)[base - 1].length > base_back_length) {
+      const alloc::Extent& back = (*out)[base - 1];
+      Status s = FreePages({back.start + base_back_length,
+                            back.length - base_back_length});
+      (void)s;
+      (*out)[base - 1].length = base_back_length;
+    }
+  };
+
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    uint64_t extent = PickExtent();
+    if (extent == kNoExtent) {
+      auto fresh = file_->AllocateExtent();
+      if (!fresh.ok()) {
+        rollback();
+        return fresh.status();
+      }
+      extent = *fresh;
+      bitmaps_[extent] = all_free_;
+      with_free_.MarkFree(extent);
+      ++owned_count_;
+      reserved_free_ += pages_per_extent_;
+    }
+    // Drain the extent's free bits lowest-first — the page-id sequence
+    // repeated AllocatePage calls would produce.
+    uint16_t& bitmap = bitmaps_[extent];
+    const uint64_t first_page = file_->ExtentFirstPage(extent);
+    uint64_t taken = 0;
+    while (bitmap != 0 && taken < remaining) {
+      const int bit = std::countr_zero(bitmap);
+      bitmap = static_cast<uint16_t>(bitmap & ~(1u << bit));
+      alloc::AppendCoalescing(out,
+                              {first_page + static_cast<uint64_t>(bit), 1});
+      ++taken;
+    }
+    if (bitmap == 0) with_free_.MarkUsed(extent);
+    reserved_free_ -= taken;
+    allocated_pages_ += taken;
+    hint_extent_ = extent;
+    remaining -= taken;
+  }
+  return Status::OK();
+}
+
 Status LobAllocationUnit::FreePage(uint64_t page_id) {
-  const uint64_t extent = page_id / file_->pages_per_extent();
-  const uint64_t bit = page_id % file_->pages_per_extent();
-  auto it = owned_.find(extent);
-  if (it == owned_.end()) {
+  const uint64_t extent = page_id / pages_per_extent_;
+  const uint64_t bit = page_id % pages_per_extent_;
+  if (extent >= bitmaps_.size() || bitmaps_[extent] == kUnowned) {
     return Status::InvalidArgument("page's extent not owned by unit");
   }
-  if ((it->second >> bit) & 1u) {
+  uint16_t& bitmap = bitmaps_[extent];
+  if ((bitmap >> bit) & 1u) {
     return Status::InvalidArgument("double free of page");
   }
-  it->second = static_cast<uint8_t>(it->second | (1u << bit));
+  bitmap = static_cast<uint16_t>(bitmap | (1u << bit));
   ++reserved_free_;
   --allocated_pages_;
-  const uint8_t all_free =
-      static_cast<uint8_t>((1u << file_->pages_per_extent()) - 1);
-  if (it->second == all_free) {
-    owned_.erase(it);
-    with_free_.erase(extent);
-    reserved_free_ -= file_->pages_per_extent();
+  if (bitmap == all_free_) {
+    bitmaps_[extent] = kUnowned;
+    with_free_.MarkUsed(extent);
+    --owned_count_;
+    reserved_free_ -= pages_per_extent_;
     return file_->FreeExtents(extent, 1);
   }
-  with_free_.insert(extent);
+  with_free_.MarkFree(extent);
+  return Status::OK();
+}
+
+Status LobAllocationUnit::FreePages(const alloc::Extent& run) {
+  uint64_t page = run.start;
+  uint64_t left = run.length;
+  while (left > 0) {
+    const uint64_t extent = page / pages_per_extent_;
+    const uint64_t bit = page % pages_per_extent_;
+    const uint64_t in_extent = std::min(left, pages_per_extent_ - bit);
+    if (extent >= bitmaps_.size() || bitmaps_[extent] == kUnowned) {
+      return Status::InvalidArgument("page's extent not owned by unit");
+    }
+    uint16_t& bitmap = bitmaps_[extent];
+    const uint16_t mask =
+        static_cast<uint16_t>(((1u << in_extent) - 1) << bit);
+    if ((bitmap & mask) != 0) {
+      return Status::InvalidArgument("double free of page");
+    }
+    bitmap = static_cast<uint16_t>(bitmap | mask);
+    reserved_free_ += in_extent;
+    allocated_pages_ -= in_extent;
+    if (bitmap == all_free_) {
+      bitmaps_[extent] = kUnowned;
+      with_free_.MarkUsed(extent);
+      --owned_count_;
+      reserved_free_ -= pages_per_extent_;
+      LOR_RETURN_IF_ERROR(file_->FreeExtents(extent, 1));
+    } else {
+      with_free_.MarkFree(extent);
+    }
+    page += in_extent;
+    left -= in_extent;
+  }
   return Status::OK();
 }
 
 Status LobAllocationUnit::CheckConsistency() const {
   uint64_t free_pages = 0;
   uint64_t used_pages = 0;
-  for (const auto& [extent, bitmap] : owned_) {
+  uint64_t owned = 0;
+  for (uint64_t extent = 0; extent < bitmaps_.size(); ++extent) {
+    const uint16_t bitmap = bitmaps_[extent];
+    if (bitmap == kUnowned) {
+      if (with_free_.IsFree(extent)) {
+        return Status::Corruption("free index lists unowned extent");
+      }
+      continue;
+    }
+    ++owned;
     const int free_bits = std::popcount(bitmap);
     free_pages += static_cast<uint64_t>(free_bits);
     used_pages += file_->pages_per_extent() - static_cast<uint64_t>(free_bits);
-    const bool has_free = bitmap != 0;
-    if (has_free != (with_free_.count(extent) != 0)) {
-      return Status::Corruption("with_free_ index disagrees with bitmap");
+    if ((bitmap != 0) != with_free_.IsFree(extent)) {
+      return Status::Corruption("free index disagrees with bitmap");
     }
     if (bitmap == ((1u << file_->pages_per_extent()) - 1)) {
       return Status::Corruption("fully free extent still owned");
@@ -81,6 +177,9 @@ Status LobAllocationUnit::CheckConsistency() const {
     if (file_->gam().IsFree(extent)) {
       return Status::Corruption("owned extent is free in the GAM");
     }
+  }
+  if (owned != owned_count_) {
+    return Status::Corruption("owned extent count mismatch");
   }
   if (free_pages != reserved_free_) {
     return Status::Corruption("reserved free page count mismatch");

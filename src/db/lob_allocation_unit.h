@@ -14,9 +14,10 @@
 #define LOREPO_DB_LOB_ALLOCATION_UNIT_H_
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <vector>
 
+#include "alloc/extent.h"
+#include "db/gam.h"
 #include "db/page_file.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -36,26 +37,49 @@ enum class PageScanPolicy {
 };
 
 /// One table's LOB allocation unit.
+///
+/// Bookkeeping is flat and O(1) per page operation: a per-extent free-
+/// page bitmap indexed directly by extent id, plus a two-level bitmap
+/// (GamBitmap reused as a membership index) over extents with free
+/// pages so the PFS-order / from-hint scans are summary-level word
+/// scans instead of ordered-set walks. This is the engine's hottest
+/// path — every blob write and free goes through it page by page.
 class LobAllocationUnit {
  public:
   LobAllocationUnit(PageFile* file,
                     PageScanPolicy policy = PageScanPolicy::kFromHint)
-      : file_(file), policy_(policy) {}
+      : file_(file),
+        policy_(policy),
+        bitmaps_(file->capacity_extents(), kUnowned),
+        with_free_(file->capacity_extents()),
+        pages_per_extent_(file->pages_per_extent()),
+        all_free_(static_cast<uint16_t>((1u << pages_per_extent_) - 1)) {}
 
   /// Allocates one page, preferring free pages in owned extents before
   /// acquiring a new extent from the GAM.
   Result<uint64_t> AllocatePage();
 
+  /// Allocates `count` pages — the identical page-id sequence `count`
+  /// AllocatePage calls would produce, batched per extent (one scan +
+  /// one bitmap update per extent instead of per page). Appends the
+  /// pages to `out` as coalesced page runs. On failure the pages
+  /// acquired by this call are rolled back and `out` is untouched.
+  Status AllocatePages(uint64_t count, alloc::ExtentList* out);
+
   /// Frees one page; returns the extent to the GAM once it is entirely
   /// free.
   Status FreePage(uint64_t page_id);
+
+  /// Frees a run of pages — equivalent to FreePage on each page of
+  /// `run` in ascending order, batched per extent.
+  Status FreePages(const alloc::Extent& run);
 
   /// Pages currently allocated through this unit.
   uint64_t allocated_pages() const { return allocated_pages_; }
   /// Free pages inside owned (partially used) extents.
   uint64_t reserved_free_pages() const { return reserved_free_; }
   /// Extents currently owned by the unit.
-  uint64_t owned_extents() const { return owned_.size(); }
+  uint64_t owned_extents() const { return owned_count_; }
 
   /// Sequential-fill mode for table rebuilds: while enabled, page
   /// allocation never reuses free pages in old partially-used extents;
@@ -67,21 +91,31 @@ class LobAllocationUnit {
   Status CheckConsistency() const;
 
  private:
+  /// Sentinel bitmap value for extents the unit does not own. Owned
+  /// extents hold their free-page bits (bit i = page i of extent free);
+  /// 0 means owned and fully used.
+  static constexpr uint16_t kUnowned = 0xFFFF;
+
   /// Picks an owned extent with at least one free page, or returns
   /// kNoExtent.
   uint64_t PickExtent();
 
   PageFile* file_;
   PageScanPolicy policy_;
-  /// extent id -> bitmap of free pages (bit i = page i of extent free).
-  /// Only extents with used pages or free pages are owned; an extent
-  /// whose pages are all free is released back to the GAM.
-  std::map<uint64_t, uint8_t> owned_;
-  /// Extents with at least one free page, ordered by id.
-  std::set<uint64_t> with_free_;
+  /// Free-page bitmap per extent id, kUnowned where not owned. Only
+  /// extents with used pages are owned; an extent whose pages are all
+  /// free is released back to the GAM.
+  std::vector<uint16_t> bitmaps_;
+  /// Membership index over extents with at least one free page.
+  GamBitmap with_free_;
+  /// Cached geometry: page <-> extent translation runs on every page
+  /// operation, so avoid re-deriving it through the file.
+  uint64_t pages_per_extent_;
+  uint16_t all_free_;
   uint64_t hint_extent_ = 0;
   uint64_t allocated_pages_ = 0;
   uint64_t reserved_free_ = 0;
+  uint64_t owned_count_ = 0;
   bool sequential_fill_ = false;
 };
 

@@ -33,6 +33,14 @@ const FileInfo* FileStore::Find(const std::string& name) const {
   return it == files_.end() ? nullptr : &it->second;
 }
 
+void FileStore::SyncTracker(FileInfo* file) {
+  const uint64_t fragments = alloc::CountFragments(file->extents);
+  tracker_.Update(file->tracked_fragments, file->tracked_bytes, fragments,
+                  file->size_bytes);
+  file->tracked_fragments = fragments;
+  file->tracked_bytes = file->size_bytes;
+}
+
 void FileStore::ChargeMftAccess(uint64_t file_id, bool write) {
   if (!options_.charge_metadata_io) return;
   // MFT records live in the first half of the reserved zone.
@@ -95,6 +103,7 @@ Status FileStore::Create(const std::string& name) {
   ChargeMftAccess(info.id, /*write=*/true);
   ChargeJournal(/*flush=*/false);
   files_.emplace(name, std::move(info));
+  tracker_.Add(0, 0);  // Empty file: no extents, no bytes.
   ++stats_.creates;
   ++stats_.file_count;
   NoteNameInsert();
@@ -114,6 +123,7 @@ Status FileStore::Delete(const std::string& name) {
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   LOR_RETURN_IF_ERROR(FreeFileClusters(it->second));
   stats_.live_bytes -= it->second.size_bytes;
+  tracker_.Remove(it->second.tracked_fragments, it->second.tracked_bytes);
   ChargeMftAccess(it->second.id, /*write=*/true);
   ChargeJournal(/*flush=*/false);
   device_->ChargeCpu(options_.costs.fs_close_s);
@@ -136,6 +146,8 @@ Status FileStore::Replace(const std::string& source,
   if (dst != files_.end()) {
     LOR_RETURN_IF_ERROR(FreeFileClusters(dst->second));
     stats_.live_bytes -= dst->second.size_bytes;
+    tracker_.Remove(dst->second.tracked_fragments,
+                    dst->second.tracked_bytes);
     ChargeMftAccess(dst->second.id, /*write=*/true);
     files_.erase(dst);
     --stats_.file_count;
@@ -160,34 +172,85 @@ bool FileStore::Exists(const std::string& name) const {
 std::vector<std::pair<uint64_t, uint64_t>> FileStore::MapRange(
     const FileInfo& file, uint64_t offset, uint64_t length) const {
   std::vector<std::pair<uint64_t, uint64_t>> runs;
-  uint64_t logical = 0;  // Byte offset covered so far.
+  MapRangeInto(file, offset, length, &runs);
+  return runs;
+}
+
+void FileStore::MapRangeInto(
+    const FileInfo& file, uint64_t offset, uint64_t length,
+    std::vector<std::pair<uint64_t, uint64_t>>* runs) const {
+  runs->clear();
+  // Find the extent containing `offset` by walking back from the tail:
+  // appends map the file's end, so this is O(extents in the range).
+  size_t first = file.extents.size();
+  uint64_t logical =
+      file.allocated_clusters * options_.cluster_bytes;  // End of layout.
+  while (first > 0) {
+    const uint64_t ext_bytes =
+        file.extents[first - 1].length * options_.cluster_bytes;
+    if (logical - ext_bytes <= offset) break;
+    logical -= ext_bytes;
+    --first;
+  }
+  if (first > 0) {
+    logical -= file.extents[first - 1].length * options_.cluster_bytes;
+    --first;
+  }
   uint64_t cur = offset;
   uint64_t remaining = length;
-  for (const alloc::Extent& e : file.extents) {
+  for (size_t i = first; i < file.extents.size(); ++i) {
     if (remaining == 0) break;
+    const alloc::Extent& e = file.extents[i];
     const uint64_t ext_bytes = e.length * options_.cluster_bytes;
     const uint64_t ext_end = logical + ext_bytes;
     if (cur < ext_end) {
       const uint64_t in_ext = cur - logical;
       const uint64_t phys = e.start * options_.cluster_bytes + in_ext;
       const uint64_t chunk = std::min(remaining, ext_bytes - in_ext);
-      if (!runs.empty() && runs.back().first + runs.back().second == phys) {
-        runs.back().second += chunk;
+      if (!runs->empty() && runs->back().first + runs->back().second == phys) {
+        runs->back().second += chunk;
       } else {
-        runs.emplace_back(phys, chunk);
+        runs->emplace_back(phys, chunk);
       }
       cur += chunk;
       remaining -= chunk;
     }
     logical = ext_end;
   }
-  return runs;
 }
 
 Status FileStore::Append(const std::string& name, uint64_t length,
                          std::span<const uint8_t> data) {
   FileInfo* file = Find(name);
   if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return AppendToFile(file, length, data);
+}
+
+Status FileStore::AppendStream(const std::string& name, uint64_t length,
+                               uint64_t request_bytes,
+                               std::span<const uint8_t> data) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (request_bytes == 0) {
+    return Status::InvalidArgument("zero request size");
+  }
+  if (!data.empty() && data.size() != length) {
+    return Status::InvalidArgument("data size does not match length");
+  }
+  uint64_t written = 0;
+  while (written < length) {
+    const uint64_t chunk = std::min(request_bytes, length - written);
+    std::span<const uint8_t> slice =
+        data.empty() ? std::span<const uint8_t>()
+                     : data.subspan(written, chunk);
+    LOR_RETURN_IF_ERROR(AppendToFile(file, chunk, slice));
+    written += chunk;
+  }
+  return Status::OK();
+}
+
+Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
+                               std::span<const uint8_t> data) {
   if (!data.empty() && data.size() != length) {
     return Status::InvalidArgument("data size does not match length");
   }
@@ -203,14 +266,25 @@ Status FileStore::Append(const std::string& name, uint64_t length,
   }
 
   const double t0 = device_->clock().now();
-  const auto runs = MapRange(*file, file->size_bytes, length);
-  uint64_t consumed = 0;
-  for (const auto& [phys, len] : runs) {
-    std::span<const uint8_t> slice =
-        data.empty() ? std::span<const uint8_t>()
-                     : data.subspan(consumed, len);
-    LOR_RETURN_IF_ERROR(device_->Write(phys, len, slice));
-    consumed += len;
+  // Fast path: the appended range lies entirely inside the tail extent
+  // (sequential extension), so it maps to one physical run.
+  const alloc::Extent& tail = file->extents.back();
+  const uint64_t tail_logical =
+      (file->allocated_clusters - tail.length) * options_.cluster_bytes;
+  if (tail_logical <= file->size_bytes) {
+    const uint64_t phys = tail.start * options_.cluster_bytes +
+                          (file->size_bytes - tail_logical);
+    LOR_RETURN_IF_ERROR(device_->Write(phys, length, data));
+  } else {
+    MapRangeInto(*file, file->size_bytes, length, &append_runs_);
+    uint64_t consumed = 0;
+    for (const auto& [phys, len] : append_runs_) {
+      std::span<const uint8_t> slice =
+          data.empty() ? std::span<const uint8_t>()
+                       : data.subspan(consumed, len);
+      LOR_RETURN_IF_ERROR(device_->Write(phys, len, slice));
+      consumed += len;
+    }
   }
   const double device_seconds = device_->clock().now() - t0;
   device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
@@ -218,6 +292,7 @@ Status FileStore::Append(const std::string& name, uint64_t length,
 
   file->size_bytes += length;
   stats_.live_bytes += length;
+  SyncTracker(file);
   ++stats_.appends;
   return Status::OK();
 }
@@ -267,6 +342,7 @@ Status FileStore::Preallocate(const std::string& name, uint64_t final_size) {
       file->extents.empty() ? alloc::kNoHint : file->extents.back().end();
   LOR_RETURN_IF_ERROR(allocator_->Allocate(grow, hint, &file->extents));
   file->allocated_clusters = needed;
+  SyncTracker(file);
   return Status::OK();
 }
 
@@ -290,6 +366,7 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
   file->allocated_clusters = have;
   stats_.live_bytes -= file->size_bytes - new_size;
   file->size_bytes = new_size;
+  SyncTracker(file);
   ChargeMftAccess(file->id, /*write=*/true);
   ChargeJournal(/*flush=*/false);
   return Status::OK();
@@ -328,6 +405,7 @@ Status FileStore::MoveFileData(FileInfo* file, alloc::ExtentList fresh) {
     LOR_RETURN_IF_ERROR(allocator_->Free(e));
   }
   file->extents = std::move(fresh);
+  SyncTracker(file);
   ChargeMftAccess(file->id, /*write=*/true);
   ChargeJournal(/*flush=*/true);
   return Status::OK();
@@ -409,6 +487,12 @@ std::vector<std::string> FileStore::ListFiles() const {
   names.reserve(files_.size());
   for (const auto& [name, info] : files_) names.push_back(name);
   return names;
+}
+
+void FileStore::VisitFiles(
+    const std::function<void(const std::string& name, const FileInfo& info)>&
+        visit) const {
+  for (const auto& [name, info] : files_) visit(name, info);
 }
 
 uint64_t FileStore::FreeBytes() const {

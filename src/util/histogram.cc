@@ -71,6 +71,18 @@ void IntHistogram::Add(uint64_t value) {
   }
 }
 
+void IntHistogram::AddCount(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  count_ += n;
+  sum_ += value * n;
+  if (value < buckets_.size()) {
+    buckets_[value] += n;
+  } else {
+    overflow_ += n;
+    overflow_max_ = std::max(overflow_max_, value);
+  }
+}
+
 void IntHistogram::Merge(const IntHistogram& other) {
   const size_t shared = std::min(buckets_.size(), other.buckets_.size());
   for (size_t i = 0; i < shared; ++i) buckets_[i] += other.buckets_[i];

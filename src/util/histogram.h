@@ -45,6 +45,9 @@ class IntHistogram {
   explicit IntHistogram(uint64_t max_tracked = 1024);
 
   void Add(uint64_t value);
+  /// Adds `n` samples of `value` at once (bulk fill from maintained
+  /// per-value counts, e.g. FragmentationTracker snapshots).
+  void AddCount(uint64_t value, uint64_t n);
   void Merge(const IntHistogram& other);
   void Reset();
 

@@ -1,7 +1,6 @@
 #include "workload/getput_runner.h"
 
 #include <algorithm>
-#include <cstdio>
 
 namespace lor {
 namespace workload {
@@ -11,10 +10,23 @@ GetPutRunner::GetPutRunner(core::ObjectRepository* repo,
     : repo_(repo), config_(config), rng_(config.seed) {}
 
 std::string GetPutRunner::KeyFor(uint64_t index) const {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "obj%08llu",
-                static_cast<unsigned long long>(index));
-  return buf;
+  // Hot path during bulk load: "obj" + the index zero-padded to at
+  // least 8 digits (the former %08llu format), written digit by digit
+  // into a right-sized string — no snprintf, no reformat pass.
+  int digits = 1;
+  for (uint64_t v = index; v >= 10; v /= 10) ++digits;
+  const int width = std::max(digits, 8);
+  std::string key(3 + static_cast<size_t>(width), '0');
+  key[0] = 'o';
+  key[1] = 'b';
+  key[2] = 'j';
+  size_t pos = key.size();
+  uint64_t v = index;
+  do {
+    key[--pos] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  return key;
 }
 
 Result<ThroughputSample> GetPutRunner::BulkLoad() {
@@ -22,6 +34,15 @@ Result<ThroughputSample> GetPutRunner::BulkLoad() {
   const uint64_t target_bytes = static_cast<uint64_t>(
       config_.target_occupancy *
       static_cast<double>(repo_->volume_bytes()));
+
+  // Size the key/size tables for the expected population up front so
+  // the load loop never reallocates them.
+  const uint64_t expected =
+      config_.sizes.mean_bytes() > 0
+          ? target_bytes / config_.sizes.mean_bytes() + 1
+          : 0;
+  keys_.reserve(expected);
+  sizes_.reserve(expected);
 
   ThroughputSample sample;
   const double t0 = repo_->now();

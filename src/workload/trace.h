@@ -78,6 +78,15 @@ class RecordingRepository : public core::ObjectRepository {
   std::vector<std::string> ListKeys() const override {
     return inner_->ListKeys();
   }
+  void VisitObjects(
+      const std::function<void(const std::string& key,
+                               const alloc::ExtentList& layout,
+                               uint64_t size_bytes)>& visit) const override {
+    inner_->VisitObjects(visit);
+  }
+  const core::FragmentationTracker* fragmentation_tracker() const override {
+    return inner_->fragmentation_tracker();
+  }
   uint64_t object_count() const override { return inner_->object_count(); }
   uint64_t live_bytes() const override { return inner_->live_bytes(); }
   uint64_t volume_bytes() const override { return inner_->volume_bytes(); }

@@ -238,6 +238,67 @@ TEST(FreeSpaceMapTest, AllocateFromTakesShortRunWhole) {
   EXPECT_TRUE(m.AllocateFrom(0, 1).empty());
 }
 
+TEST(FreeSpaceMapTest, PendingResizeVisibleToSizeQueries) {
+  // Sequential ExtendAt takes defer the size-index re-key; every
+  // size-ordered query must still see the true lengths.
+  FreeSpaceMap m(1000);
+  EXPECT_EQ(m.ExtendAt(0, 100), 100u);
+  EXPECT_EQ(m.largest_run(), 900u);
+  EXPECT_EQ(m.ExtendAt(100, 50), 50u);
+  auto runs = m.LargestRuns(4);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (Extent{150, 850}));
+  EXPECT_EQ(m.ExtendAt(150, 10), 10u);
+  EXPECT_TRUE(m.CheckConsistency().ok());
+  EXPECT_EQ(m.Stats().largest_run, 840u);
+}
+
+TEST(FreeSpaceMapTest, MixedExtendFitAndFreeStaysConsistent) {
+  // Interleaves the sequential-extension fast path with bucketed
+  // first/next-fit selection and coalescing frees; exercises the
+  // shrink-position cache and the lazy bucket index together.
+  constexpr uint64_t kClusters = 1 << 16;
+  FreeSpaceMap m(kClusters);
+  Rng rng(31337);
+  std::vector<Extent> live;
+  uint64_t cursor = 0;
+  uint64_t live_clusters = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      const uint64_t got = m.ExtendAt(cursor, 1 + rng.Uniform(32));
+      if (got > 0) {
+        live.push_back({cursor, got});
+        live_clusters += got;
+        cursor += got;
+      } else {
+        cursor = rng.Uniform(kClusters);
+      }
+    } else if (dice < 0.7) {
+      const FitPolicy policy = rng.Bernoulli(0.5) ? FitPolicy::kFirstFit
+                                                  : FitPolicy::kNextFit;
+      Extent e = m.AllocateUpTo(1 + rng.Uniform(64), policy);
+      if (!e.empty()) {
+        live.push_back(e);
+        live_clusters += e.length;
+      }
+    } else if (!live.empty()) {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(m.Free(live[idx]).ok());
+      live_clusters -= live[idx].length;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(m.free_clusters() + live_clusters, kClusters);
+    if (op % 200 == 0) {
+      ASSERT_TRUE(m.CheckConsistency().ok()) << "op " << op;
+    }
+  }
+  for (const Extent& e : live) ASSERT_TRUE(m.Free(e).ok());
+  EXPECT_EQ(m.run_count(), 1u);
+  EXPECT_TRUE(m.CheckConsistency().ok());
+}
+
 // Property test: random allocate/free cycles keep the map internally
 // consistent and conserve clusters, for every policy.
 class FreeSpaceMapPropertyTest
