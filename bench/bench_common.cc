@@ -25,11 +25,26 @@ Options Options::FromArgs(int argc, char** argv) {
       opts.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strcmp(arg, "--csv") == 0) {
       opts.csv = true;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0 ||
+               std::strncmp(arg, "--threads=", 10) == 0) {
+      const char* value = arg + (arg[2] == 's' ? 9 : 10);
+      const uint64_t n = std::strtoull(value, nullptr, 10);
+      if (n > 0 && n <= UINT32_MAX) {
+        opts.shards = static_cast<uint32_t>(n);
+        opts.shards_set = true;
+      }
     }
   }
-  // Environment override used by CI sweeps.
+  // Environment overrides used by CI sweeps.
   if (const char* env = std::getenv("LOR_BENCH_SCALE")) {
     opts.scale = std::atof(env) > 0.0 ? std::atof(env) : opts.scale;
+  }
+  if (const char* env = std::getenv("LOR_BENCH_SHARDS")) {
+    const uint64_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0 && n <= UINT32_MAX) {
+      opts.shards = static_cast<uint32_t>(n);
+      opts.shards_set = true;
+    }
   }
   return opts;
 }
@@ -38,48 +53,79 @@ uint64_t Options::ScaleBytes(uint64_t paper_bytes) const {
   return static_cast<uint64_t>(static_cast<double>(paper_bytes) * scale);
 }
 
-std::unique_ptr<core::ObjectRepository> MakeRepository(
+std::unique_ptr<core::RepositoryFactory> MakeRepositoryFactory(
     Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes) {
   if (backend == Backend::kFilesystem) {
     core::FsRepositoryConfig config;
     config.volume_bytes = volume_bytes;
     config.write_request_bytes = write_request_bytes;
-    return std::make_unique<core::FsRepository>(config);
+    return std::make_unique<core::FsRepositoryFactory>(config);
   }
   core::DbRepositoryConfig config;
   config.volume_bytes = volume_bytes;
   config.store.write_request_bytes = write_request_bytes;
-  return std::make_unique<core::DbRepository>(config);
+  return std::make_unique<core::DbRepositoryFactory>(config);
 }
 
-Result<std::vector<AgingCheckpoint>> RunAging(
-    core::ObjectRepository* repo, const workload::WorkloadConfig& config,
-    const std::vector<double>& ages, bool probe_reads) {
-  workload::GetPutRunner runner(repo, config);
+std::unique_ptr<core::ObjectRepository> MakeRepository(
+    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes) {
+  return MakeRepositoryFactory(backend, volume_bytes, write_request_bytes)
+      ->Create(0, 1);
+}
+
+namespace {
+
+/// The checkpoint protocol shared by the single-shard and sharded
+/// aging drivers: bulk load is the age-0 checkpoint, then every target
+/// age records the interval's write sample, an optional read probe,
+/// the measured age, and a fragmentation report. `Runner` is
+/// GetPutRunner or ShardedRunner (identical phase interface).
+template <typename Runner>
+Result<std::vector<AgingCheckpoint>> CollectCheckpoints(
+    Runner* runner, const std::vector<double>& ages, bool probe_reads) {
   std::vector<AgingCheckpoint> checkpoints;
 
   AgingCheckpoint zero;
   zero.target_age = 0.0;
-  LOR_ASSIGN_OR_RETURN(zero.write, runner.BulkLoad());
+  LOR_ASSIGN_OR_RETURN(zero.write, runner->BulkLoad());
   if (probe_reads) {
-    LOR_ASSIGN_OR_RETURN(zero.read, runner.MeasureReadThroughput());
+    LOR_ASSIGN_OR_RETURN(zero.read, runner->MeasureReadThroughput());
   }
-  zero.measured_age = runner.storage_age();
-  zero.fragmentation = runner.Fragmentation();
+  zero.measured_age = runner->storage_age();
+  zero.fragmentation = runner->Fragmentation();
+  zero.device = runner->device_stats();
   checkpoints.push_back(std::move(zero));
 
   for (double age : ages) {
     AgingCheckpoint cp;
     cp.target_age = age;
-    LOR_ASSIGN_OR_RETURN(cp.write, runner.AgeTo(age));
+    LOR_ASSIGN_OR_RETURN(cp.write, runner->AgeTo(age));
     if (probe_reads) {
-      LOR_ASSIGN_OR_RETURN(cp.read, runner.MeasureReadThroughput());
+      LOR_ASSIGN_OR_RETURN(cp.read, runner->MeasureReadThroughput());
     }
-    cp.measured_age = runner.storage_age();
-    cp.fragmentation = runner.Fragmentation();
+    cp.measured_age = runner->storage_age();
+    cp.fragmentation = runner->Fragmentation();
+    cp.device = runner->device_stats();
     checkpoints.push_back(std::move(cp));
   }
   return checkpoints;
+}
+
+}  // namespace
+
+Result<std::vector<AgingCheckpoint>> RunAging(
+    core::ObjectRepository* repo, const workload::WorkloadConfig& config,
+    const std::vector<double>& ages, bool probe_reads) {
+  workload::GetPutRunner runner(repo, config);
+  return CollectCheckpoints(&runner, ages, probe_reads);
+}
+
+Result<std::vector<AgingCheckpoint>> RunShardedAging(
+    const core::RepositoryFactory& factory, uint32_t shards,
+    const workload::WorkloadConfig& config, const std::vector<double>& ages,
+    bool probe_reads) {
+  workload::ShardedRunner runner(factory, config, shards);
+  return CollectCheckpoints(&runner, ages, probe_reads);
 }
 
 void PrintBanner(const std::string& title, const std::string& paper_ref,

@@ -13,8 +13,10 @@
 #include "core/fragmentation.h"
 #include "core/fs_repository.h"
 #include "core/object_repository.h"
+#include "core/repository_factory.h"
 #include "util/result.h"
 #include "workload/getput_runner.h"
+#include "workload/sharded_runner.h"
 
 namespace lor {
 namespace bench {
@@ -27,8 +29,16 @@ struct Options {
   double scale = 0.1;
   uint64_t seed = 42;
   bool csv = false;
+  /// Shard / client-thread count for benches that support sharded runs
+  /// (`--threads` is an alias: the runner drives one OS thread per
+  /// shard). The default 1 keeps every bench single-client; fig7 treats
+  /// an explicitly set value as the top of its scaling sweep.
+  uint32_t shards = 1;
+  /// True when --shards/--threads (or LOR_BENCH_SHARDS) was given.
+  bool shards_set = false;
 
-  /// Parses --scale=small|paper|<float>, --seed=N, --csv.
+  /// Parses --scale=small|paper|<float>, --seed=N, --csv,
+  /// --shards=N/--threads=N.
   static Options FromArgs(int argc, char** argv);
 
   uint64_t ScaleBytes(uint64_t paper_bytes) const;
@@ -43,6 +53,13 @@ std::unique_ptr<core::ObjectRepository> MakeRepository(
     Backend backend, uint64_t volume_bytes,
     uint64_t write_request_bytes = 64 * kKiB);
 
+/// Per-shard repository factory with the same defaults: `volume_bytes`
+/// is the whole deployment's capacity, split evenly across shards by
+/// the factory (Create(0, 1) is exactly MakeRepository's result).
+std::unique_ptr<core::RepositoryFactory> MakeRepositoryFactory(
+    Backend backend, uint64_t volume_bytes,
+    uint64_t write_request_bytes = 64 * kKiB);
+
 /// One measurement row of an aging experiment.
 struct AgingCheckpoint {
   double target_age = 0.0;
@@ -53,6 +70,9 @@ struct AgingCheckpoint {
   /// Read probe taken at this age.
   workload::ThroughputSample read;
   core::FragmentationReport fragmentation;
+  /// Cumulative device counters at this checkpoint (summed across
+  /// shards for sharded runs).
+  sim::IoStats device;
 };
 
 /// Bulk loads, then visits each storage age in order, measuring write
@@ -61,6 +81,15 @@ struct AgingCheckpoint {
 Result<std::vector<AgingCheckpoint>> RunAging(
     core::ObjectRepository* repo, const workload::WorkloadConfig& config,
     const std::vector<double>& ages, bool probe_reads = true);
+
+/// Sharded variant of RunAging: drives `shards` per-shard repositories
+/// concurrently (workload::ShardedRunner) and records merged samples
+/// per checkpoint — bytes/ops summed, elapsed = max over shards, one
+/// exact merged fragmentation report.
+Result<std::vector<AgingCheckpoint>> RunShardedAging(
+    const core::RepositoryFactory& factory, uint32_t shards,
+    const workload::WorkloadConfig& config, const std::vector<double>& ages,
+    bool probe_reads = true);
 
 /// Prints the standard bench banner with the paper reference.
 void PrintBanner(const std::string& title, const std::string& paper_ref,

@@ -1,0 +1,88 @@
+// Figure 7 (beyond the paper) — multi-client scaling: aggregate
+// throughput and fragmentation over 1/2/4/8 shards, both back ends.
+//
+// The paper's measurements are single-client; a production deployment
+// (the "millions of users" the conclusions feed into) hash-partitions
+// the namespace across independent single-spindle shards, each serving
+// one client stream. This bench fixes the total volume and data set,
+// splits them across N shards (workload::ShardedRunner over
+// core::RepositoryFactory + ShardRouter, one OS thread per shard), and
+// reports merged figures per shard count: aggregate MB/s scales with
+// the spindle count while fragments/object stays flat — churn-driven
+// fragmentation is a per-volume phenomenon, not a scale phenomenon.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Figure 7: multi-client scaling (1-8 shards, 512 KB)",
+              "multi-client extension of Figures 2 and 4", options);
+
+  const uint64_t volume = options.ScaleBytes(40 * kGiB);
+  const std::vector<double> ages = {2.0};
+  // The sweep doubles from 1 up to --shards (default 8); the requested
+  // top is always measured, even when it is not a power of two. The
+  // 64-bit loop variable keeps `n *= 2` from wrapping below a huge
+  // --shards value.
+  const uint32_t max_shards = options.shards_set ? options.shards : 8;
+  std::vector<uint32_t> sweep;
+  for (uint64_t n = 1; n < max_shards; n *= 2) {
+    sweep.push_back(static_cast<uint32_t>(n));
+  }
+  sweep.push_back(max_shards);
+
+  TableWriter table({"backend", "shards", "load mb/s", "aged write mb/s",
+                     "read mb/s", "frag/obj", "device busy s"});
+  for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
+    auto factory = MakeRepositoryFactory(backend, volume);
+    for (uint32_t shards : sweep) {
+      workload::WorkloadConfig config;
+      config.sizes = workload::SizeDistribution::Constant(512 * kKiB);
+      config.seed = options.seed;
+
+      auto checkpoints = RunShardedAging(*factory, shards, config, ages);
+      if (!checkpoints.ok()) {
+        std::fprintf(stderr, "%s x%u failed: %s\n", factory->name().c_str(),
+                     shards, checkpoints.status().ToString().c_str());
+        continue;
+      }
+      const AgingCheckpoint& loaded = checkpoints->front();
+      const AgingCheckpoint& aged = checkpoints->back();
+      table.Row()
+          .Cell(factory->name())
+          .Cell(static_cast<uint64_t>(shards))
+          .Cell(loaded.write.mb_per_s())
+          .Cell(aged.write.mb_per_s())
+          .Cell(aged.read.mb_per_s())
+          .Cell(aged.fragmentation.fragments_per_object)
+          .Cell(aged.device.busy_time_s);
+    }
+  }
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: aggregate MB/s grows with the shard count (each\n"
+      "shard is an independent volume + client thread) while frag/obj\n"
+      "stays roughly flat - fragmentation is per-volume churn, not a\n"
+      "scale effect. The database still loads fast and ages badly at\n"
+      "every shard count.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

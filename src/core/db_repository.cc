@@ -96,6 +96,10 @@ uint64_t DbRepository::free_bytes() const {
 
 double DbRepository::now() const { return data_device_->clock().now(); }
 
+sim::IoStats DbRepository::device_stats() const {
+  return data_device_->stats();
+}
+
 Status DbRepository::CheckConsistency() const {
   return store_->CheckConsistency();
 }

@@ -41,6 +41,17 @@ void FragmentationTracker::Update(uint64_t old_fragments, uint64_t old_bytes,
   Add(new_fragments, new_bytes);
 }
 
+void FragmentationTracker::Merge(const FragmentationTracker& other) {
+  for (size_t f = 0; f < counts_.size(); ++f) counts_[f] += other.counts_[f];
+  for (const auto& [fragments, n] : other.overflow_) {
+    overflow_[fragments] += n;
+  }
+  objects_ += other.objects_;
+  total_fragments_ += other.total_fragments_;
+  total_bytes_ += other.total_bytes_;
+  contiguous_ += other.contiguous_;
+}
+
 FragmentationReport FragmentationTracker::Snapshot() const {
   FragmentationReport report;
   report.objects = objects_;

@@ -57,6 +57,12 @@ class FragmentationTracker {
   void Update(uint64_t old_fragments, uint64_t old_bytes,
               uint64_t new_fragments, uint64_t new_bytes);
 
+  /// Folds another tracker's population into this one (exact integer
+  /// merge — counts, overflow values, and totals all add). This is how
+  /// the sharded runner produces one volume-wide report from per-shard
+  /// repositories: merge the shard trackers, then Snapshot().
+  void Merge(const FragmentationTracker& other);
+
   uint64_t objects() const { return objects_; }
   uint64_t total_fragments() const { return total_fragments_; }
   uint64_t total_bytes() const { return total_bytes_; }

@@ -35,6 +35,15 @@ Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
   if (!data.empty() && data.size() != size) {
     return Status::InvalidArgument("data size does not match object size");
   }
+  // The whole temp-create / stream / fsync / replace sequence commits
+  // as one lazy-writer journal batch (including the error paths).
+  struct JournalBatch {
+    explicit JournalBatch(fs::FileStore* s) : store(s) {
+      store->BeginJournalBatch();
+    }
+    ~JournalBatch() { store->EndJournalBatch(); }
+    fs::FileStore* store;
+  } batch(store_.get());
   const std::string temp =
       key + ".tmp" + std::to_string(temp_counter_++);
   LOR_RETURN_IF_ERROR(store_->Create(temp));
@@ -116,6 +125,8 @@ uint64_t FsRepository::volume_bytes() const { return device_->capacity(); }
 uint64_t FsRepository::free_bytes() const { return store_->FreeBytes(); }
 
 double FsRepository::now() const { return device_->clock().now(); }
+
+sim::IoStats FsRepository::device_stats() const { return device_->stats(); }
 
 Status FsRepository::CheckConsistency() const {
   return store_->CheckConsistency();

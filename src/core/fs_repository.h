@@ -67,6 +67,7 @@ class FsRepository : public ObjectRepository {
   uint64_t volume_bytes() const override;
   uint64_t free_bytes() const override;
   double now() const override;
+  sim::IoStats device_stats() const override;
   Status CheckConsistency() const override;
   std::string name() const override { return "filesystem"; }
 

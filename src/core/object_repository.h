@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alloc/extent.h"
+#include "sim/io_stats.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -79,6 +80,11 @@ class ObjectRepository {
 
   /// Simulated seconds elapsed on this repository's clock.
   virtual double now() const = 0;
+
+  /// Cumulative data-volume device activity. Per-shard repositories
+  /// snapshot this so aggregate device figures merge exactly
+  /// (sim::Sum); back ends without a device model return zeros.
+  virtual sim::IoStats device_stats() const { return {}; }
 
   /// Structural invariants (no shared clusters/extents, accounting).
   virtual Status CheckConsistency() const = 0;

@@ -1,0 +1,42 @@
+#include "core/repository_factory.h"
+
+#include <cassert>
+
+namespace lor {
+namespace core {
+
+namespace {
+
+uint64_t SplitVolume(uint64_t total_bytes, uint32_t shard_count) {
+  return shard_count == 0 ? total_bytes : total_bytes / shard_count;
+}
+
+}  // namespace
+
+FsRepositoryFactory::FsRepositoryFactory(FsRepositoryConfig base)
+    : base_(std::move(base)) {}
+
+std::unique_ptr<ObjectRepository> FsRepositoryFactory::Create(
+    uint32_t shard, uint32_t shard_count) const {
+  assert(shard < shard_count);
+  (void)shard;
+  FsRepositoryConfig config = base_;
+  config.volume_bytes = SplitVolume(base_.volume_bytes, shard_count);
+  return std::make_unique<FsRepository>(std::move(config));
+}
+
+DbRepositoryFactory::DbRepositoryFactory(DbRepositoryConfig base)
+    : base_(std::move(base)) {}
+
+std::unique_ptr<ObjectRepository> DbRepositoryFactory::Create(
+    uint32_t shard, uint32_t shard_count) const {
+  assert(shard < shard_count);
+  (void)shard;
+  DbRepositoryConfig config = base_;
+  config.volume_bytes = SplitVolume(base_.volume_bytes, shard_count);
+  config.log_volume_bytes = SplitVolume(base_.log_volume_bytes, shard_count);
+  return std::make_unique<DbRepository>(std::move(config));
+}
+
+}  // namespace core
+}  // namespace lor

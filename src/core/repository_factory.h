@@ -1,0 +1,75 @@
+// RepositoryFactory: constructs the independent per-shard repositories
+// behind the sharded workload runner. Each shard owns a full private
+// stack — its own simulated volume(s), BlockDevice + SimClock, and
+// file store or page file — the simulation's analogue of per-shard
+// directories / database files. Because nothing is shared, one thread
+// can drive each shard with no synchronization below the runner.
+//
+// The factories split the configured volume evenly across shards, so
+// total capacity (and the workload's total data volume) is independent
+// of the shard count; `Create(0, 1)` is exactly the single-shard
+// repository the fig1–fig6 benches construct directly.
+
+#ifndef LOREPO_CORE_REPOSITORY_FACTORY_H_
+#define LOREPO_CORE_REPOSITORY_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/db_repository.h"
+#include "core/fs_repository.h"
+#include "core/object_repository.h"
+
+namespace lor {
+namespace core {
+
+/// Builds N independent repository instances for sharded execution.
+class RepositoryFactory {
+ public:
+  virtual ~RepositoryFactory() = default;
+
+  /// Builds shard `shard` of `shard_count` (both backed by volumes of
+  /// total/shard_count bytes). Requires shard < shard_count.
+  virtual std::unique_ptr<ObjectRepository> Create(
+      uint32_t shard, uint32_t shard_count) const = 0;
+
+  /// Backend label ("filesystem" or "database", the paper's series).
+  virtual std::string name() const = 0;
+};
+
+/// Factory for FsRepository shards. `base` describes the whole
+/// deployment; each shard gets base.volume_bytes / shard_count.
+class FsRepositoryFactory : public RepositoryFactory {
+ public:
+  explicit FsRepositoryFactory(FsRepositoryConfig base = {});
+
+  std::unique_ptr<ObjectRepository> Create(
+      uint32_t shard, uint32_t shard_count) const override;
+  std::string name() const override { return "filesystem"; }
+
+  const FsRepositoryConfig& base_config() const { return base_; }
+
+ private:
+  FsRepositoryConfig base_;
+};
+
+/// Factory for DbRepository shards. Data and log volumes are both split
+/// across shards.
+class DbRepositoryFactory : public RepositoryFactory {
+ public:
+  explicit DbRepositoryFactory(DbRepositoryConfig base = {});
+
+  std::unique_ptr<ObjectRepository> Create(
+      uint32_t shard, uint32_t shard_count) const override;
+  std::string name() const override { return "database"; }
+
+  const DbRepositoryConfig& base_config() const { return base_; }
+
+ private:
+  DbRepositoryConfig base_;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_REPOSITORY_FACTORY_H_

@@ -1,0 +1,33 @@
+#include "core/shard_router.h"
+
+namespace lor {
+namespace core {
+
+ShardRouter::ShardRouter(uint32_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+uint64_t ShardRouter::HashKey(std::string_view key) {
+  // FNV-1a over the key bytes...
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x00000100000001b3ULL;
+  }
+  // ...then a splitmix64-style finalizer: FNV alone leaves the low bits
+  // of near-identical keys ("obj00000001" vs "obj00000002") correlated,
+  // which a modulo would turn into a lopsided shard assignment.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint32_t ShardRouter::ShardOf(std::string_view key) const {
+  if (shard_count_ == 1) return 0;
+  return static_cast<uint32_t>(HashKey(key) % shard_count_);
+}
+
+}  // namespace core
+}  // namespace lor

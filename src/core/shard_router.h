@@ -1,0 +1,40 @@
+// ShardRouter: hash-partitioning of the object-key namespace across N
+// shards. A production deployment of the paper's repository (millions
+// of users, many spindles) splits the namespace over independent
+// per-shard stores; the router decides ownership. The hash depends only
+// on the key bytes and the shard count — never on seeds, pointers, or
+// platform details — so a key's owner is stable across runs, processes,
+// and back ends.
+
+#ifndef LOREPO_CORE_SHARD_ROUTER_H_
+#define LOREPO_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lor {
+namespace core {
+
+/// Maps object keys to shard indices in [0, shard_count).
+class ShardRouter {
+ public:
+  /// `shard_count` must be at least 1 (0 is treated as 1).
+  explicit ShardRouter(uint32_t shard_count);
+
+  uint32_t shard_count() const { return shard_count_; }
+
+  /// Shard owning `key`. Always 0 for a single-shard router.
+  uint32_t ShardOf(std::string_view key) const;
+
+  /// Stable 64-bit key hash (FNV-1a with a splitmix-style finalizer so
+  /// keys differing only in a trailing digit spread across shards).
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  uint32_t shard_count_;
+};
+
+}  // namespace core
+}  // namespace lor
+
+#endif  // LOREPO_CORE_SHARD_ROUTER_H_

@@ -54,6 +54,11 @@ void FileStore::ChargeMftAccess(uint64_t file_id, bool write) {
 
 void FileStore::ChargeJournal(bool flush) {
   if (!options_.charge_metadata_io) return;
+  if (journal_batch_open_) {
+    ++batched_journal_records_;
+    batched_journal_flush_ |= flush;
+    return;
+  }
   // The journal occupies the second half of the reserved zone and is
   // written sequentially with wraparound.
   const uint64_t zone_bytes = mft_clusters_ * options_.cluster_bytes;
@@ -66,6 +71,22 @@ void FileStore::ChargeJournal(bool flush) {
   journal_cursor_ = (journal_cursor_ + kJournalRecordBytes) %
                     (journal_size - kJournalRecordBytes);
   if (flush) device_->Flush();
+}
+
+void FileStore::BeginJournalBatch() {
+  if (!options_.batch_journal_charges) return;
+  journal_batch_open_ = true;
+}
+
+void FileStore::EndJournalBatch() {
+  if (!journal_batch_open_) return;
+  journal_batch_open_ = false;
+  const uint32_t records = batched_journal_records_;
+  const bool flush = batched_journal_flush_;
+  batched_journal_records_ = 0;
+  batched_journal_flush_ = false;
+  // One lazy-writer record covers every charge batched since Begin.
+  if (records > 0) ChargeJournal(flush);
 }
 
 void FileStore::NoteNameInsert() {
@@ -237,20 +258,27 @@ Status FileStore::AppendStream(const std::string& name, uint64_t length,
   if (!data.empty() && data.size() != length) {
     return Status::InvalidArgument("data size does not match length");
   }
+  // Per-request tracker syncs would re-count the whole extent list per
+  // chunk (quadratic in extents for a fragmented stream); sync once at
+  // the end instead — nothing reads the tracker mid-stream.
+  Status status = Status::OK();
   uint64_t written = 0;
   while (written < length) {
     const uint64_t chunk = std::min(request_bytes, length - written);
     std::span<const uint8_t> slice =
         data.empty() ? std::span<const uint8_t>()
                      : data.subspan(written, chunk);
-    LOR_RETURN_IF_ERROR(AppendToFile(file, chunk, slice));
+    status = AppendToFile(file, chunk, slice, /*sync_tracker=*/false);
+    if (!status.ok()) break;
     written += chunk;
   }
-  return Status::OK();
+  SyncTracker(file);
+  return status;
 }
 
 Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
-                               std::span<const uint8_t> data) {
+                               std::span<const uint8_t> data,
+                               bool sync_tracker) {
   if (!data.empty() && data.size() != length) {
     return Status::InvalidArgument("data size does not match length");
   }
@@ -292,7 +320,7 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
 
   file->size_bytes += length;
   stats_.live_bytes += length;
-  SyncTracker(file);
+  if (sync_tracker) SyncTracker(file);
   ++stats_.appends;
   return Status::OK();
 }

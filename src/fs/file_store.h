@@ -52,6 +52,14 @@ struct FileStoreOptions {
   sim::OpCostModel costs;
   /// Charge MFT/journal metadata I/O (disable to isolate data traffic).
   bool charge_metadata_io = true;
+  /// Coalesce the journal records of one application-level batch (the
+  /// repository's safe write: create temp file, stream appends, fsync,
+  /// replace) into a single lazy-writer record and at most one flush,
+  /// instead of charging a record per namespace operation. Models
+  /// NTFS's lazy commit, which batches log records for transactions
+  /// that complete within one flush interval. Off = the historical
+  /// per-operation charging.
+  bool batch_journal_charges = true;
   /// Directory-index modelling: one 4 KB INDEX_ALLOCATION buffer is
   /// allocated from the data zone per this many name insertions, and
   /// the oldest buffer is released per the same number of removals.
@@ -156,6 +164,15 @@ class FileStore {
   /// journal flush.
   Status Fsync(const std::string& name);
 
+  /// Begins/ends coalescing journal charges (no-ops unless
+  /// options().batch_journal_charges). While a batch is open, journal
+  /// charges accumulate instead of hitting the device; EndJournalBatch
+  /// writes one record (plus one flush if any batched charge asked for
+  /// one). Used by the repository layer to charge a whole safe write
+  /// as one lazy-writer commit. Batches do not nest.
+  void BeginJournalBatch();
+  void EndJournalBatch();
+
   /// Attempts to re-lay the file out in fewer fragments: allocates a
   /// fresh layout, copies the data across (charging the moves), and
   /// frees the old clusters. Returns true when the layout improved; the
@@ -215,9 +232,13 @@ class FileStore {
   /// layout or size mutation.
   void SyncTracker(FileInfo* file);
 
-  /// One append request against an already-resolved file.
+  /// One append request against an already-resolved file. AppendStream
+  /// passes sync_tracker=false and re-syncs the fragmentation tracker
+  /// once per stream instead of per request (the tracker is only read
+  /// at checkpoints, never mid-call).
   Status AppendToFile(FileInfo* file, uint64_t length,
-                      std::span<const uint8_t> data);
+                      std::span<const uint8_t> data,
+                      bool sync_tracker = true);
 
   /// Directory-index maintenance on a name insertion/removal: splits
   /// allocate an index buffer, merges free the oldest one.
@@ -258,6 +279,9 @@ class FileStore {
   uint64_t mft_clusters_ = 0;
   uint64_t next_file_id_ = 1;
   uint64_t journal_cursor_ = 0;  ///< Rotating offset inside the journal.
+  bool journal_batch_open_ = false;
+  uint32_t batched_journal_records_ = 0;
+  bool batched_journal_flush_ = false;
   /// Scratch for AppendToFile's range mapping (reused across appends).
   std::vector<std::pair<uint64_t, uint64_t>> append_runs_;
   std::vector<alloc::Extent> index_buffers_;  ///< Directory index, FIFO.

@@ -9,6 +9,12 @@
 // not fit in memory); layout and timing do not need them. Tests that
 // verify end-to-end data integrity construct the device with
 // `DataMode::kRetain`, which keeps a sparse page map of real bytes.
+//
+// Threading: a BlockDevice (and the SimClock it owns) is confined to
+// one thread at a time — all state is instance members, there are no
+// globals, so per-shard devices on per-shard threads need no locking.
+// Cross-shard aggregation works on IoStats snapshots (sim::Sum) after
+// the driving threads have been joined or barrier-synchronized.
 
 #ifndef LOREPO_SIM_BLOCK_DEVICE_H_
 #define LOREPO_SIM_BLOCK_DEVICE_H_

@@ -36,6 +36,18 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   return *this;
 }
 
+IoStats IoStats::operator+(const IoStats& other) const {
+  IoStats sum = *this;
+  sum += other;
+  return sum;
+}
+
+IoStats Sum(std::span<const IoStats> parts) {
+  IoStats total;
+  for (const IoStats& part : parts) total += part;
+  return total;
+}
+
 std::string IoStats::ToString() const {
   char buf[256];
   std::snprintf(

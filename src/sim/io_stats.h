@@ -4,7 +4,10 @@
 #define LOREPO_SIM_IO_STATS_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+
+#include "util/config.h"  // C++20 floor guard (std::span above)
 
 namespace lor {
 namespace sim {
@@ -24,9 +27,16 @@ struct IoStats {
 
   IoStats operator-(const IoStats& other) const;
   IoStats& operator+=(const IoStats& other);
+  IoStats operator+(const IoStats& other) const;
 
   std::string ToString() const;
 };
+
+/// Exact elementwise sum of per-device counters — the merge helper for
+/// aggregate figures over per-shard devices (integer counters add
+/// exactly; the double-valued times accumulate in input order, so a
+/// fixed shard order gives bit-stable aggregates).
+IoStats Sum(std::span<const IoStats> parts);
 
 }  // namespace sim
 }  // namespace lor

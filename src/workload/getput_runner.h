@@ -2,85 +2,62 @@
 // (§4.3): bulk load to a target occupancy, then rounds of uniform-random
 // safe-write replacements with measurement checkpoints at chosen
 // storage ages, plus randomized read-throughput probes.
+//
+// This is the single-shard instantiation of workload::ShardEngine
+// (shard 0 of 1, no router) — operation-for-operation identical to the
+// historical single-threaded runner. Multi-client load runs N engines
+// concurrently through workload::ShardedRunner.
 
 #ifndef LOREPO_WORKLOAD_GETPUT_RUNNER_H_
 #define LOREPO_WORKLOAD_GETPUT_RUNNER_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "core/fragmentation.h"
-#include "core/object_repository.h"
-#include "core/storage_age.h"
-#include "util/random.h"
-#include "util/units.h"
-#include "workload/size_distribution.h"
+#include "workload/shard_engine.h"
 
 namespace lor {
 namespace workload {
 
-/// Workload parameters.
-struct WorkloadConfig {
-  SizeDistribution sizes = SizeDistribution::Constant(10 * kMiB);
-  /// Fraction of the volume occupied after bulk load.
-  double target_occupancy = 0.5;
-  /// Random seed (all randomness derives from it).
-  uint64_t seed = 42;
-  /// Objects sampled per read-throughput probe (capped at the
-  /// population).
-  uint64_t read_probe_samples = 256;
-};
-
-/// Throughput measured over an interval of simulated time.
-struct ThroughputSample {
-  uint64_t bytes = 0;
-  uint64_t operations = 0;
-  double seconds = 0.0;
-
-  double mb_per_s() const {
-    return seconds > 0.0
-               ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds
-               : 0.0;
-  }
-};
-
 /// Drives one repository through the paper's workload.
 class GetPutRunner {
  public:
-  GetPutRunner(core::ObjectRepository* repo, WorkloadConfig config);
+  GetPutRunner(core::ObjectRepository* repo, WorkloadConfig config)
+      : engine_(repo, config, /*shard=*/0, /*router=*/nullptr) {}
 
   /// Inserts objects until the target occupancy is reached. Returns the
   /// write throughput during the load (Fig. 4's "during bulk load").
-  Result<ThroughputSample> BulkLoad();
+  Result<ThroughputSample> BulkLoad() { return engine_.BulkLoad(); }
 
   /// Ages the store with uniform-random safe-write replacements until
   /// `target_age` (safe writes per object); returns the write
   /// throughput over the interval.
-  Result<ThroughputSample> AgeTo(double target_age);
+  Result<ThroughputSample> AgeTo(double target_age) {
+    return engine_.AgeTo(target_age);
+  }
 
   /// Reads a uniform-random sample of objects; returns read throughput.
   /// Does not change the store's state (but does advance its clock).
-  Result<ThroughputSample> MeasureReadThroughput();
+  Result<ThroughputSample> MeasureReadThroughput() {
+    return engine_.MeasureReadThroughput();
+  }
 
   /// Current fragmentation across all objects.
-  core::FragmentationReport Fragmentation() const;
+  core::FragmentationReport Fragmentation() const {
+    return engine_.Fragmentation();
+  }
 
-  double storage_age() const { return age_.age(); }
-  uint64_t object_count() const { return keys_.size(); }
-  const core::StorageAgeTracker& age_tracker() const { return age_; }
-  core::ObjectRepository* repository() { return repo_; }
+  double storage_age() const { return engine_.storage_age(); }
+  uint64_t object_count() const { return engine_.object_count(); }
+  /// Cumulative device counters (same interface as ShardedRunner, so
+  /// the bench harness drives either through one template).
+  sim::IoStats device_stats() const {
+    return engine_.repository()->device_stats();
+  }
+  const core::StorageAgeTracker& age_tracker() const {
+    return engine_.age_tracker();
+  }
+  core::ObjectRepository* repository() { return engine_.repository(); }
 
  private:
-  std::string KeyFor(uint64_t index) const;
-
-  core::ObjectRepository* repo_;
-  WorkloadConfig config_;
-  Rng rng_;
-  core::StorageAgeTracker age_;
-  std::vector<std::string> keys_;
-  std::vector<uint64_t> sizes_;
-  bool loaded_ = false;
+  ShardEngine engine_;
 };
 
 }  // namespace workload

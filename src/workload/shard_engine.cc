@@ -1,15 +1,17 @@
-#include "workload/getput_runner.h"
-
-#include <algorithm>
+#include "workload/shard_engine.h"
 
 namespace lor {
 namespace workload {
 
-GetPutRunner::GetPutRunner(core::ObjectRepository* repo,
-                           WorkloadConfig config)
-    : repo_(repo), config_(config), rng_(config.seed) {}
+ShardEngine::ShardEngine(core::ObjectRepository* repo, WorkloadConfig config,
+                         uint32_t shard, const core::ShardRouter* router)
+    : repo_(repo),
+      config_(config),
+      shard_(shard),
+      router_(router),
+      rng_(config.seed ^ shard) {}
 
-std::string GetPutRunner::KeyFor(uint64_t index) const {
+std::string ShardEngine::KeyFor(uint64_t index) {
   // Hot path during bulk load: "obj" + the index zero-padded to at
   // least 8 digits (the former %08llu format), written digit by digit
   // into a right-sized string — no snprintf, no reformat pass.
@@ -29,7 +31,14 @@ std::string GetPutRunner::KeyFor(uint64_t index) const {
   return key;
 }
 
-Result<ThroughputSample> GetPutRunner::BulkLoad() {
+std::string ShardEngine::NextOwnedKey() {
+  while (true) {
+    std::string key = KeyFor(next_index_++);
+    if (router_ == nullptr || router_->ShardOf(key) == shard_) return key;
+  }
+}
+
+Result<ThroughputSample> ShardEngine::BulkLoad() {
   if (loaded_) return Status::InvalidArgument("bulk load already done");
   const uint64_t target_bytes = static_cast<uint64_t>(
       config_.target_occupancy *
@@ -50,7 +59,7 @@ Result<ThroughputSample> GetPutRunner::BulkLoad() {
   while (true) {
     const uint64_t size = config_.sizes.Sample(&rng_);
     if (live + size > target_bytes) break;
-    const std::string key = KeyFor(keys_.size());
+    const std::string key = NextOwnedKey();
     LOR_RETURN_IF_ERROR(repo_->Put(key, size));
     keys_.push_back(key);
     sizes_.push_back(size);
@@ -69,7 +78,7 @@ Result<ThroughputSample> GetPutRunner::BulkLoad() {
   return sample;
 }
 
-Result<ThroughputSample> GetPutRunner::AgeTo(double target_age) {
+Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
   if (!loaded_) return Status::InvalidArgument("bulk load first");
   ThroughputSample sample;
   const double t0 = repo_->now();
@@ -87,7 +96,7 @@ Result<ThroughputSample> GetPutRunner::AgeTo(double target_age) {
   return sample;
 }
 
-Result<ThroughputSample> GetPutRunner::MeasureReadThroughput() {
+Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
   if (!loaded_) return Status::InvalidArgument("bulk load first");
   ThroughputSample sample;
   const uint64_t probes =
@@ -103,7 +112,7 @@ Result<ThroughputSample> GetPutRunner::MeasureReadThroughput() {
   return sample;
 }
 
-core::FragmentationReport GetPutRunner::Fragmentation() const {
+core::FragmentationReport ShardEngine::Fragmentation() const {
   return core::AnalyzeFragmentation(*repo_);
 }
 

@@ -1,0 +1,124 @@
+// ShardEngine: the per-shard core of the paper's synthetic workload
+// (§4.3) — bulk load to a target occupancy, rounds of uniform-random
+// safe-write replacements with measurement checkpoints at chosen
+// storage ages, and randomized read-throughput probes.
+//
+// Keys come from a global "obj<index>" namespace. With a ShardRouter,
+// an engine loads exactly the keys the router assigns to its shard, so
+// the per-shard key sets partition the namespace; without one it owns
+// every key — which is shard 0 of 1 and reproduces the historical
+// single-threaded GetPutRunner operation-for-operation. GetPutRunner is
+// now a thin wrapper over this class; ShardedRunner drives one engine
+// per shard on a dedicated thread.
+
+#ifndef LOREPO_WORKLOAD_SHARD_ENGINE_H_
+#define LOREPO_WORKLOAD_SHARD_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fragmentation.h"
+#include "core/object_repository.h"
+#include "core/shard_router.h"
+#include "core/storage_age.h"
+#include "util/random.h"
+#include "util/units.h"
+#include "workload/size_distribution.h"
+
+namespace lor {
+namespace workload {
+
+/// Workload parameters.
+struct WorkloadConfig {
+  SizeDistribution sizes = SizeDistribution::Constant(10 * kMiB);
+  /// Fraction of the volume occupied after bulk load.
+  double target_occupancy = 0.5;
+  /// Random seed (all randomness derives from it; shard s draws from
+  /// the independent stream seeded with `seed ^ s`).
+  uint64_t seed = 42;
+  /// Objects sampled per read-throughput probe (capped at the
+  /// population).
+  uint64_t read_probe_samples = 256;
+};
+
+/// Throughput measured over an interval of simulated time.
+struct ThroughputSample {
+  uint64_t bytes = 0;
+  uint64_t operations = 0;
+  double seconds = 0.0;
+
+  double mb_per_s() const {
+    return seconds > 0.0
+               ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds
+               : 0.0;
+  }
+
+  /// Folds in a sample measured on a concurrently running shard:
+  /// bytes/operations sum, elapsed is the max (the shards' clocks run
+  /// in parallel, so the slowest shard bounds the interval).
+  void MergeParallel(const ThroughputSample& other) {
+    bytes += other.bytes;
+    operations += other.operations;
+    seconds = std::max(seconds, other.seconds);
+  }
+};
+
+/// Drives one shard's repository through the paper's workload phases.
+class ShardEngine {
+ public:
+  /// `router` may be null: the engine then owns the whole key space
+  /// (the single-shard configuration). The engine's RNG stream is
+  /// seeded with `config.seed ^ shard`, so shard 0 draws exactly the
+  /// stream the single-threaded runner drew.
+  ShardEngine(core::ObjectRepository* repo, WorkloadConfig config,
+              uint32_t shard, const core::ShardRouter* router);
+
+  /// Inserts this shard's objects until its target occupancy is
+  /// reached. Returns the write throughput during the load.
+  Result<ThroughputSample> BulkLoad();
+
+  /// Ages the shard with uniform-random safe-write replacements until
+  /// `target_age`; returns the write throughput over the interval.
+  Result<ThroughputSample> AgeTo(double target_age);
+
+  /// Reads a uniform-random sample of this shard's objects; returns
+  /// read throughput. Does not change the store's state (but does
+  /// advance its clock).
+  Result<ThroughputSample> MeasureReadThroughput();
+
+  /// Current fragmentation across this shard's objects.
+  core::FragmentationReport Fragmentation() const;
+
+  double storage_age() const { return age_.age(); }
+  uint64_t object_count() const { return keys_.size(); }
+  const core::StorageAgeTracker& age_tracker() const { return age_; }
+  core::ObjectRepository* repository() { return repo_; }
+  const core::ObjectRepository* repository() const { return repo_; }
+  /// Keys this shard owns, in load order.
+  const std::vector<std::string>& keys() const { return keys_; }
+  uint32_t shard() const { return shard_; }
+
+ private:
+  static std::string KeyFor(uint64_t index);
+  /// Next key from the global namespace that this shard owns.
+  std::string NextOwnedKey();
+
+  core::ObjectRepository* repo_;
+  WorkloadConfig config_;
+  uint32_t shard_;
+  const core::ShardRouter* router_;
+  Rng rng_;
+  core::StorageAgeTracker age_;
+  std::vector<std::string> keys_;
+  std::vector<uint64_t> sizes_;
+  /// Next unconsidered index in the global key namespace.
+  uint64_t next_index_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace workload
+}  // namespace lor
+
+#endif  // LOREPO_WORKLOAD_SHARD_ENGINE_H_

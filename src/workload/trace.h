@@ -92,6 +92,9 @@ class RecordingRepository : public core::ObjectRepository {
   uint64_t volume_bytes() const override { return inner_->volume_bytes(); }
   uint64_t free_bytes() const override { return inner_->free_bytes(); }
   double now() const override { return inner_->now(); }
+  sim::IoStats device_stats() const override {
+    return inner_->device_stats();
+  }
   Status CheckConsistency() const override {
     return inner_->CheckConsistency();
   }

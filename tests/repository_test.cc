@@ -224,6 +224,45 @@ TEST(DbRepositoryTest, BulkLoadWriteFasterThanFs) {
   EXPECT_LT(db->now(), fs->now());
 }
 
+TEST(FsRepositoryTest, JournalBatchingKeepsLayoutsAndSavesMetadataIo) {
+  // Batching coalesces the journal records of one safe write (create
+  // temp + fsync + replace) into a single lazy-writer commit: fewer
+  // device writes and less simulated time, with bit-identical layouts
+  // (journal charges never touch the allocator).
+  FsRepositoryConfig batched_config;
+  batched_config.volume_bytes = 256 * kMiB;
+  FsRepositoryConfig unbatched_config = batched_config;
+  unbatched_config.store.batch_journal_charges = false;
+
+  FsRepository batched(batched_config);
+  FsRepository unbatched(unbatched_config);
+  auto churn = [](FsRepository* repo) {
+    Rng rng(11);
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(repo->SafeWrite("obj" + std::to_string(i), kMiB).ok());
+    }
+    for (int round = 0; round < 120; ++round) {
+      const std::string key = "obj" + std::to_string(rng.Uniform(30));
+      ASSERT_TRUE(repo->SafeWrite(key, kMiB).ok());
+    }
+  };
+  churn(&batched);
+  churn(&unbatched);
+
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    auto a = batched.GetLayout(key);
+    auto b = unbatched.GetLayout(key);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << key;
+  }
+  EXPECT_LT(batched.device()->stats().writes,
+            unbatched.device()->stats().writes);
+  EXPECT_LT(batched.now(), unbatched.now());
+  EXPECT_TRUE(batched.CheckConsistency().ok());
+}
+
 TEST(FsRepositoryTest, PreallocationReducesFragmentsUnderChurn) {
   FsRepositoryConfig base;
   base.volume_bytes = 256 * kMiB;

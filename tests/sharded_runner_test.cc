@@ -1,0 +1,281 @@
+// Tests for the sharded multi-client execution subsystem: ShardRouter
+// partitioning, RepositoryFactory construction, and ShardedRunner
+// determinism — same seed ⇒ identical per-shard key sets, merged
+// counts, and fragmentation reports — plus exact N=1 equivalence with
+// the single-threaded GetPutRunner on both back ends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/repository_factory.h"
+#include "core/shard_router.h"
+#include "workload/getput_runner.h"
+#include "workload/sharded_runner.h"
+
+namespace lor {
+namespace workload {
+namespace {
+
+constexpr uint64_t kVolume = 512 * kMiB;
+
+std::unique_ptr<core::RepositoryFactory> MakeFactory(
+    const std::string& backend, uint64_t volume = kVolume) {
+  if (backend == "filesystem") {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = volume;
+    return std::make_unique<core::FsRepositoryFactory>(config);
+  }
+  core::DbRepositoryConfig config;
+  config.volume_bytes = volume;
+  return std::make_unique<core::DbRepositoryFactory>(config);
+}
+
+WorkloadConfig SmallWorkload(uint64_t seed = 42) {
+  WorkloadConfig config;
+  config.sizes = SizeDistribution::Uniform(kMiB);
+  config.seed = seed;
+  config.read_probe_samples = 64;
+  return config;
+}
+
+void ExpectSameReport(const core::FragmentationReport& a,
+                      const core::FragmentationReport& b) {
+  EXPECT_EQ(a.objects, b.objects);
+  EXPECT_DOUBLE_EQ(a.fragments_per_object, b.fragments_per_object);
+  EXPECT_EQ(a.max_fragments, b.max_fragments);
+  EXPECT_EQ(a.p50_fragments, b.p50_fragments);
+  EXPECT_EQ(a.p99_fragments, b.p99_fragments);
+  EXPECT_DOUBLE_EQ(a.mean_fragment_bytes, b.mean_fragment_bytes);
+  EXPECT_DOUBLE_EQ(a.contiguous_fraction, b.contiguous_fraction);
+  EXPECT_EQ(a.histogram.count(), b.histogram.count());
+}
+
+void ExpectSameSample(const ThroughputSample& a, const ThroughputSample& b) {
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.operations, b.operations);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(ShardRouterTest, StableInRangeAndSingleShardIsZero) {
+  core::ShardRouter router(4);
+  core::ShardRouter same(4);
+  core::ShardRouter one(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    const uint32_t shard = router.ShardOf(key);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, same.ShardOf(key));  // Stable across instances.
+    EXPECT_EQ(one.ShardOf(key), 0u);
+  }
+}
+
+TEST(ShardRouterTest, RoughlyBalancedOverSequentialKeys) {
+  constexpr uint32_t kShards = 8;
+  constexpr int kKeys = 8000;
+  core::ShardRouter router(kShards);
+  std::vector<int> counts(kShards, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[router.ShardOf("obj" + std::to_string(i))];
+  }
+  for (uint32_t s = 0; s < kShards; ++s) {
+    // Expect each shard within 30% of the fair share.
+    EXPECT_GT(counts[s], kKeys / kShards * 7 / 10) << "shard " << s;
+    EXPECT_LT(counts[s], kKeys / kShards * 13 / 10) << "shard " << s;
+  }
+}
+
+TEST(ShardRouterTest, ZeroShardCountTreatedAsOne) {
+  core::ShardRouter router(0);
+  EXPECT_EQ(router.shard_count(), 1u);
+  EXPECT_EQ(router.ShardOf("anything"), 0u);
+}
+
+TEST(RepositoryFactoryTest, SplitsVolumeEvenlyAndKeepsBackendLabel) {
+  for (const char* backend : {"filesystem", "database"}) {
+    auto factory = MakeFactory(backend);
+    auto whole = factory->Create(0, 1);
+    EXPECT_EQ(whole->name(), backend);
+    EXPECT_EQ(whole->volume_bytes(), kVolume);
+    auto quarter = factory->Create(3, 4);
+    EXPECT_EQ(quarter->volume_bytes(), kVolume / 4);
+  }
+}
+
+TEST(RepositoryFactoryTest, ShardsAreIndependentInstances) {
+  auto factory = MakeFactory("filesystem");
+  auto a = factory->Create(0, 2);
+  auto b = factory->Create(1, 2);
+  ASSERT_TRUE(a->Put("k", 64 * kKiB).ok());
+  EXPECT_TRUE(a->Exists("k"));
+  EXPECT_FALSE(b->Exists("k"));  // No shared namespace or state.
+  EXPECT_EQ(b->object_count(), 0u);
+}
+
+class ShardedRunnerBackendTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardedRunnerBackendTest, SingleShardMatchesGetPutRunner) {
+  const WorkloadConfig config = SmallWorkload();
+
+  auto direct_repo = MakeFactory(GetParam())->Create(0, 1);
+  GetPutRunner reference(direct_repo.get(), config);
+  auto ref_load = reference.BulkLoad();
+  ASSERT_TRUE(ref_load.ok()) << ref_load.status().ToString();
+  auto ref_aged = reference.AgeTo(1.0);
+  ASSERT_TRUE(ref_aged.ok()) << ref_aged.status().ToString();
+  auto ref_read = reference.MeasureReadThroughput();
+  ASSERT_TRUE(ref_read.ok());
+
+  auto factory = MakeFactory(GetParam());
+  ShardedRunner sharded(*factory, config, 1);
+  auto load = sharded.BulkLoad();
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  auto aged = sharded.AgeTo(1.0);
+  ASSERT_TRUE(aged.ok()) << aged.status().ToString();
+  auto read = sharded.MeasureReadThroughput();
+  ASSERT_TRUE(read.ok());
+
+  ExpectSameSample(*load, *ref_load);
+  ExpectSameSample(*aged, *ref_aged);
+  ExpectSameSample(*read, *ref_read);
+  EXPECT_EQ(sharded.object_count(), reference.object_count());
+  EXPECT_DOUBLE_EQ(sharded.storage_age(), reference.storage_age());
+  ExpectSameReport(sharded.Fragmentation(), reference.Fragmentation());
+
+  // The aggregate device figures match the single device exactly.
+  const sim::IoStats ours = sharded.device_stats();
+  const sim::IoStats theirs = direct_repo->device_stats();
+  EXPECT_EQ(ours.writes, theirs.writes);
+  EXPECT_EQ(ours.bytes_written, theirs.bytes_written);
+  EXPECT_EQ(ours.seeks, theirs.seeks);
+  EXPECT_DOUBLE_EQ(ours.busy_time_s, theirs.busy_time_s);
+}
+
+TEST_P(ShardedRunnerBackendTest, DeterministicAcrossRuns) {
+  constexpr uint32_t kShards = 4;
+  const WorkloadConfig config = SmallWorkload(7);
+
+  auto run = [&](std::vector<std::vector<std::string>>* shard_keys,
+                 std::vector<uint64_t>* shard_counts,
+                 core::FragmentationReport* report,
+                 ThroughputSample* merged) {
+    auto factory = MakeFactory(GetParam());
+    ShardedRunner runner(*factory, config, kShards);
+    auto load = runner.BulkLoad();
+    ASSERT_TRUE(load.ok()) << load.status().ToString();
+    auto aged = runner.AgeTo(0.5);
+    ASSERT_TRUE(aged.ok()) << aged.status().ToString();
+    *merged = *load;
+    merged->MergeParallel(*aged);
+    for (uint32_t s = 0; s < kShards; ++s) {
+      shard_keys->push_back(runner.engine(s)->keys());
+      shard_counts->push_back(runner.engine(s)->object_count());
+    }
+    *report = runner.Fragmentation();
+  };
+
+  std::vector<std::vector<std::string>> keys_a, keys_b;
+  std::vector<uint64_t> counts_a, counts_b;
+  core::FragmentationReport report_a, report_b;
+  ThroughputSample merged_a, merged_b;
+  run(&keys_a, &counts_a, &report_a, &merged_a);
+  run(&keys_b, &counts_b, &report_b, &merged_b);
+
+  EXPECT_EQ(counts_a, counts_b);
+  EXPECT_EQ(keys_a, keys_b);  // Identical per-shard key sets, in order.
+  ExpectSameReport(report_a, report_b);
+  ExpectSameSample(merged_a, merged_b);
+}
+
+TEST_P(ShardedRunnerBackendTest, ShardKeySetsPartitionTheNamespace) {
+  constexpr uint32_t kShards = 4;
+  auto factory = MakeFactory(GetParam());
+  ShardedRunner runner(*factory, SmallWorkload(), kShards);
+  ASSERT_TRUE(runner.BulkLoad().ok());
+
+  std::set<std::string> all;
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (const std::string& key : runner.engine(s)->keys()) {
+      EXPECT_EQ(runner.router().ShardOf(key), s);  // Router-consistent.
+      all.insert(key);
+      ++total;
+    }
+  }
+  EXPECT_EQ(all.size(), total);  // Disjoint across shards.
+  EXPECT_EQ(total, runner.object_count());
+  EXPECT_GT(total, 0u);
+}
+
+TEST_P(ShardedRunnerBackendTest, MergedStatsSumShards) {
+  constexpr uint32_t kShards = 2;
+  auto factory = MakeFactory(GetParam());
+  ShardedRunner runner(*factory, SmallWorkload(), kShards);
+  auto load = runner.BulkLoad();
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+
+  uint64_t bytes = 0, ops = 0;
+  double max_seconds = 0.0;
+  uint64_t objects = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    objects += runner.engine(s)->object_count();
+    max_seconds = std::max(max_seconds, runner.repository(s)->now());
+  }
+  bytes = load->bytes;
+  ops = load->operations;
+  EXPECT_EQ(ops, objects);
+  EXPECT_GT(bytes, 0u);
+  // Elapsed is the max over shards: no shard's clock exceeds it.
+  EXPECT_LE(load->seconds, max_seconds + 1e-9);
+
+  // Aggregate device stats are the exact sum of the per-shard devices.
+  std::vector<sim::IoStats> parts;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    parts.push_back(runner.repository(s)->device_stats());
+  }
+  const sim::IoStats sum = sim::Sum(parts);
+  const sim::IoStats merged = runner.device_stats();
+  EXPECT_EQ(merged.writes, sum.writes);
+  EXPECT_EQ(merged.bytes_written, sum.bytes_written);
+  EXPECT_DOUBLE_EQ(merged.busy_time_s, sum.busy_time_s);
+}
+
+TEST_P(ShardedRunnerBackendTest, EightShardSmoke) {
+  // Exercised under TSan in CI: all eight worker threads drive their
+  // shards through every phase concurrently.
+  auto factory = MakeFactory(GetParam());
+  ShardedRunner runner(*factory, SmallWorkload(), 8);
+  auto load = runner.BulkLoad();
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  ASSERT_TRUE(runner.AgeTo(0.25).ok());
+  ASSERT_TRUE(runner.MeasureReadThroughput().ok());
+  for (uint32_t s = 0; s < runner.shard_count(); ++s) {
+    EXPECT_TRUE(runner.repository(s)->CheckConsistency().ok());
+  }
+  EXPECT_GE(runner.storage_age(), 0.25);
+}
+
+TEST_P(ShardedRunnerBackendTest, PhaseErrorsPropagate) {
+  auto factory = MakeFactory(GetParam());
+  ShardedRunner runner(*factory, SmallWorkload(), 2);
+  // Aging before bulk load fails on every shard; the merged result
+  // carries the per-shard error.
+  EXPECT_TRUE(runner.AgeTo(1.0).status().IsInvalidArgument());
+  ASSERT_TRUE(runner.BulkLoad().ok());
+  EXPECT_TRUE(runner.BulkLoad().status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ShardedRunnerBackendTest,
+                         ::testing::Values("filesystem", "database"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace workload
+}  // namespace lor

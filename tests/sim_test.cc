@@ -176,6 +176,32 @@ TEST(BlockDeviceTest, StatsSubtractionIsolatesPhases) {
   EXPECT_EQ(delta.bytes_read, kMiB);
 }
 
+TEST(IoStatsTest, SumMergesPerShardCountersExactly) {
+  // Two devices driven independently (per-shard ownership); the merge
+  // helper must reproduce the exact elementwise totals.
+  BlockDevice a(SmallDisk());
+  BlockDevice b(SmallDisk());
+  ASSERT_TRUE(a.Write(0, kMiB).ok());
+  ASSERT_TRUE(a.Read(0, 64 * kKiB).ok());
+  ASSERT_TRUE(b.Write(kMiB, 2 * kMiB).ok());
+
+  const IoStats parts[] = {a.stats(), b.stats()};
+  const IoStats sum = Sum(parts);
+  EXPECT_EQ(sum.writes, a.stats().writes + b.stats().writes);
+  EXPECT_EQ(sum.reads, 1u);
+  EXPECT_EQ(sum.bytes_written, 3 * kMiB);
+  EXPECT_EQ(sum.bytes_read, 64 * kKiB);
+  EXPECT_EQ(sum.seeks, a.stats().seeks + b.stats().seeks);
+  EXPECT_DOUBLE_EQ(sum.busy_time_s,
+                   a.stats().busy_time_s + b.stats().busy_time_s);
+
+  // operator+ and Sum agree, and an empty span sums to zeros.
+  const IoStats plus = a.stats() + b.stats();
+  EXPECT_EQ(plus.bytes_written, sum.bytes_written);
+  EXPECT_DOUBLE_EQ(plus.busy_time_s, sum.busy_time_s);
+  EXPECT_EQ(Sum({}).writes, 0u);
+}
+
 TEST(OpCostModelTest, StreamPenaltyNonNegative) {
   // Device slower than the stack: no penalty.
   EXPECT_DOUBLE_EQ(OpCostModel::StreamPenalty(kMiB, 100e6, 1.0), 0.0);
