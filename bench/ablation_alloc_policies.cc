@@ -93,9 +93,8 @@ void Run(const Options& options) {
     } else {
       repo = std::make_unique<core::FsRepository>(config);
     }
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
-    wc.seed = options.seed;
     auto checkpoints = RunAging(repo.get(), wc, ages);
     table.Row().Cell(variant.label);
     if (!checkpoints.ok()) {
@@ -123,10 +122,9 @@ void Run(const Options& options) {
     const uint64_t clusters = volume / config.store.cluster_bytes;
     auto repo = std::make_unique<core::FsRepository>(
         config, std::make_unique<alloc::BuddyAllocator>(clusters));
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
     wc.target_occupancy = 0.4;
-    wc.seed = options.seed;
     auto checkpoints = RunAging(repo.get(), wc, ages);
     table.Row().Cell("buddy system (DTSS), 40% full");
     if (checkpoints.ok()) {

@@ -34,9 +34,8 @@ void Run(const Options& options) {
     config.volume_bytes = volume;
     core::FsRepository repo(config);
     fs::Defragmenter defrag(repo.store());
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
-    wc.seed = options.seed;
     workload::GetPutRunner runner(&repo, wc);
     if (!runner.BulkLoad().ok()) return;
 
@@ -63,11 +62,10 @@ void Run(const Options& options) {
     core::DbRepositoryConfig config;
     config.volume_bytes = volume;
     core::DbRepository repo(config);
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
     // Leave headroom for the rebuild's second copy.
     wc.target_occupancy = 0.4;
-    wc.seed = options.seed;
     workload::GetPutRunner runner(&repo, wc);
     if (runner.BulkLoad().ok()) {
       for (double age = 2.0; age <= 8.0; age += 2.0) {

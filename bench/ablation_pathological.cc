@@ -46,11 +46,10 @@ void Run(const Options& options) {
     }
   }
 
-  workload::WorkloadConfig wc;
+  workload::WorkloadConfig wc = options.MakeWorkloadConfig();
   wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
   // The pins hold ~half the data zone, so load to 35% of the volume.
   wc.target_occupancy = 0.35;
-  wc.seed = options.seed;
   workload::GetPutRunner runner(&repo, wc);
   auto load = runner.BulkLoad();
   if (!load.ok()) {

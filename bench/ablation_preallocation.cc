@@ -30,9 +30,8 @@ void Run(const Options& options) {
     config.volume_bytes = volume;
     config.preallocate_on_safe_write = preallocate;
     core::FsRepository repo(config);
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(2 * kMiB);
-    wc.seed = options.seed;
     auto checkpoints = RunAging(&repo, wc, ages);
     table.Row().Cell(preallocate ? "with preallocation"
                                  : "stock NTFS behaviour");

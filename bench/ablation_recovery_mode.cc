@@ -26,9 +26,8 @@ void Run(const Options& options) {
     config.volume_bytes = volume;
     config.store.bulk_logged = bulk_logged;
     core::DbRepository repo(config);
-    workload::WorkloadConfig wc;
+    workload::WorkloadConfig wc = options.MakeWorkloadConfig();
     wc.sizes = workload::SizeDistribution::Constant(512 * kKiB);
-    wc.seed = options.seed;
     workload::GetPutRunner runner(&repo, wc);
     auto load = runner.BulkLoad();
     if (!load.ok()) continue;

@@ -29,9 +29,8 @@ void Run(const Options& options) {
   for (uint64_t request : request_sizes) {
     for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
       auto repo = MakeRepository(backend, volume, request);
-      workload::WorkloadConfig config;
+      workload::WorkloadConfig config = options.MakeWorkloadConfig();
       config.sizes = workload::SizeDistribution::Constant(object_size);
-      config.seed = options.seed;
       auto checkpoints = RunAging(repo.get(), config, ages,
                                   /*probe_reads=*/false);
       table.Row().Cell(FormatBytes(request)).Cell(repo->name());

@@ -25,6 +25,8 @@ Options Options::FromArgs(int argc, char** argv) {
       opts.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strcmp(arg, "--csv") == 0) {
       opts.csv = true;
+    } else if (std::strcmp(arg, "--name-path") == 0) {
+      opts.name_path = true;
     } else if (std::strncmp(arg, "--shards=", 9) == 0 ||
                std::strncmp(arg, "--threads=", 10) == 0) {
       const char* value = arg + (arg[2] == 's' ? 9 : 10);

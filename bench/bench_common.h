@@ -36,12 +36,24 @@ struct Options {
   uint32_t shards = 1;
   /// True when --shards/--threads (or LOR_BENCH_SHARDS) was given.
   bool shards_set = false;
+  /// Drive the workload through per-operation name lookups instead of
+  /// per-object handles (the historical path, kept for A/B runs; the
+  /// two produce bit-identical layouts).
+  bool name_path = false;
 
   /// Parses --scale=small|paper|<float>, --seed=N, --csv,
-  /// --shards=N/--threads=N.
+  /// --shards=N/--threads=N, --name-path.
   static Options FromArgs(int argc, char** argv);
 
   uint64_t ScaleBytes(uint64_t paper_bytes) const;
+
+  /// Workload config seeded from these options (seed + access path).
+  workload::WorkloadConfig MakeWorkloadConfig() const {
+    workload::WorkloadConfig config;
+    config.seed = seed;
+    config.use_handles = !name_path;
+    return config;
+  }
 };
 
 /// Which back end to build.

@@ -27,9 +27,8 @@ void Run(const Options& options) {
   std::map<std::string, std::vector<double>> series;
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto repo = MakeRepository(backend, volume);
-    workload::WorkloadConfig config;
+    workload::WorkloadConfig config = options.MakeWorkloadConfig();
     config.sizes = workload::SizeDistribution::Constant(10 * kMiB);
-    config.seed = options.seed;
     auto checkpoints = RunAging(repo.get(), config, ages,
                                 /*probe_reads=*/false);
     if (!checkpoints.ok()) {

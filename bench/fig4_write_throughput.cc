@@ -29,9 +29,8 @@ void Run(const Options& options) {
   std::map<std::string, std::vector<double>> series;
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto repo = MakeRepository(backend, volume);
-    workload::WorkloadConfig config;
+    workload::WorkloadConfig config = options.MakeWorkloadConfig();
     config.sizes = workload::SizeDistribution::Constant(512 * kKiB);
-    config.seed = options.seed;
     auto checkpoints = RunAging(repo.get(), config, ages,
                                 /*probe_reads=*/false);
     if (!checkpoints.ok()) {

@@ -29,11 +29,10 @@ void Run(const Options& options) {
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     for (bool uniform : {false, true}) {
       auto repo = MakeRepository(backend, volume);
-      workload::WorkloadConfig config;
+      workload::WorkloadConfig config = options.MakeWorkloadConfig();
       config.sizes = uniform
                          ? workload::SizeDistribution::Uniform(10 * kMiB)
                          : workload::SizeDistribution::Constant(10 * kMiB);
-      config.seed = options.seed;
       auto checkpoints = RunAging(repo.get(), config, ages,
                                   /*probe_reads=*/false);
       const std::string key =

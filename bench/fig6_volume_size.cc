@@ -45,10 +45,9 @@ void Run(const Options& options) {
                                 ? spec.paper_volume
                                 : options.ScaleBytes(spec.paper_volume);
     auto repo = MakeRepository(spec.backend, volume);
-    workload::WorkloadConfig config;
+    workload::WorkloadConfig config = options.MakeWorkloadConfig();
     config.sizes = workload::SizeDistribution::Constant(10 * kMiB);
     config.target_occupancy = spec.occupancy;
-    config.seed = options.seed;
     std::vector<double> ages;
     for (double a = 2.0; a <= spec.max_age + 1e-9; a += 2.0) {
       ages.push_back(a);

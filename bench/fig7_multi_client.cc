@@ -43,9 +43,8 @@ void Run(const Options& options) {
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto factory = MakeRepositoryFactory(backend, volume);
     for (uint32_t shards : sweep) {
-      workload::WorkloadConfig config;
+      workload::WorkloadConfig config = options.MakeWorkloadConfig();
       config.sizes = workload::SizeDistribution::Constant(512 * kKiB);
-      config.seed = options.seed;
 
       auto checkpoints = RunShardedAging(*factory, shards, config, ages);
       if (!checkpoints.ok()) {

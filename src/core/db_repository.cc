@@ -16,18 +16,100 @@ DbRepository::DbRepository(DbRepositoryConfig config)
                                            log_device_.get(), config_.store);
 }
 
+// -- Handle surface ----------------------------------------------------
+
+Result<ObjectHandle> DbRepository::Open(const std::string& key) {
+  LOR_ASSIGN_OR_RETURN(db::BlobHandle bh, store_->OpenRead(key));
+  return MakeHandle(key, /*writable=*/false, bh.slot, bh.gen);
+}
+
+Result<ObjectHandle> DbRepository::OpenForWrite(const std::string& key) {
+  LOR_ASSIGN_OR_RETURN(db::BlobHandle bh, store_->OpenWrite(key));
+  return MakeHandle(key, /*writable=*/true, bh.slot, bh.gen);
+}
+
+Status DbRepository::Release(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle));
+  LOR_RETURN_IF_ERROR(store_->Close({handle->slot_, handle->gen_}));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Status DbRepository::Get(const ObjectHandle& handle,
+                         std::vector<uint8_t>* out) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return store_->Get(db::BlobHandle{handle.slot_, handle.gen_}, out);
+}
+
+Status DbRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
+                               std::span<const uint8_t> data) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle, /*need_write=*/true));
+  return store_->SafeWrite(db::BlobHandle{handle.slot_, handle.gen_}, size,
+                           data);
+}
+
+Status DbRepository::Delete(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle, /*need_write=*/true));
+  LOR_RETURN_IF_ERROR(
+      store_->Delete(db::BlobHandle{handle->slot_, handle->gen_}));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Result<alloc::ExtentList> DbRepository::ScaleLayout(
+    Result<db::BlobLayout> layout) const {
+  if (!layout.ok()) return layout.status();
+  alloc::ExtentList bytes;
+  bytes.reserve(layout->data_runs.size());
+  alloc::AppendScaledBytes(layout->data_runs,
+                           store_->page_file().page_bytes(), &bytes);
+  return bytes;
+}
+
+Result<alloc::ExtentList> DbRepository::GetLayout(
+    const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return ScaleLayout(
+      store_->GetLayout(db::BlobHandle{handle.slot_, handle.gen_}));
+}
+
+Result<uint64_t> DbRepository::GetSize(const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return store_->GetSize(db::BlobHandle{handle.slot_, handle.gen_});
+}
+
+// -- Name surface: thin open–op–release wrappers -----------------------
+
 Status DbRepository::Put(const std::string& key, uint64_t size,
                          std::span<const uint8_t> data) {
-  return store_->Put(key, size, data);
+  LOR_ASSIGN_OR_RETURN(db::BlobHandle h, store_->OpenWrite(key));
+  auto bound = store_->HandleBound(h);
+  if (!bound.ok() || *bound) {
+    Status c = store_->Close(h);
+    (void)c;
+    if (!bound.ok()) return bound.status();
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  Status s = store_->SafeWrite(h, size, data);
+  Status c = store_->Close(h);
+  return s.ok() ? c : s;
 }
 
 Status DbRepository::SafeWrite(const std::string& key, uint64_t size,
                                std::span<const uint8_t> data) {
-  if (store_->Exists(key)) return store_->Replace(key, size, data);
-  return store_->Put(key, size, data);
+  LOR_ASSIGN_OR_RETURN(db::BlobHandle h, store_->OpenWrite(key));
+  Status s = store_->SafeWrite(h, size, data);
+  Status c = store_->Close(h);
+  return s.ok() ? c : s;
 }
 
 Status DbRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  // The store's per-key read already pays the query + row lookup every
+  // call — no handle-table entry needed for a single-shot read.
   return store_->Get(key, out);
 }
 
@@ -41,13 +123,7 @@ bool DbRepository::Exists(const std::string& key) const {
 
 Result<alloc::ExtentList> DbRepository::GetLayout(
     const std::string& key) const {
-  auto layout = store_->GetLayout(key);
-  if (!layout.ok()) return layout.status();
-  alloc::ExtentList bytes;
-  bytes.reserve(layout->data_runs.size());
-  alloc::AppendScaledBytes(layout->data_runs,
-                           store_->page_file().page_bytes(), &bytes);
-  return bytes;
+  return ScaleLayout(store_->GetLayout(key));
 }
 
 Result<uint64_t> DbRepository::GetSize(const std::string& key) const {

@@ -1,6 +1,14 @@
 // DbRepository: the paper's database configuration (§4.2) — objects as
 // out-of-row BLOBs in a SQL-Server-like engine running in bulk-logged
 // mode, with the log on a dedicated drive.
+//
+// Access stack: the handle operations are the primary path — Open pins
+// the metadata row, the blob layout, and positioned metadata/blob-tree
+// cursors in the BlobStore handle table, so Get/SafeWrite through the
+// handle skip the per-operation query + row lookup. The name-based
+// mutations are thin open–op–release wrappers over the same code (the
+// name-based Get is the store's own per-call query + lookup + read),
+// charging exactly what the historical per-operation path charged.
 
 #ifndef LOREPO_CORE_DB_REPOSITORY_H_
 #define LOREPO_CORE_DB_REPOSITORY_H_
@@ -35,6 +43,7 @@ class DbRepository : public ObjectRepository {
  public:
   explicit DbRepository(DbRepositoryConfig config = {});
 
+  // Name-based surface (open–op–release wrappers).
   Status Put(const std::string& key, uint64_t size,
              std::span<const uint8_t> data = {}) override;
   Status SafeWrite(const std::string& key, uint64_t size,
@@ -45,6 +54,20 @@ class DbRepository : public ObjectRepository {
   bool Exists(const std::string& key) const override;
   Result<alloc::ExtentList> GetLayout(const std::string& key) const override;
   Result<uint64_t> GetSize(const std::string& key) const override;
+
+  // Handle surface (BlobStore handle table underneath).
+  Result<ObjectHandle> Open(const std::string& key) override;
+  Result<ObjectHandle> OpenForWrite(const std::string& key) override;
+  Status Release(ObjectHandle* handle) override;
+  Status Get(const ObjectHandle& handle,
+             std::vector<uint8_t>* out = nullptr) override;
+  Status SafeWrite(const ObjectHandle& handle, uint64_t size,
+                   std::span<const uint8_t> data = {}) override;
+  Status Delete(ObjectHandle* handle) override;
+  Result<alloc::ExtentList> GetLayout(
+      const ObjectHandle& handle) const override;
+  Result<uint64_t> GetSize(const ObjectHandle& handle) const override;
+
   std::vector<std::string> ListKeys() const override;
   void VisitObjects(
       const std::function<void(const std::string& key,
@@ -65,6 +88,9 @@ class DbRepository : public ObjectRepository {
   const DbRepositoryConfig& config() const { return config_; }
 
  private:
+  /// Converts a page-run layout into byte extents.
+  Result<alloc::ExtentList> ScaleLayout(Result<db::BlobLayout> layout) const;
+
   DbRepositoryConfig config_;
   std::unique_ptr<sim::BlockDevice> data_device_;
   std::unique_ptr<sim::BlockDevice> log_device_;

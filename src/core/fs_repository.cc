@@ -5,6 +5,21 @@
 namespace lor {
 namespace core {
 
+namespace {
+
+/// Opens a journal batch for the enclosing scope: the whole temp-create
+/// / stream / fsync / replace sequence commits as one lazy-writer
+/// record (including the error paths).
+struct JournalBatch {
+  explicit JournalBatch(fs::FileStore* s) : store(s) {
+    store->BeginJournalBatch();
+  }
+  ~JournalBatch() { store->EndJournalBatch(); }
+  fs::FileStore* store;
+};
+
+}  // namespace
+
 FsRepository::FsRepository(FsRepositoryConfig config)
     : FsRepository(std::move(config), nullptr) {}
 
@@ -17,36 +32,50 @@ FsRepository::FsRepository(FsRepositoryConfig config,
                                            std::move(allocator));
 }
 
-Status FsRepository::StreamAppend(const std::string& file, uint64_t size,
-                                  std::span<const uint8_t> data) {
-  return store_->AppendStream(file, size, config_.write_request_bytes, data);
+std::string FsRepository::NextTempName(const std::string& key) {
+  return key + ".tmp" + std::to_string(temp_counter_++);
 }
 
-Status FsRepository::Put(const std::string& key, uint64_t size,
-                         std::span<const uint8_t> data) {
-  if (store_->Exists(key)) {
-    return Status::AlreadyExists("object exists: " + key);
-  }
-  return SafeWrite(key, size, data);
+// -- Handle surface ----------------------------------------------------
+
+Result<ObjectHandle> FsRepository::Open(const std::string& key) {
+  LOR_ASSIGN_OR_RETURN(fs::FileHandle fh, store_->OpenRead(key));
+  return MakeHandle(key, /*writable=*/false, fh.slot, fh.gen);
 }
 
-Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
-                               std::span<const uint8_t> data) {
+Result<ObjectHandle> FsRepository::OpenForWrite(const std::string& key) {
+  LOR_ASSIGN_OR_RETURN(fs::FileHandle fh, store_->OpenWrite(key));
+  return MakeHandle(key, /*writable=*/true, fh.slot, fh.gen);
+}
+
+Status FsRepository::Release(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle));
+  LOR_RETURN_IF_ERROR(store_->Close({handle->slot_, handle->gen_}));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Status FsRepository::Get(const ObjectHandle& handle,
+                         std::vector<uint8_t>* out) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return store_->ReadAll(fs::FileHandle{handle.slot_, handle.gen_}, out);
+}
+
+Status FsRepository::SafeWriteThrough(fs::FileHandle target,
+                                      const std::string& key, uint64_t size,
+                                      std::span<const uint8_t> data) {
   if (!data.empty() && data.size() != size) {
     return Status::InvalidArgument("data size does not match object size");
   }
-  // The whole temp-create / stream / fsync / replace sequence commits
-  // as one lazy-writer journal batch (including the error paths).
-  struct JournalBatch {
-    explicit JournalBatch(fs::FileStore* s) : store(s) {
-      store->BeginJournalBatch();
-    }
-    ~JournalBatch() { store->EndJournalBatch(); }
-    fs::FileStore* store;
-  } batch(store_.get());
-  const std::string temp =
-      key + ".tmp" + std::to_string(temp_counter_++);
-  LOR_RETURN_IF_ERROR(store_->Create(temp));
+  // Validate the target ticket *before* the temp cycle: a stale handle
+  // (e.g. the object was deleted by name) must fail here, not after a
+  // fully streamed temp file would be left live with no owner.
+  LOR_RETURN_IF_ERROR(store_->HandleBound(target).status());
+  JournalBatch batch(store_.get());
+  LOR_ASSIGN_OR_RETURN(fs::FileHandle temp,
+                       store_->CreateOpen(NextTempName(key)));
   if (config_.preallocate_on_safe_write) {
     Status s = store_->Preallocate(temp, size);
     if (!s.ok()) {
@@ -55,17 +84,84 @@ Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
       return s;
     }
   }
-  Status s = StreamAppend(temp, size, data);
+  Status s = store_->AppendStream(temp, size, config_.write_request_bytes,
+                                  data);
   if (!s.ok()) {
     Status undo = store_->Delete(temp);
     (void)undo;
     return s;
   }
   LOR_RETURN_IF_ERROR(store_->Fsync(temp));
-  return store_->Replace(temp, key);
+  return store_->Replace(temp, target);
+}
+
+Status FsRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
+                               std::span<const uint8_t> data) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle, /*need_write=*/true));
+  return SafeWriteThrough(fs::FileHandle{handle.slot_, handle.gen_},
+                          handle.key_, size, data);
+}
+
+Status FsRepository::Delete(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle, /*need_write=*/true));
+  LOR_RETURN_IF_ERROR(
+      store_->Delete(fs::FileHandle{handle->slot_, handle->gen_}));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Result<alloc::ExtentList> FsRepository::ScaleExtents(
+    Result<alloc::ExtentList> extents) const {
+  if (!extents.ok()) return extents.status();
+  alloc::ExtentList bytes;
+  bytes.reserve(extents->size());
+  alloc::AppendScaledBytes(*extents, config_.store.cluster_bytes, &bytes);
+  return bytes;
+}
+
+Result<alloc::ExtentList> FsRepository::GetLayout(
+    const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return ScaleExtents(
+      store_->GetExtents(fs::FileHandle{handle.slot_, handle.gen_}));
+}
+
+Result<uint64_t> FsRepository::GetSize(const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return store_->GetSize(fs::FileHandle{handle.slot_, handle.gen_});
+}
+
+// -- Name surface: thin open–op–release wrappers -----------------------
+
+Status FsRepository::Put(const std::string& key, uint64_t size,
+                         std::span<const uint8_t> data) {
+  LOR_ASSIGN_OR_RETURN(fs::FileHandle h, store_->OpenWrite(key));
+  auto bound = store_->HandleBound(h);
+  if (!bound.ok() || *bound) {
+    Status c = store_->Close(h);
+    (void)c;
+    if (!bound.ok()) return bound.status();
+    return Status::AlreadyExists("object exists: " + key);
+  }
+  Status s = SafeWriteThrough(h, key, size, data);
+  Status c = store_->Close(h);
+  return s.ok() ? c : s;
+}
+
+Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
+                               std::span<const uint8_t> data) {
+  LOR_ASSIGN_OR_RETURN(fs::FileHandle h, store_->OpenWrite(key));
+  Status s = SafeWriteThrough(h, key, size, data);
+  Status c = store_->Close(h);
+  return s.ok() ? c : s;
 }
 
 Status FsRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  // The store's name-based read is already the open–read–close session
+  // (open CPU + MFT read, data, close CPU) — no handle-table entry
+  // needed for a single-shot read.
   return store_->ReadAll(key, out);
 }
 
@@ -79,12 +175,7 @@ bool FsRepository::Exists(const std::string& key) const {
 
 Result<alloc::ExtentList> FsRepository::GetLayout(
     const std::string& key) const {
-  auto extents = store_->GetExtents(key);
-  if (!extents.ok()) return extents.status();
-  alloc::ExtentList bytes;
-  bytes.reserve(extents->size());
-  alloc::AppendScaledBytes(*extents, config_.store.cluster_bytes, &bytes);
-  return bytes;
+  return ScaleExtents(store_->GetExtents(key));
 }
 
 Result<uint64_t> FsRepository::GetSize(const std::string& key) const {

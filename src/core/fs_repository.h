@@ -5,6 +5,17 @@
 // The object-name → path metadata database the paper co-located on
 // separate drives is modelled as per-operation CPU cost only (it stays
 // cached and its I/O goes to other spindles).
+//
+// Access stack: the handle operations are the primary path — Open pins
+// the file's MFT record and extent map in the FileStore handle table,
+// and Get/SafeWrite through the handle skip the per-operation
+// open-by-name. The name-based mutations are thin open–op–release
+// wrappers over the same handle code; the name-based Get is the
+// store's own per-call open–read–close session. Both charge exactly
+// what the historical per-operation path charged. SafeWrite streams
+// into a temp file whose MFT record id comes from the store's recycle
+// pool, so aging workloads rewrite a bounded set of record slots
+// instead of marching fresh records through the MFT zone.
 
 #ifndef LOREPO_CORE_FS_REPOSITORY_H_
 #define LOREPO_CORE_FS_REPOSITORY_H_
@@ -46,6 +57,7 @@ class FsRepository : public ObjectRepository {
   FsRepository(FsRepositoryConfig config,
                std::unique_ptr<alloc::ExtentAllocator> allocator);
 
+  // Name-based surface (open–op–release wrappers).
   Status Put(const std::string& key, uint64_t size,
              std::span<const uint8_t> data = {}) override;
   Status SafeWrite(const std::string& key, uint64_t size,
@@ -56,6 +68,20 @@ class FsRepository : public ObjectRepository {
   bool Exists(const std::string& key) const override;
   Result<alloc::ExtentList> GetLayout(const std::string& key) const override;
   Result<uint64_t> GetSize(const std::string& key) const override;
+
+  // Handle surface (FileStore handle table underneath).
+  Result<ObjectHandle> Open(const std::string& key) override;
+  Result<ObjectHandle> OpenForWrite(const std::string& key) override;
+  Status Release(ObjectHandle* handle) override;
+  Status Get(const ObjectHandle& handle,
+             std::vector<uint8_t>* out = nullptr) override;
+  Status SafeWrite(const ObjectHandle& handle, uint64_t size,
+                   std::span<const uint8_t> data = {}) override;
+  Status Delete(ObjectHandle* handle) override;
+  Result<alloc::ExtentList> GetLayout(
+      const ObjectHandle& handle) const override;
+  Result<uint64_t> GetSize(const ObjectHandle& handle) const override;
+
   std::vector<std::string> ListKeys() const override;
   void VisitObjects(
       const std::function<void(const std::string& key,
@@ -76,9 +102,20 @@ class FsRepository : public ObjectRepository {
   const FsRepositoryConfig& config() const { return config_; }
 
  private:
-  /// Streams `size` bytes into `file` in write-request-sized appends.
-  Status StreamAppend(const std::string& file, uint64_t size,
-                      std::span<const uint8_t> data);
+  /// The safe-write cycle against an already-opened target handle:
+  /// create temp (recycled MFT record), optional preallocate, stream,
+  /// fsync, atomic replace — all journal charges in one lazy-writer
+  /// batch.
+  Status SafeWriteThrough(fs::FileHandle target, const std::string& key,
+                          uint64_t size, std::span<const uint8_t> data);
+
+  /// Fresh safe-write temp name (counter keeps names collision-free
+  /// against user keys and leftover temps).
+  std::string NextTempName(const std::string& key);
+
+  /// Converts a byte-extent layout from cluster extents.
+  Result<alloc::ExtentList> ScaleExtents(
+      Result<alloc::ExtentList> extents) const;
 
   FsRepositoryConfig config_;
   std::unique_ptr<sim::BlockDevice> device_;

@@ -1,0 +1,90 @@
+#include "core/object_repository.h"
+
+namespace lor {
+namespace core {
+
+// Default handle surface: name-routed handles (gen 0) that replay the
+// resolution on every operation. Back ends with real handle tables
+// (FsRepository, DbRepository) override everything here; these defaults
+// keep wrapper repositories (e.g. workload::RecordingRepository) and
+// future back ends working unchanged.
+
+Status ObjectRepository::ValidateHandle(const ObjectHandle& handle,
+                                        bool need_write) const {
+  if (!handle.valid()) {
+    return Status::InvalidArgument("invalid object handle");
+  }
+  if (handle.owner_ != this) {
+    return Status::InvalidArgument(
+        "object handle belongs to another repository");
+  }
+  if (need_write && !handle.writable_) {
+    return Status::InvalidArgument(
+        "object handle not opened for write: " + handle.key_);
+  }
+  return Status::OK();
+}
+
+ObjectHandle ObjectRepository::MakeHandle(const std::string& key,
+                                          bool writable, uint64_t slot,
+                                          uint64_t gen) const {
+  ObjectHandle handle;
+  handle.owner_ = this;
+  handle.slot_ = slot;
+  handle.gen_ = gen;
+  handle.key_ = key;
+  handle.writable_ = writable;
+  return handle;
+}
+
+Result<ObjectHandle> ObjectRepository::Open(const std::string& key) {
+  if (!Exists(key)) return Status::NotFound("no object: " + key);
+  return MakeHandle(key, /*writable=*/false);
+}
+
+Result<ObjectHandle> ObjectRepository::OpenForWrite(const std::string& key) {
+  return MakeHandle(key, /*writable=*/true);
+}
+
+Status ObjectRepository::Release(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Status ObjectRepository::Get(const ObjectHandle& handle,
+                             std::vector<uint8_t>* out) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return Get(handle.key_, out);
+}
+
+Status ObjectRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
+                                   std::span<const uint8_t> data) {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle, /*need_write=*/true));
+  return SafeWrite(handle.key_, size, data);
+}
+
+Status ObjectRepository::Delete(ObjectHandle* handle) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  LOR_RETURN_IF_ERROR(ValidateHandle(*handle, /*need_write=*/true));
+  LOR_RETURN_IF_ERROR(Delete(handle->key_));
+  handle->owner_ = nullptr;
+  handle->gen_ = 0;
+  return Status::OK();
+}
+
+Result<alloc::ExtentList> ObjectRepository::GetLayout(
+    const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return GetLayout(handle.key_);
+}
+
+Result<uint64_t> ObjectRepository::GetSize(const ObjectHandle& handle) const {
+  LOR_RETURN_IF_ERROR(ValidateHandle(handle));
+  return GetSize(handle.key_);
+}
+
+}  // namespace core
+}  // namespace lor

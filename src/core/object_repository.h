@@ -3,6 +3,17 @@
 // BLOBs — implement this interface with equivalent semantics: atomic
 // whole-object replacement, no recovery of object payloads after media
 // failure, and no partial updates.
+//
+// Two access surfaces share one implementation:
+//   * the historical name-based operations (the compatibility surface —
+//     every call resolves the key, exactly the per-operation open the
+//     paper's workloads measure), and
+//   * the handle-based operations: Open/OpenForWrite resolve the key
+//     once and return a core::ObjectHandle pinning the resolved state;
+//     Get/SafeWrite/GetLayout/GetSize/Delete overloads then operate
+//     without a name lookup. The name-based mutations are thin
+//     open–op–release wrappers over the same handle ops, so both paths
+//     produce identical layouts and tracker state by construction.
 
 #ifndef LOREPO_CORE_OBJECT_REPOSITORY_H_
 #define LOREPO_CORE_OBJECT_REPOSITORY_H_
@@ -14,6 +25,7 @@
 #include <vector>
 
 #include "alloc/extent.h"
+#include "core/object_handle.h"
 #include "sim/io_stats.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -27,6 +39,8 @@ class FragmentationTracker;
 class ObjectRepository {
  public:
   virtual ~ObjectRepository() = default;
+
+  // -- Name-based surface (one resolution per operation) ---------------
 
   /// Stores a new object. Fails with AlreadyExists for a live key.
   /// `data` may be empty (timing-only workloads).
@@ -52,6 +66,39 @@ class ObjectRepository {
       const std::string& key) const = 0;
 
   virtual Result<uint64_t> GetSize(const std::string& key) const = 0;
+
+  // -- Handle-based surface (resolve once, operate many) ---------------
+
+  /// Opens an existing object for reading. Charges the back end's
+  /// open-by-name cost (the cost the name-based Get pays per call);
+  /// NotFound when the key is not live.
+  virtual Result<ObjectHandle> Open(const std::string& key);
+
+  /// Opens a key for writing. The object need not exist yet: the first
+  /// SafeWrite through the handle creates it (Put semantics are an
+  /// exists check away). Charges only the resolution the write path
+  /// already paid per operation, never extra metadata I/O.
+  virtual Result<ObjectHandle> OpenForWrite(const std::string& key);
+
+  /// Releases a handle (invalidating it). Read handles charge the
+  /// back end's close cost, mirroring the name-based Get; releasing an
+  /// already-released or foreign handle is an error.
+  virtual Status Release(ObjectHandle* handle);
+
+  /// Handle twins of the name-based operations. SafeWrite and Delete
+  /// require a writable handle; Delete invalidates every open handle on
+  /// the object (use-after-delete fails, it does not touch stale
+  /// state). Default implementations route through the name-based ops
+  /// so alternative back ends keep working without a handle table.
+  virtual Status Get(const ObjectHandle& handle,
+                     std::vector<uint8_t>* out = nullptr);
+  virtual Status SafeWrite(const ObjectHandle& handle, uint64_t size,
+                           std::span<const uint8_t> data = {});
+  virtual Status Delete(ObjectHandle* handle);
+  virtual Result<alloc::ExtentList> GetLayout(const ObjectHandle& handle) const;
+  virtual Result<uint64_t> GetSize(const ObjectHandle& handle) const;
+
+  // -- Introspection ----------------------------------------------------
 
   virtual std::vector<std::string> ListKeys() const = 0;
 
@@ -91,6 +138,17 @@ class ObjectRepository {
 
   /// "filesystem" or "database" (the paper's series labels).
   virtual std::string name() const = 0;
+
+ protected:
+  /// Checks that `handle` is live, minted by this repository, and (when
+  /// `need_write`) was opened for writing.
+  Status ValidateHandle(const ObjectHandle& handle,
+                        bool need_write = false) const;
+
+  /// Mints a handle. Back ends pass their table coordinates; the
+  /// defaults mint a name-routed handle (gen 0).
+  ObjectHandle MakeHandle(const std::string& key, bool writable,
+                          uint64_t slot = 0, uint64_t gen = 0) const;
 };
 
 }  // namespace core

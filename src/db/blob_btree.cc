@@ -193,53 +193,121 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
 Status BlobBtree::Read(PageFile* file, const BlobLayout& layout,
                        const sim::OpCostModel& costs,
                        std::vector<uint8_t>* out) {
-  // Pointer pages: buffer-pool hits, CPU only.
-  file->device()->ChargeCpu(
-      costs.db_per_page_cpu_s *
-      static_cast<double>(layout.pointer_pages.size() +
-                          layout.data_page_count()));
+  return ReadAt(file, layout, costs, 0, layout.data_bytes, out, nullptr);
+}
 
+Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
+                         const sim::OpCostModel& costs, uint64_t offset,
+                         uint64_t length, std::vector<uint8_t>* out,
+                         ReadCursor* cursor) {
+  if (length > layout.data_bytes || offset > layout.data_bytes - length) {
+    return Status::InvalidArgument("read beyond end of blob");
+  }
   const uint64_t page_bytes = file->page_bytes();
   const uint64_t payload = PayloadPerPage(*file);
+  const uint64_t total_pages = layout.data_page_count();
+  const uint64_t first_page = std::min(total_pages, offset / payload);
+  const uint64_t end_page =
+      length == 0 ? first_page
+                  : std::min(total_pages,
+                             (offset + length + payload - 1) / payload);
+
+  // Position on first_page: a cursor sitting on it resumes the
+  // previous read (no descent, no run scan). A read that stopped
+  // *inside* a page leaves the cursor one past the partially-consumed
+  // page (next_page is the ceil), so a sequential resume may start on
+  // next_page - 1 — step back one page rather than re-descending.
+  // Otherwise walk the runs from the front and charge the pointer-page
+  // descent.
+  size_t run_index = 0;
+  uint64_t page_in_run = 0;
+  bool positioned = false;
+  if (cursor != nullptr && cursor->valid) {
+    if (cursor->next_page == first_page) {
+      run_index = cursor->run_index;
+      page_in_run = cursor->page_in_run;
+      positioned = true;
+    } else if (cursor->next_page == first_page + 1) {
+      run_index = cursor->run_index;
+      page_in_run = cursor->page_in_run;
+      if (page_in_run > 0) {
+        --page_in_run;
+        positioned = true;
+      } else if (run_index > 0) {
+        --run_index;
+        page_in_run = layout.data_runs[run_index].length - 1;
+        positioned = true;
+      }
+    }
+  }
+  if (!positioned) {
+    uint64_t seen = 0;
+    while (run_index < layout.data_runs.size() &&
+           seen + layout.data_runs[run_index].length <= first_page) {
+      seen += layout.data_runs[run_index].length;
+      ++run_index;
+    }
+    page_in_run = first_page - seen;
+  }
+  // Pointer pages are buffer-pool hits (CPU only), data pages charge
+  // CPU per page on top of the device reads below.
+  file->device()->ChargeCpu(
+      costs.db_per_page_cpu_s *
+      static_cast<double>(
+          (positioned ? 0 : layout.pointer_pages.size()) +
+          (end_page - first_page)));
+
   const bool fetch =
       out != nullptr && file->device()->data_mode() == sim::DataMode::kRetain;
   if (out != nullptr) {
     out->clear();
-    out->reserve(layout.data_bytes);
+    out->reserve(length);
   }
 
   const double t0 = file->device()->clock().now();
-  uint64_t emitted = 0;
   std::vector<uint8_t> buf;
-  for (const alloc::Extent& run : layout.data_runs) {
+  uint64_t page = first_page;
+  while (page < end_page) {
+    const alloc::Extent& run = layout.data_runs[run_index];
     // Read-ahead: contiguous page runs fetched in capped sequential
     // requests.
-    uint64_t page = run.start;
-    uint64_t left = run.length;
-    while (left > 0) {
-      const uint64_t batch =
-          std::min(left, std::max<uint64_t>(1, kReadAheadBytes / page_bytes));
-      LOR_RETURN_IF_ERROR(
-          file->ReadPages(page, batch, fetch ? &buf : nullptr));
-      if (out != nullptr) {
-        for (uint64_t i = 0; i < batch && emitted < layout.data_bytes; ++i) {
-          const uint64_t chunk = std::min(payload, layout.data_bytes - emitted);
-          if (fetch) {
-            const uint8_t* src = buf.data() + i * page_bytes + kPageHeaderBytes;
-            out->insert(out->end(), src, src + chunk);
-          } else {
-            out->insert(out->end(), chunk, 0);
-          }
-          emitted += chunk;
+    const uint64_t batch = std::min(
+        {run.length - page_in_run, end_page - page,
+         std::max<uint64_t>(1, kReadAheadBytes / page_bytes)});
+    LOR_RETURN_IF_ERROR(
+        file->ReadPages(run.start + page_in_run, batch, fetch ? &buf : nullptr));
+    if (out != nullptr) {
+      for (uint64_t i = 0; i < batch; ++i) {
+        const uint64_t pstart = (page + i) * payload;
+        const uint64_t pend = std::min(pstart + payload, layout.data_bytes);
+        const uint64_t lo = std::max(pstart, offset);
+        const uint64_t hi = std::min(pend, offset + length);
+        if (hi <= lo) continue;
+        if (fetch) {
+          const uint8_t* src =
+              buf.data() + i * page_bytes + kPageHeaderBytes + (lo - pstart);
+          out->insert(out->end(), src, src + (hi - lo));
+        } else {
+          out->insert(out->end(), hi - lo, 0);
         }
       }
-      page += batch;
-      left -= batch;
+    }
+    page += batch;
+    page_in_run += batch;
+    if (page_in_run == run.length) {
+      ++run_index;
+      page_in_run = 0;
     }
   }
   const double device_seconds = file->device()->clock().now() - t0;
   file->device()->ChargeCpu(sim::OpCostModel::StreamPenalty(
-      layout.data_bytes, costs.db_read_stream_bandwidth, device_seconds));
+      length, costs.db_read_stream_bandwidth, device_seconds));
+  if (cursor != nullptr) {
+    cursor->valid = true;
+    cursor->next_page = end_page;
+    cursor->run_index = run_index;
+    cursor->page_in_run = page_in_run;
+  }
   return Status::OK();
 }
 

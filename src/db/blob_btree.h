@@ -87,6 +87,28 @@ class BlobBtree {
                      const sim::OpCostModel& costs,
                      std::vector<uint8_t>* out = nullptr);
 
+  /// A read cursor positioned inside a blob's data-page runs. A ReadAt
+  /// resuming where the previous one stopped skips the pointer-page
+  /// descent and the run scan — the sequential-read fast path an open
+  /// handle keeps across calls. Invalidated by the owner whenever the
+  /// layout it indexes into is replaced.
+  struct ReadCursor {
+    bool valid = false;
+    uint64_t next_page = 0;   ///< Logical data-page index after the last read.
+    size_t run_index = 0;     ///< Run containing next_page...
+    uint64_t page_in_run = 0; ///< ...and the page offset inside it.
+  };
+
+  /// Reads `length` payload bytes starting at byte `offset`. Identical
+  /// charging to Read for a whole-object pass (pointer-page descent +
+  /// per-page CPU + coalesced device reads + stream penalty on the
+  /// bytes delivered); with a `cursor` still positioned at `offset`,
+  /// the descent and run scan are skipped.
+  static Status ReadAt(PageFile* file, const BlobLayout& layout,
+                       const sim::OpCostModel& costs, uint64_t offset,
+                       uint64_t length, std::vector<uint8_t>* out = nullptr,
+                       ReadCursor* cursor = nullptr);
+
   /// Frees every page of the blob back to the allocation unit (which
   /// returns fully-freed extents to the GAM).
   static Status Free(LobAllocationUnit* unit, const BlobLayout& layout);

@@ -37,12 +37,150 @@ void BlobStore::LogCommit(uint64_t payload_bytes) {
   data_device_->ChargeCpu(log_device_->clock().now() - t0);
 }
 
+// -- Handle table ------------------------------------------------------
+
+void BlobStore::InvalidateHandles(const std::string& key) {
+  handles_.InvalidateAll(key);
+}
+
+void BlobStore::BindHandles(const std::string& key, BlobLayout* layout,
+                            const ObjectRow* row) {
+  handles_.ForEachOpen(key, [layout, row](OpenBlobEntry& entry) {
+    if (entry.layout == nullptr) entry.layout = layout;
+    entry.read_cursor = {};  // Fresh layout: positioned reads restart.
+    if (row != nullptr) entry.row = *row;
+  });
+}
+
+Result<BlobHandle> BlobStore::OpenRead(const std::string& key) {
+  // The per-operation query + metadata-row resolution the name-based
+  // Get pays on every call; reads through the handle skip both.
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  auto row = metadata_->Lookup(key);
+  if (!row.ok()) return row.status();
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) {
+    return Status::Corruption("row without layout: " + key);
+  }
+  OpenBlobEntry entry;
+  entry.layout = &it->second;
+  entry.row = *row;
+  return handles_.Register(key, std::move(entry));
+}
+
+Result<BlobHandle> BlobStore::OpenWrite(const std::string& key) {
+  data_device_->ChargeCpu(options_.costs.db_query_s);
+  auto it = layouts_.find(key);
+  OpenBlobEntry entry;
+  entry.layout = it == layouts_.end() ? nullptr : &it->second;
+  return handles_.Register(key, std::move(entry));
+}
+
+Status BlobStore::Close(BlobHandle handle) {
+  if (handles_.Resolve(handle) == nullptr) {
+    return Status::InvalidArgument("stale blob handle");
+  }
+  handles_.Release(handle.slot);
+  return Status::OK();
+}
+
+Result<bool> BlobStore::HandleBound(BlobHandle handle) const {
+  const OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  return slot->entry.layout != nullptr;
+}
+
+Status BlobStore::Get(BlobHandle handle, std::vector<uint8_t>* out) {
+  OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return Status::NotFound("no object: " + slot->name);
+  }
+  LOR_RETURN_IF_ERROR(
+      BlobBtree::Read(&page_file_, *slot->entry.layout, options_.costs, out));
+  ++stats_.gets;
+  return Status::OK();
+}
+
+Status BlobStore::GetRange(BlobHandle handle, uint64_t offset,
+                           uint64_t length, std::vector<uint8_t>* out) {
+  OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return Status::NotFound("no object: " + slot->name);
+  }
+  LOR_RETURN_IF_ERROR(BlobBtree::ReadAt(&page_file_, *slot->entry.layout,
+                                        options_.costs, offset, length, out,
+                                        &slot->entry.read_cursor));
+  ++stats_.gets;
+  return Status::OK();
+}
+
+Status BlobStore::SafeWrite(BlobHandle handle, uint64_t size,
+                            std::span<const uint8_t> data) {
+  OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return PutResolved(slot->name, size, data);
+  }
+  return ReplaceResolved(slot->name, &slot->entry, size, data);
+}
+
+Status BlobStore::Delete(BlobHandle handle) {
+  OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return Status::NotFound("no object: " + slot->name);
+  }
+  // No query charge: the handle already paid the row resolution at
+  // open. The find supplies the erase iterator only.
+  auto it = layouts_.find(slot->name);
+  if (it == layouts_.end()) {
+    return Status::Corruption("bound handle without layout: " + slot->name);
+  }
+  return DeleteResolved(it);
+}
+
+Result<BlobLayout> BlobStore::GetLayout(BlobHandle handle) const {
+  const OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return Status::NotFound("no object: " + slot->name);
+  }
+  return *slot->entry.layout;
+}
+
+Result<uint64_t> BlobStore::GetSize(BlobHandle handle) const {
+  const OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.layout == nullptr) {
+    return Status::NotFound("no object: " + slot->name);
+  }
+  return slot->entry.layout->data_bytes;
+}
+
+Result<ObjectRow> BlobStore::Row(BlobHandle handle) const {
+  const OpenBlobSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale blob handle");
+  if (slot->entry.row.key.empty()) {
+    return Status::NotFound("row not pinned: " + slot->name);
+  }
+  return slot->entry.row;
+}
+
+// -- Write paths -------------------------------------------------------
+
 Status BlobStore::Put(const std::string& key, uint64_t size,
                       std::span<const uint8_t> data) {
   data_device_->ChargeCpu(options_.costs.db_query_s);
   if (layouts_.count(key) != 0) {
     return Status::AlreadyExists("object exists: " + key);
   }
+  return PutResolved(key, size, data);
+}
+
+Status BlobStore::PutResolved(const std::string& key, uint64_t size,
+                              std::span<const uint8_t> data) {
   auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
                                  options_.write_request_bytes,
                                  options_.costs);
@@ -60,7 +198,8 @@ Status BlobStore::Put(const std::string& key, uint64_t size,
     return s;
   }
   tracker_.Add(layout->Fragments(), size);
-  layouts_.emplace(key, std::move(*layout));
+  auto it = layouts_.emplace(key, std::move(*layout)).first;
+  BindHandles(key, &it->second, &row);
   LogCommit(size);
   ++stats_.puts;
   ++stats_.object_count;
@@ -75,6 +214,18 @@ Status BlobStore::Replace(const std::string& key, uint64_t size,
   if (it == layouts_.end()) {
     return Status::NotFound("no object: " + key);
   }
+  // Route through a transient entry-shaped view so the name path and
+  // the handle path are one implementation (no cursor reuse here: the
+  // per-operation path re-descends, as it always has).
+  OpenBlobEntry transient;
+  transient.layout = &it->second;
+  Status s = ReplaceResolved(key, &transient, size, data);
+  return s;
+}
+
+Status BlobStore::ReplaceResolved(const std::string& key,
+                                  OpenBlobEntry* entry, uint64_t size,
+                                  std::span<const uint8_t> data) {
   auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
                                  options_.write_request_bytes,
                                  options_.costs);
@@ -85,14 +236,18 @@ Status BlobStore::Replace(const std::string& key, uint64_t size,
   row.blob_ref = layout->root_page();
   row.size_bytes = size;
   row.version = next_version_++;
-  LOR_RETURN_IF_ERROR(metadata_->Update(row));
+  LOR_RETURN_IF_ERROR(metadata_->UpdateAt(&entry->row_cursor, row));
 
   // The old pages become reusable once the ghost-cleanup delay elapses.
-  const uint64_t old_size = it->second.data_bytes;
-  const uint64_t old_fragments = it->second.Fragments();
-  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  BlobLayout* target = entry->layout;
+  const uint64_t old_size = target->data_bytes;
+  const uint64_t old_fragments = target->Fragments();
+  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, *target));
   tracker_.Update(old_fragments, old_size, layout->Fragments(), size);
-  it->second = std::move(*layout);
+  *target = std::move(*layout);
+  // Every open handle on the key (this one included) restarts its
+  // positioned reads against the fresh layout and sees the new row.
+  BindHandles(key, target, &row);
   LogCommit(size);
   ++stats_.replaces;
   stats_.live_bytes += size;
@@ -120,10 +275,17 @@ Status BlobStore::Delete(const std::string& key) {
   if (it == layouts_.end()) {
     return Status::NotFound("no object: " + key);
   }
+  return DeleteResolved(it);
+}
+
+Status BlobStore::DeleteResolved(
+    std::unordered_map<std::string, BlobLayout>::iterator it) {
+  const std::string& key = it->first;
   LOR_RETURN_IF_ERROR(metadata_->Delete(key));
   LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
   stats_.live_bytes -= it->second.data_bytes;
   tracker_.Remove(it->second.Fragments(), it->second.data_bytes);
+  InvalidateHandles(key);
   layouts_.erase(it);
   LogCommit(0);
   ++stats_.deletes;
@@ -211,6 +373,10 @@ Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
       report.bytes_moved += fresh->data_bytes;
       ++report.objects_moved;
       it->second = std::move(*fresh);
+      // Open handles keep their pinned layout pointer (the node is
+      // assigned in place) but restart positioned reads and see the
+      // rebuilt row.
+      BindHandles(key, &it->second, &row);
       LogCommit(it->second.data_bytes);
     }
     return Status::OK();

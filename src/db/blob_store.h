@@ -11,6 +11,15 @@
 //   * freed extents are reusable immediately after commit, via the
 //     lowest-first GAM scan — the behaviour behind SQL Server's linear
 //     fragmentation growth.
+//
+// Two access surfaces: the historical per-key operations (each pays the
+// query CPU + metadata-row lookup), and a handle table — OpenRead /
+// OpenWrite resolve the key once and pin the metadata row, the layout,
+// a positioned metadata-table cursor (updates skip the B+tree descent)
+// and a positioned BlobBtree read cursor (sequential range reads skip
+// the pointer-page walk). Handles are invalidated when their object is
+// deleted; stale use fails cleanly. Replacement assigns the new layout
+// into the object's node, so handles stay valid across safe writes.
 
 #ifndef LOREPO_DB_BLOB_STORE_H_
 #define LOREPO_DB_BLOB_STORE_H_
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "core/fragmentation_tracker.h"
+#include "core/handle_table.h"
 #include "db/blob_btree.h"
 #include "db/lob_allocation_unit.h"
 #include "db/metadata_table.h"
@@ -66,6 +76,14 @@ struct BlobStoreStats {
   uint64_t log_bytes = 0;
 };
 
+/// Ticket for an entry in the BlobStore handle table. Cheap to copy;
+/// validity is checked on every use (slot + generation).
+struct BlobHandle {
+  uint64_t slot = 0;
+  uint64_t gen = 0;  ///< 0 = invalid.
+  bool valid() const { return gen != 0; }
+};
+
 /// SQL-Server-like BLOB engine over a data device and a log device.
 class BlobStore {
  public:
@@ -90,6 +108,51 @@ class BlobStore {
   Status Delete(const std::string& key);
 
   bool Exists(const std::string& key) const;
+
+  // -- Handle table ----------------------------------------------------
+
+  /// Opens an existing object for reading: charges the query CPU and
+  /// the metadata-row lookup the per-key Get pays on every call, and
+  /// pins the row + layout. NotFound when the key is not live.
+  Result<BlobHandle> OpenRead(const std::string& key);
+
+  /// Opens a key for writing; the object need not exist (the handle is
+  /// unbound until the first SafeWrite). Charges the query CPU the
+  /// per-key write path pays per operation.
+  Result<BlobHandle> OpenWrite(const std::string& key);
+
+  /// Closes a handle; closing a stale handle is an error.
+  Status Close(BlobHandle handle);
+
+  /// True when the handle is currently bound to a live object.
+  Result<bool> HandleBound(BlobHandle handle) const;
+
+  /// Handle twins: identical engine behaviour minus the per-operation
+  /// query CPU + row lookup already paid at open.
+  Status Get(BlobHandle handle, std::vector<uint8_t>* out = nullptr);
+  /// Range read through the handle's positioned BlobBtree cursor
+  /// (sequential calls skip the pointer-page descent and run scan).
+  Status GetRange(BlobHandle handle, uint64_t offset, uint64_t length,
+                  std::vector<uint8_t>* out = nullptr);
+  /// Put-or-replace (the safe write). Creates the object when the
+  /// handle is unbound, else replaces it wholesale.
+  Status SafeWrite(BlobHandle handle, uint64_t size,
+                   std::span<const uint8_t> data = {});
+  /// Deletes the object and consumes the handle (other handles on the
+  /// key are invalidated).
+  Status Delete(BlobHandle handle);
+  Result<BlobLayout> GetLayout(BlobHandle handle) const;
+  Result<uint64_t> GetSize(BlobHandle handle) const;
+
+  /// The pinned metadata row — no query or B+tree charge. Available on
+  /// read handles from open, and on any handle once a write through
+  /// the key has refreshed it; NotFound before that (write handles
+  /// never pay a row lookup at open). Kept coherent across every open
+  /// handle on the key by the write paths.
+  Result<ObjectRow> Row(BlobHandle handle) const;
+
+  /// Open handle-table entries (tests / leak checks).
+  uint64_t open_handle_count() const { return handles_.open_count(); }
 
   /// Physical layout of an object's data pages, for the fragmentation
   /// analyzer.
@@ -144,8 +207,40 @@ class BlobStore {
   Result<RebuildReport> RebuildTable();
 
  private:
+  /// Per-handle payload. `layout` is null for unbound write handles.
+  /// BlobLayout addresses are stable (node-based map; Replace assigns
+  /// into the node), so the pinned pointer survives replacements.
+  struct OpenBlobEntry {
+    BlobLayout* layout = nullptr;
+    ObjectRow row;                       ///< Pinned metadata row.
+    MetadataTable::RowCursor row_cursor; ///< Positioned row update path.
+    BlobBtree::ReadCursor read_cursor;   ///< Positioned range reads.
+  };
+  using OpenBlobSlot =
+      core::HandleTable<OpenBlobEntry, BlobHandle>::Slot;
+
   /// Writes a commit record (plus blob payload when fully logged).
   void LogCommit(uint64_t payload_bytes);
+
+  /// Invalidates every open handle on `key` (delete path).
+  void InvalidateHandles(const std::string& key);
+  /// Binds unbound write handles on `key` to `layout` and refreshes
+  /// every open handle's pinned row + read cursor (the write paths'
+  /// cache-coherence step). `row` may be null (rebuild keeps rows).
+  void BindHandles(const std::string& key, BlobLayout* layout,
+                   const ObjectRow* row);
+
+  /// Insert core (no query charge): allocate + write the blob, insert
+  /// the row; BindHandles gives every open handle on the key the new
+  /// layout and row.
+  Status PutResolved(const std::string& key, uint64_t size,
+                     std::span<const uint8_t> data);
+  /// Replace core (no query charge) over a bound entry.
+  Status ReplaceResolved(const std::string& key, OpenBlobEntry* entry,
+                         uint64_t size, std::span<const uint8_t> data);
+  /// Delete core (no query charge) over a resolved layout node.
+  Status DeleteResolved(
+      std::unordered_map<std::string, BlobLayout>::iterator it);
 
   sim::BlockDevice* data_device_;
   sim::BlockDevice* log_device_;
@@ -159,6 +254,8 @@ class BlobStore {
   uint64_t log_cursor_ = 0;
   uint64_t next_version_ = 1;
   uint32_t deletes_since_purge_ = 0;
+  /// Open-handle table (slot/generation tickets + key index).
+  core::HandleTable<OpenBlobEntry, BlobHandle> handles_;
 };
 
 }  // namespace db

@@ -181,6 +181,7 @@ Status MetadataTable::Insert(const ObjectRow& row) {
     right->leaf = current->leaf;
     right->page_id = take_page();
     ++stats_.splits;
+    ++structure_gen_;  // Rows move between nodes: cursors re-descend.
     if (current->leaf) {
       const size_t mid = current->keys.size() / 2;
       pending_sep = current->keys[mid];
@@ -258,20 +259,40 @@ Result<ObjectRow> MetadataTable::Lookup(const std::string& key) const {
 }
 
 Status MetadataTable::Update(const ObjectRow& row) {
-  Node* node = root_.get();
-  while (!node->leaf) {
-    const size_t idx =
-        std::upper_bound(node->keys.begin(), node->keys.end(), row.key) -
-        node->keys.begin();
-    node = node->children[idx].get();
+  return UpdateAt(nullptr, row);
+}
+
+Status MetadataTable::UpdateAt(RowCursor* cursor, const ObjectRow& row) {
+  Node* node = nullptr;
+  size_t pos = 0;
+  // A positioned cursor skips the descent: same page touched, same
+  // buffer-pool charge, no key comparisons down the tree.
+  if (cursor != nullptr && cursor->leaf != nullptr &&
+      cursor->structure_gen == structure_gen_ &&
+      cursor->pos < cursor->leaf->keys.size() &&
+      cursor->leaf->keys[cursor->pos] == row.key) {
+    node = cursor->leaf;
+    pos = cursor->pos;
+  } else {
+    node = root_.get();
+    while (!node->leaf) {
+      const size_t idx =
+          std::upper_bound(node->keys.begin(), node->keys.end(), row.key) -
+          node->keys.begin();
+      node = node->children[idx].get();
+    }
+    pos = std::lower_bound(node->keys.begin(), node->keys.end(), row.key) -
+          node->keys.begin();
   }
   ChargeLookupCpu(1);
-  const size_t pos =
-      std::lower_bound(node->keys.begin(), node->keys.end(), row.key) -
-      node->keys.begin();
   if (pos >= node->keys.size() || node->keys[pos] != row.key ||
       node->rows[pos].ghost) {
     return Status::NotFound("no row: " + row.key);
+  }
+  if (cursor != nullptr) {
+    cursor->leaf = node;
+    cursor->pos = pos;
+    cursor->structure_gen = structure_gen_;
   }
   node->rows[pos] = row;
   node->rows[pos].ghost = false;
@@ -341,6 +362,7 @@ void ScanNode(const MetadataTable::Node* node,
 void MetadataTable::PurgeGhosts() {
   PurgeNode(root_.get());
   stats_.ghosts = 0;
+  ++structure_gen_;  // Compaction shifts row positions.
 }
 
 std::vector<std::string> MetadataTable::ScanKeys() const {

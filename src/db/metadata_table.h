@@ -57,12 +57,36 @@ class MetadataTable {
   MetadataTable(const MetadataTable&) = delete;
   MetadataTable& operator=(const MetadataTable&) = delete;
 
+  /// Tree node; public so the implementation's free helper functions
+  /// (scan, purge, invariant check) can traverse it.
+  struct Node;
+
+  /// A positioned cursor: remembers the leaf and slot of one row so
+  /// repeat operations on the same key skip the tree descent. Nodes are
+  /// never deallocated (splits add, purges compact in place), so the
+  /// cached pointer stays safe; a structure-generation check plus a key
+  /// match detect rows that moved, falling back to a fresh descent.
+  struct RowCursor {
+    Node* leaf = nullptr;
+    size_t pos = 0;
+    uint64_t structure_gen = 0;
+  };
+
   /// Inserts a row; AlreadyExists if a live row with the key exists.
   /// A ghost with the same key is resurrected in place.
   Status Insert(const ObjectRow& row);
 
   /// Replaces the payload of an existing live row.
   Status Update(const ObjectRow& row);
+
+  /// Update through a cursor: identical charging to Update, but when
+  /// `cursor` is still positioned on the row the descent is skipped
+  /// entirely. Repositions the cursor either way.
+  Status UpdateAt(RowCursor* cursor, const ObjectRow& row);
+
+  /// Bumped whenever rows move between nodes (splits, ghost purges);
+  /// cursors from older generations re-descend.
+  uint64_t structure_generation() const { return structure_gen_; }
 
   /// Point lookup. NotFound for missing or ghost rows.
   Result<ObjectRow> Lookup(const std::string& key) const;
@@ -91,10 +115,6 @@ class MetadataTable {
   /// Children per internal page.
   uint64_t InternalCapacity() const;
 
-  /// Tree node; public so the implementation's free helper functions
-  /// (scan, purge, invariant check) can traverse it.
-  struct Node;
-
  private:
 
   void ChargeLookupCpu(uint64_t levels) const;
@@ -105,6 +125,7 @@ class MetadataTable {
   const sim::OpCostModel* costs_;
   uint32_t ops_per_checkpoint_;
   uint32_t ops_since_checkpoint_ = 0;
+  uint64_t structure_gen_ = 0;
   std::unique_ptr<Node> root_;
   mutable MetadataTableStats stats_;
   std::vector<uint64_t> dirty_pages_;

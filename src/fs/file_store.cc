@@ -33,6 +33,164 @@ const FileInfo* FileStore::Find(const std::string& name) const {
   return it == files_.end() ? nullptr : &it->second;
 }
 
+// -- Handle table ------------------------------------------------------
+
+void FileStore::InvalidateHandles(const std::string& name) {
+  handles_.InvalidateAll(name);
+}
+
+void FileStore::BindHandles(const std::string& name, FileInfo* file) {
+  handles_.ForEachOpen(name, [file](OpenFilePayload& payload) {
+    if (payload.file == nullptr) payload.file = file;
+  });
+}
+
+uint64_t FileStore::TakeRecordId() {
+  if (options_.recycle_mft_records && !free_record_ids_.empty()) {
+    const uint64_t id = free_record_ids_.back();
+    free_record_ids_.pop_back();
+    return id;
+  }
+  return next_file_id_++;
+}
+
+void FileStore::RecycleRecordId(uint64_t id) {
+  if (options_.recycle_mft_records) free_record_ids_.push_back(id);
+}
+
+Result<FileHandle> FileStore::OpenRead(const std::string& name) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  // The open-by-name the name-based Read pays per call: open CPU plus
+  // the MFT record read. Reads through the handle skip both.
+  device_->ChargeCpu(options_.costs.fs_open_s);
+  ChargeMftAccess(file->id, /*write=*/false);
+  return handles_.Register(name, {file, /*read_session=*/true});
+}
+
+Result<FileHandle> FileStore::OpenWrite(const std::string& name) {
+  return handles_.Register(name, {Find(name), /*read_session=*/false});
+}
+
+Result<FileHandle> FileStore::CreateOpen(const std::string& name) {
+  LOR_ASSIGN_OR_RETURN(FileInfo * file, CreateImpl(name));
+  return handles_.Register(name, {file, /*read_session=*/false});
+}
+
+Status FileStore::Close(FileHandle handle) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.read_session) {
+    device_->ChargeCpu(options_.costs.fs_close_s);
+  }
+  handles_.Release(handle.slot);
+  return Status::OK();
+}
+
+Result<bool> FileStore::HandleBound(FileHandle handle) const {
+  const OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  return slot->entry.file != nullptr;
+}
+
+Status FileStore::ReadAt(FileHandle handle, uint64_t offset, uint64_t length,
+                         std::vector<uint8_t>* out) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return ReadResolved(slot->entry.file, offset, length, out);
+}
+
+Status FileStore::ReadAll(FileHandle handle, std::vector<uint8_t>* out) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return ReadResolved(slot->entry.file, 0, slot->entry.file->size_bytes, out);
+}
+
+Status FileStore::AppendStream(FileHandle handle, uint64_t length,
+                               uint64_t request_bytes,
+                               std::span<const uint8_t> data) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return AppendStreamResolved(slot->entry.file, length, request_bytes, data);
+}
+
+Status FileStore::Preallocate(FileHandle handle, uint64_t final_size) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return PreallocateResolved(slot->entry.file, final_size);
+}
+
+Status FileStore::Fsync(FileHandle handle) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  ChargeJournal(/*flush=*/true);
+  return Status::OK();
+}
+
+Status FileStore::Replace(FileHandle source, FileHandle target) {
+  OpenFileSlot* src_slot = handles_.Resolve(source);
+  if (src_slot == nullptr) {
+    return Status::InvalidArgument("stale file handle (source)");
+  }
+  OpenFileSlot* dst_slot = handles_.Resolve(target);
+  if (dst_slot == nullptr) {
+    return Status::InvalidArgument("stale file handle (target)");
+  }
+  if (src_slot == dst_slot) {
+    return Status::InvalidArgument("replace onto the same handle");
+  }
+  if (src_slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + src_slot->name);
+  }
+  auto src = files_.find(src_slot->name);
+  // ReplaceImpl consumes every handle on the source name (including
+  // `source`) and binds `target` if it was unbound.
+  return ReplaceImpl(src, dst_slot->name);
+}
+
+Status FileStore::Delete(FileHandle handle) {
+  OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  const std::string name = slot->name;  // Delete invalidates the slot.
+  return Delete(name);
+}
+
+Result<alloc::ExtentList> FileStore::GetExtents(FileHandle handle) const {
+  const OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return slot->entry.file->extents;
+}
+
+Result<uint64_t> FileStore::GetSize(FileHandle handle) const {
+  const OpenFileSlot* slot = handles_.Resolve(handle);
+  if (slot == nullptr) return Status::InvalidArgument("stale file handle");
+  if (slot->entry.file == nullptr) {
+    return Status::NotFound("no such file: " + slot->name);
+  }
+  return slot->entry.file->size_bytes;
+}
+
 void FileStore::SyncTracker(FileInfo* file) {
   const uint64_t fragments = alloc::CountFragments(file->extents);
   tracker_.Update(file->tracked_fragments, file->tracked_bytes, fragments,
@@ -115,21 +273,27 @@ void FileStore::NoteNameRemove() {
 }
 
 Status FileStore::Create(const std::string& name) {
+  return CreateImpl(name).status();
+}
+
+Result<FileInfo*> FileStore::CreateImpl(const std::string& name) {
   if (Find(name) != nullptr) {
     return Status::AlreadyExists("file exists: " + name);
   }
   FileInfo info;
-  info.id = next_file_id_++;
+  info.id = TakeRecordId();
   device_->ChargeCpu(options_.costs.fs_open_s);
   ChargeMftAccess(info.id, /*write=*/true);
   ChargeJournal(/*flush=*/false);
-  files_.emplace(name, std::move(info));
+  auto [it, inserted] = files_.emplace(name, std::move(info));
+  (void)inserted;
   tracker_.Add(0, 0);  // Empty file: no extents, no bytes.
   ++stats_.creates;
   ++stats_.file_count;
   NoteNameInsert();
   allocator_->Tick();
-  return Status::OK();
+  BindHandles(name, &it->second);
+  return &it->second;
 }
 
 Status FileStore::FreeFileClusters(const FileInfo& file) {
@@ -148,6 +312,8 @@ Status FileStore::Delete(const std::string& name) {
   ChargeMftAccess(it->second.id, /*write=*/true);
   ChargeJournal(/*flush=*/false);
   device_->ChargeCpu(options_.costs.fs_close_s);
+  RecycleRecordId(it->second.id);
+  InvalidateHandles(name);
   files_.erase(it);
   ++stats_.deletes;
   --stats_.file_count;
@@ -162,6 +328,18 @@ Status FileStore::Replace(const std::string& source,
   if (src == files_.end()) {
     return Status::NotFound("no such file: " + source);
   }
+  return ReplaceImpl(src, target);
+}
+
+Status FileStore::ReplaceImpl(
+    std::unordered_map<std::string, FileInfo>::iterator src,
+    const std::string& target) {
+  if (src->first == target) {
+    // Self-replacement would free the live file and then read the
+    // erased node; reject it (also reachable through two handles
+    // opened on one name).
+    return Status::InvalidArgument("replace onto the same file: " + target);
+  }
   device_->ChargeCpu(options_.costs.fs_rename_s);
   auto dst = files_.find(target);
   if (dst != files_.end()) {
@@ -170,14 +348,27 @@ Status FileStore::Replace(const std::string& source,
     tracker_.Remove(dst->second.tracked_fragments,
                     dst->second.tracked_bytes);
     ChargeMftAccess(dst->second.id, /*write=*/true);
-    files_.erase(dst);
+    RecycleRecordId(dst->second.id);
+    // Assign into the target's node instead of erase + re-emplace: the
+    // target FileInfo keeps its address, so handles opened on `target`
+    // stay valid across the safe write.
+    dst->second = std::move(src->second);
+    InvalidateHandles(src->first);
+    files_.erase(src);
     --stats_.file_count;
+    ChargeMftAccess(dst->second.id, /*write=*/true);
+    ChargeJournal(/*flush=*/true);
+  } else {
+    FileInfo moved = std::move(src->second);
+    InvalidateHandles(src->first);
+    files_.erase(src);
+    ChargeMftAccess(moved.id, /*write=*/true);
+    ChargeJournal(/*flush=*/true);
+    dst = files_.emplace(target, std::move(moved)).first;
   }
-  FileInfo moved = std::move(src->second);
-  files_.erase(src);
-  ChargeMftAccess(moved.id, /*write=*/true);
-  ChargeJournal(/*flush=*/true);
-  files_.emplace(target, std::move(moved));
+  // First write of a key: bind any write handles opened before the file
+  // existed (no-op when the target node already carried them).
+  BindHandles(target, &dst->second);
   ++stats_.renames;
   // The rename removes one name from the directory index (source) —
   // the target entry is rewritten in place.
@@ -252,6 +443,12 @@ Status FileStore::AppendStream(const std::string& name, uint64_t length,
                                std::span<const uint8_t> data) {
   FileInfo* file = Find(name);
   if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return AppendStreamResolved(file, length, request_bytes, data);
+}
+
+Status FileStore::AppendStreamResolved(FileInfo* file, uint64_t length,
+                                       uint64_t request_bytes,
+                                       std::span<const uint8_t> data) {
   if (request_bytes == 0) {
     return Status::InvalidArgument("zero request size");
   }
@@ -329,25 +526,35 @@ Status FileStore::Read(const std::string& name, uint64_t offset,
                        uint64_t length, std::vector<uint8_t>* out) {
   FileInfo* file = Find(name);
   if (file == nullptr) return Status::NotFound("no such file: " + name);
-  if (offset + length > file->size_bytes) {
+  if (length > file->size_bytes || offset > file->size_bytes - length) {
     return Status::InvalidArgument("read beyond end of file");
   }
-
+  // The name-based read is an open–read–close session per call.
   device_->ChargeCpu(options_.costs.fs_open_s);
   ChargeMftAccess(file->id, /*write=*/false);
+  LOR_RETURN_IF_ERROR(ReadResolved(file, offset, length, out));
+  device_->ChargeCpu(options_.costs.fs_close_s);
+  return Status::OK();
+}
 
+Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
+                               uint64_t length, std::vector<uint8_t>* out) {
+  if (length > file->size_bytes || offset > file->size_bytes - length) {
+    return Status::InvalidArgument("read beyond end of file");
+  }
   if (out != nullptr) out->clear();
   const double t0 = device_->clock().now();
-  std::vector<uint8_t> chunk;
-  for (const auto& [phys, len] : MapRange(*file, offset, length)) {
+  MapRangeInto(*file, offset, length, &read_runs_);
+  for (const auto& [phys, len] : read_runs_) {
     LOR_RETURN_IF_ERROR(
-        device_->Read(phys, len, out != nullptr ? &chunk : nullptr));
-    if (out != nullptr) out->insert(out->end(), chunk.begin(), chunk.end());
+        device_->Read(phys, len, out != nullptr ? &read_chunk_ : nullptr));
+    if (out != nullptr) {
+      out->insert(out->end(), read_chunk_.begin(), read_chunk_.end());
+    }
   }
   const double device_seconds = device_->clock().now() - t0;
   device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
       length, options_.costs.fs_stream_bandwidth, device_seconds));
-  device_->ChargeCpu(options_.costs.fs_close_s);
   ++stats_.reads;
   ++file->read_count;
   return Status::OK();
@@ -363,6 +570,10 @@ Status FileStore::ReadAll(const std::string& name,
 Status FileStore::Preallocate(const std::string& name, uint64_t final_size) {
   FileInfo* file = Find(name);
   if (file == nullptr) return Status::NotFound("no such file: " + name);
+  return PreallocateResolved(file, final_size);
+}
+
+Status FileStore::PreallocateResolved(FileInfo* file, uint64_t final_size) {
   const uint64_t needed = ClustersFor(final_size);
   if (needed <= file->allocated_clusters) return Status::OK();
   const uint64_t grow = needed - file->allocated_clusters;

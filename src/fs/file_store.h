@@ -11,12 +11,25 @@
 //   * a reserved zone at the front of the volume models the MFT; file
 //     creates/opens/deletes read and write MFT records there, which is
 //     where the filesystem's per-operation seek traffic comes from;
+//   * MFT records of deleted files are recycled (NTFS reuses free
+//     records before extending the MFT), so the safe-write temp cycle
+//     rewrites a bounded set of record slots instead of marching new
+//     records through the zone;
 //   * `Preallocate` implements the paper's proposed interface extension
 //     ("the ability to specify the size of the object before initial
 //     space allocation") so its effect can be measured.
 //
 // Atomic replacement (ReplaceFile/rename) is provided so the repository
 // layer can implement safe writes.
+//
+// Two access surfaces: the historical name-based operations (each call
+// resolves the name), and a handle table — OpenRead/OpenWrite/CreateOpen
+// return a FileHandle pinning the resolved FileInfo (cached extent map +
+// MFT record), and the handle twins of Read/Append/Replace/Delete skip
+// the per-operation name lookup. Handles are invalidated when their
+// file's name is erased (Delete, or being the source of a Replace);
+// stale use fails cleanly. Replace keeps the *target's* FileInfo
+// address stable, so handles held across safe writes stay valid.
 
 #ifndef LOREPO_FS_FILE_STORE_H_
 #define LOREPO_FS_FILE_STORE_H_
@@ -32,6 +45,7 @@
 #include "alloc/allocator.h"
 #include "alloc/run_cache_allocator.h"
 #include "core/fragmentation_tracker.h"
+#include "core/handle_table.h"
 #include "sim/block_device.h"
 #include "sim/op_cost_model.h"
 #include "util/result.h"
@@ -60,6 +74,10 @@ struct FileStoreOptions {
   /// that complete within one flush interval. Off = the historical
   /// per-operation charging.
   bool batch_journal_charges = true;
+  /// Reuse MFT record ids freed by deletes/replacements for new files
+  /// (NTFS behaviour). Bounds the record slots the safe-write temp
+  /// cycle touches; affects metadata seek timing only, never layout.
+  bool recycle_mft_records = true;
   /// Directory-index modelling: one 4 KB INDEX_ALLOCATION buffer is
   /// allocated from the data zone per this many name insertions, and
   /// the oldest buffer is released per the same number of removals.
@@ -97,6 +115,15 @@ struct FileStoreStats {
   uint64_t reads = 0;
 };
 
+/// Ticket for an entry in the FileStore handle table. Cheap to copy;
+/// validity is checked on every use (slot + generation), so stale
+/// tickets fail instead of touching reused slots.
+struct FileHandle {
+  uint64_t slot = 0;
+  uint64_t gen = 0;  ///< 0 = invalid.
+  bool valid() const { return gen != 0; }
+};
+
 /// An NTFS-like file store.
 class FileStore {
  public:
@@ -123,6 +150,61 @@ class FileStore {
   Status Replace(const std::string& source, const std::string& target);
 
   bool Exists(const std::string& name) const;
+
+  // -- Handle table ----------------------------------------------------
+
+  /// Opens an existing file for reading: one name resolution, charging
+  /// the open CPU cost and the MFT record read that the name-based Read
+  /// pays per call. NotFound when the name is missing.
+  Result<FileHandle> OpenRead(const std::string& name);
+
+  /// Opens a name for writing. The file need not exist — the handle is
+  /// then unbound until a Replace targets it (the safe-write create
+  /// path). Charges nothing: the write cycle carries its own metadata
+  /// I/O, exactly as the name-based safe write always has.
+  Result<FileHandle> OpenWrite(const std::string& name);
+
+  /// Creates an empty file (identical charging and directory-index
+  /// behaviour to Create) and returns a bound write handle for it — the
+  /// safe-write temp path.
+  Result<FileHandle> CreateOpen(const std::string& name);
+
+  /// Closes a handle. Read handles charge the close CPU cost the
+  /// name-based Read pays per call; closing a stale handle is an error.
+  Status Close(FileHandle handle);
+
+  /// True when the handle is currently bound to a live file.
+  Result<bool> HandleBound(FileHandle handle) const;
+
+  /// Handle twins of the data operations below: identical device and
+  /// CPU charging minus the per-operation name resolution (and, for
+  /// reads, minus the open/close + MFT-record charges already paid at
+  /// OpenRead/Close).
+  Status ReadAt(FileHandle handle, uint64_t offset, uint64_t length,
+                std::vector<uint8_t>* out = nullptr);
+  Status ReadAll(FileHandle handle, std::vector<uint8_t>* out = nullptr);
+  Status AppendStream(FileHandle handle, uint64_t length,
+                      uint64_t request_bytes,
+                      std::span<const uint8_t> data = {});
+  Status Preallocate(FileHandle handle, uint64_t final_size);
+  Status Fsync(FileHandle handle);
+
+  /// Replace through handles: `source` must be bound (the streamed
+  /// temp); `target` may be unbound (first write of the key) and is
+  /// bound to the renamed file afterwards. Consumes (closes) `source`.
+  Status Replace(FileHandle source, FileHandle target);
+
+  /// Deletes the handle's file and consumes the handle (other handles
+  /// on the same name are invalidated). NotFound when unbound.
+  Status Delete(FileHandle handle);
+
+  Result<alloc::ExtentList> GetExtents(FileHandle handle) const;
+  Result<uint64_t> GetSize(FileHandle handle) const;
+
+  /// Open handle-table entries (tests / leak checks).
+  uint64_t open_handle_count() const { return handles_.open_count(); }
+  /// Recycled MFT record ids currently pooled (tests).
+  uint64_t recycled_record_ids() const { return free_record_ids_.size(); }
 
   // -- Data operations -----------------------------------------------
 
@@ -225,8 +307,46 @@ class FileStore {
   Status CheckConsistency() const;
 
  private:
+  /// Per-handle payload. `file` is null for unbound write handles
+  /// (name opened for write before it exists). FileInfo addresses are
+  /// stable (node-based map; Replace assigns into the target's node),
+  /// so the pinned pointer survives safe writes on the name.
+  struct OpenFilePayload {
+    FileInfo* file = nullptr;
+    bool read_session = false;
+  };
+  using OpenFileSlot = core::HandleTable<OpenFilePayload, FileHandle>::Slot;
+
   FileInfo* Find(const std::string& name);
   const FileInfo* Find(const std::string& name) const;
+
+  /// Invalidates every open handle on `name` (delete / replace-source).
+  void InvalidateHandles(const std::string& name);
+  /// Binds unbound write handles on `name` to `file` (file creation).
+  void BindHandles(const std::string& name, FileInfo* file);
+
+  /// Shared core of the name- and handle-based Replace: `src` is the
+  /// source's map iterator, `target` the destination name.
+  Status ReplaceImpl(std::unordered_map<std::string, FileInfo>::iterator src,
+                     const std::string& target);
+
+  /// Next MFT record id: a recycled one when available, else fresh.
+  uint64_t TakeRecordId();
+  void RecycleRecordId(uint64_t id);
+
+  /// Create core: charging + emplacement; returns the new record.
+  Result<FileInfo*> CreateImpl(const std::string& name);
+  /// Preallocate core over an already-resolved file.
+  Status PreallocateResolved(FileInfo* file, uint64_t final_size);
+
+  /// Data read core over an already-resolved file (range check, device
+  /// reads, stream penalty, read stats) — no open/MFT/close charges.
+  Status ReadResolved(FileInfo* file, uint64_t offset, uint64_t length,
+                      std::vector<uint8_t>* out);
+  /// AppendStream core over an already-resolved file.
+  Status AppendStreamResolved(FileInfo* file, uint64_t length,
+                              uint64_t request_bytes,
+                              std::span<const uint8_t> data);
 
   /// Re-reports `file`'s fragment count and size to the tracker after a
   /// layout or size mutation.
@@ -284,6 +404,15 @@ class FileStore {
   bool batched_journal_flush_ = false;
   /// Scratch for AppendToFile's range mapping (reused across appends).
   std::vector<std::pair<uint64_t, uint64_t>> append_runs_;
+  /// Scratch for ReadResolved's range mapping and per-run payload
+  /// staging (reused across reads — no per-operation allocations on the
+  /// read hot path).
+  std::vector<std::pair<uint64_t, uint64_t>> read_runs_;
+  std::vector<uint8_t> read_chunk_;
+  /// Open-handle table (slot/generation tickets + name index).
+  core::HandleTable<OpenFilePayload, FileHandle> handles_;
+  /// MFT record ids freed by deletes/replacements, reused by creates.
+  std::vector<uint64_t> free_record_ids_;
   std::vector<alloc::Extent> index_buffers_;  ///< Directory index, FIFO.
   uint64_t name_inserts_ = 0;
   uint64_t name_removes_ = 0;

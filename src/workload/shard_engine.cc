@@ -52,6 +52,7 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
           : 0;
   keys_.reserve(expected);
   sizes_.reserve(expected);
+  if (config_.use_handles) handles_.reserve(expected);
 
   ThroughputSample sample;
   const double t0 = repo_->now();
@@ -60,7 +61,20 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
     const uint64_t size = config_.sizes.Sample(&rng_);
     if (live + size > target_bytes) break;
     const std::string key = NextOwnedKey();
-    LOR_RETURN_IF_ERROR(repo_->Put(key, size));
+    if (config_.use_handles) {
+      // Open once per object lifetime and create through the handle
+      // (charging exactly what a name-based Put charges); every aging
+      // replacement and read probe below reuses the pinned handle.
+      if (repo_->Exists(key)) {
+        return Status::AlreadyExists("object exists: " + key);
+      }
+      LOR_ASSIGN_OR_RETURN(core::ObjectHandle handle,
+                           repo_->OpenForWrite(key));
+      LOR_RETURN_IF_ERROR(repo_->SafeWrite(handle, size));
+      handles_.push_back(std::move(handle));
+    } else {
+      LOR_RETURN_IF_ERROR(repo_->Put(key, size));
+    }
     keys_.push_back(key);
     sizes_.push_back(size);
     live += size;
@@ -86,7 +100,11 @@ Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
     const uint64_t victim = rng_.Uniform(keys_.size());
     const uint64_t old_size = sizes_[victim];
     const uint64_t new_size = config_.sizes.Sample(&rng_);
-    LOR_RETURN_IF_ERROR(repo_->SafeWrite(keys_[victim], new_size));
+    if (config_.use_handles) {
+      LOR_RETURN_IF_ERROR(repo_->SafeWrite(handles_[victim], new_size));
+    } else {
+      LOR_RETURN_IF_ERROR(repo_->SafeWrite(keys_[victim], new_size));
+    }
     sizes_[victim] = new_size;
     age_.RecordReplacement(old_size, new_size);
     sample.bytes += new_size;
@@ -101,10 +119,18 @@ Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
   ThroughputSample sample;
   const uint64_t probes =
       std::min<uint64_t>(config_.read_probe_samples, keys_.size());
+  // One scratch buffer for the whole phase (when payloads are wanted
+  // at all) — never a per-operation allocation.
+  std::vector<uint8_t>* out =
+      config_.materialize_reads ? &read_scratch_ : nullptr;
   const double t0 = repo_->now();
   for (uint64_t i = 0; i < probes; ++i) {
     const uint64_t victim = rng_.Uniform(keys_.size());
-    LOR_RETURN_IF_ERROR(repo_->Get(keys_[victim]));
+    if (config_.use_handles) {
+      LOR_RETURN_IF_ERROR(repo_->Get(handles_[victim], out));
+    } else {
+      LOR_RETURN_IF_ERROR(repo_->Get(keys_[victim], out));
+    }
     sample.bytes += sizes_[victim];
     ++sample.operations;
   }

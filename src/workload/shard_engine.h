@@ -41,6 +41,15 @@ struct WorkloadConfig {
   /// Objects sampled per read-throughput probe (capped at the
   /// population).
   uint64_t read_probe_samples = 256;
+  /// Open one ObjectHandle per object at load time and run the aging /
+  /// measurement hot loops through it (no per-operation name lookups).
+  /// Off = the historical name-per-operation path, kept as the
+  /// compatibility surface; both produce identical layouts.
+  bool use_handles = true;
+  /// Materialize read-probe payloads into one scratch buffer reused
+  /// across the whole phase (integrity runs on data-retaining devices).
+  /// Off = timing-only probes, no payload buffer at all.
+  bool materialize_reads = false;
 };
 
 /// Throughput measured over an interval of simulated time.
@@ -98,6 +107,8 @@ class ShardEngine {
   const core::ObjectRepository* repository() const { return repo_; }
   /// Keys this shard owns, in load order.
   const std::vector<std::string>& keys() const { return keys_; }
+  /// Open handles parallel to keys() (empty when use_handles is off).
+  const std::vector<core::ObjectHandle>& handles() const { return handles_; }
   uint32_t shard() const { return shard_; }
 
  private:
@@ -113,6 +124,13 @@ class ShardEngine {
   core::StorageAgeTracker age_;
   std::vector<std::string> keys_;
   std::vector<uint64_t> sizes_;
+  /// One open handle per object, for the whole object lifetime — the
+  /// hot loops never resolve names. Tickets only; the repository owns
+  /// the underlying state, so no teardown is needed here.
+  std::vector<core::ObjectHandle> handles_;
+  /// Read-probe payload scratch, reused across every Get of a measure
+  /// phase (materialize_reads) instead of a per-op allocation.
+  std::vector<uint8_t> read_scratch_;
   /// Next unconsidered index in the global key namespace.
   uint64_t next_index_ = 0;
   bool loaded_ = false;

@@ -39,10 +39,15 @@ struct AgingResult {
 };
 
 AgingResult Age(core::ObjectRepository* repo, uint64_t object_size,
-                workload::SizeDistribution dist) {
+                workload::SizeDistribution dist,
+                bool per_op_names = false) {
   workload::WorkloadConfig config;
   config.sizes = dist;
   config.read_probe_samples = 128;
+  // per_op_names reproduces the paper's measured access pattern (a
+  // name resolution per operation); the default exercises the
+  // handle-based hot path. Layout-shape claims are identical on both.
+  config.use_handles = !per_op_names;
   workload::GetPutRunner runner(repo, config);
   AgingResult result;
   auto load = runner.BulkLoad();
@@ -87,17 +92,38 @@ TEST(PaperShapeTest, DatabaseFragmentsMuchFasterThanFilesystem) {
 }
 
 // Figure 1/4's clean-store ordering: database wins small-object reads
-// and bulk-load writes.
+// and bulk-load writes. This is a claim about the paper's measured
+// workload — one open-by-name per operation — so it runs the
+// per-operation name path; the NTFS open cost it hinges on is exactly
+// what the handle layer amortizes away (see the regime check below).
 TEST(PaperShapeTest, CleanStoreFolkloreHolds) {
   const auto small = workload::SizeDistribution::Constant(256 * kKiB);
   auto fs = MakeFs();
   auto db = MakeDb();
-  AgingResult fs_small = Age(fs.get(), 256 * kKiB, small);
-  AgingResult db_small = Age(db.get(), 256 * kKiB, small);
+  AgingResult fs_small = Age(fs.get(), 256 * kKiB, small,
+                             /*per_op_names=*/true);
+  AgingResult db_small = Age(db.get(), 256 * kKiB, small,
+                             /*per_op_names=*/true);
   EXPECT_GT(db_small.clean_read_mbps, fs_small.clean_read_mbps)
       << "database should win 256 KB reads on a clean store";
   EXPECT_GT(db_small.bulk_write_mbps, fs_small.bulk_write_mbps)
       << "database should win bulk-load writes";
+}
+
+// The handle regime: pinning the open once per object erases the
+// filesystem's per-read open + MFT charge, so clean-store small-object
+// reads speed up materially — the §5.4 amortization argument.
+TEST(PaperShapeTest, HandlesAmortizeFilesystemOpens) {
+  const auto small = workload::SizeDistribution::Constant(256 * kKiB);
+  auto per_op = MakeFs();
+  auto pinned = MakeFs();
+  AgingResult name_path = Age(per_op.get(), 256 * kKiB, small,
+                              /*per_op_names=*/true);
+  AgingResult handle_path = Age(pinned.get(), 256 * kKiB, small);
+  EXPECT_GT(handle_path.clean_read_mbps, 1.2 * name_path.clean_read_mbps)
+      << "pinned handles should beat per-operation opens on reads";
+  // Layout-shape results are identical across the regimes.
+  EXPECT_DOUBLE_EQ(handle_path.frag_age8, name_path.frag_age8);
 }
 
 // The 10 MB end of Figure 1: the filesystem wins large-object reads
