@@ -39,7 +39,8 @@ void Run(const Options& options) {
   sweep.push_back(max_shards);
 
   TableWriter table({"backend", "shards", "load mb/s", "aged write mb/s",
-                     "read mb/s", "frag/obj", "device busy s"});
+                     "read mb/s", "frag/obj", "device busy s",
+                     "vectored req", "coalesced runs"});
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto factory = MakeRepositoryFactory(backend, volume);
     for (uint32_t shards : sweep) {
@@ -61,7 +62,9 @@ void Run(const Options& options) {
           .Cell(aged.write.mb_per_s())
           .Cell(aged.read.mb_per_s())
           .Cell(aged.fragmentation.fragments_per_object)
-          .Cell(aged.device.busy_time_s);
+          .Cell(aged.device.busy_time_s)
+          .Cell(aged.device.vectored_requests)
+          .Cell(aged.device.coalesced_runs);
     }
   }
   if (options.csv) {

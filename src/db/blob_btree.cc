@@ -79,6 +79,9 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
   uint64_t pages_done = 0;
   uint64_t bytes_done = 0;
   std::vector<alloc::Extent> slice_runs;  // Page runs, reused per slice.
+  // Vectored batch plan, borrowed from the PageFile's reusable scratch
+  // (no allocation per call; PageFile calls never read it).
+  std::vector<PageFile::PageRun>& page_runs = file->plan_scratch();
 
   while (bytes_done < nbytes) {
     const uint64_t slice = std::min(write_request_bytes, nbytes - bytes_done);
@@ -94,19 +97,22 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
       return allocated;
     }
 
-    // Write the slice's pages, one device request per contiguous run.
-    // Content (in retain mode) is fixed up after the loop, once the
-    // full logical-to-physical mapping is known.
+    // Write the slice's pages: one vectored submission carrying one
+    // run per contiguous page run. Content (in retain mode) is fixed
+    // up after the loop, once the full logical-to-physical mapping is
+    // known.
+    page_runs.clear();
     for (const alloc::Extent& run : slice_runs) {
-      Status s = file->WritePages(run.start, run.length);
-      if (!s.ok()) {
-        for (const alloc::Extent& r2 : slice_runs) {
-          Status undo = unit->FreePages(r2);
-          (void)undo;
-        }
-        free_partial();
-        return s;
+      page_runs.push_back({run.start, run.length, nullptr, nullptr});
+    }
+    Status s = file->WritePagesV(page_runs);
+    if (!s.ok()) {
+      for (const alloc::Extent& r2 : slice_runs) {
+        Status undo = unit->FreePages(r2);
+        (void)undo;
       }
+      free_partial();
+      return s;
     }
     for (const alloc::Extent& run : slice_runs) {
       alloc::AppendCoalescing(&layout.data_runs, run);
@@ -118,17 +124,35 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
   // When retaining data (integrity tests on small volumes), rewrite the
   // page payloads with the real bytes now that the full mapping is
   // known. This charges extra device time; retain mode is a
-  // correctness harness, not a timing one.
+  // correctness harness, not a timing one. One vectored submission
+  // carries the per-page rewrite charges; the payload itself moves
+  // straight from the caller's buffer into the arena via WriteView —
+  // no per-page image staging.
   if (retain) {
     const std::vector<uint64_t> pages = EnumeratePages(layout.data_runs);
+    std::vector<sim::IoSlice> rewrite;
+    rewrite.reserve(pages.size());
+    for (uint64_t page : pages) {
+      rewrite.push_back({file->PageOffset(page), page_bytes, nullptr,
+                         nullptr});
+    }
+    // Timing-only per-page writes (zeros stored, headers included)...
+    Status s = file->device()->WriteV(rewrite);
+    if (!s.ok()) {
+      free_partial();
+      return s;
+    }
+    // ...then the payload lands zero-copy behind the page headers.
     for (uint64_t i = 0; i < pages.size(); ++i) {
-      std::vector<uint8_t> image(page_bytes, 0);
       const uint64_t off = i * payload;
       const uint64_t chunk = std::min(payload, nbytes - off);
-      std::memcpy(image.data() + kPageHeaderBytes, data.data() + off, chunk);
-      Status s = file->device()->Write(file->PageOffset(pages[i]), page_bytes,
-                                       image);
-      if (!s.ok()) return s;
+      const uint8_t* src = data.data() + off;
+      file->device()->WriteView(
+          file->PageOffset(pages[i]) + kPageHeaderBytes, chunk,
+          [&src](std::span<uint8_t> dst) {
+            std::memcpy(dst.data(), src, dst.size());
+            src += dst.size();
+          });
     }
   }
 
@@ -140,12 +164,21 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
 
   // Build the pointer-page levels bottom-up, allocating tree pages from
   // the same unit (SQL Server's LOB tree pages live in the same
-  // allocation unit as the data).
+  // allocation unit as the data). Metadata-only devices never read the
+  // serialized children back, so that path skips the page enumeration
+  // entirely — only the level sizes matter — and submits each level's
+  // node writes as one vectored batch of single-page runs (the same
+  // request sequence the write-per-node loop issued).
   const uint64_t fanout = Fanout(*file);
-  std::vector<uint64_t> level = EnumeratePages(layout.data_runs);
-  while (level.size() > 1) {
-    const uint64_t nodes = (level.size() + fanout - 1) / fanout;
-    std::vector<uint64_t> node_pages;
+  const bool serialize =
+      file->device()->data_mode() == sim::DataMode::kRetain;
+  std::vector<uint64_t> level;
+  if (serialize) level = EnumeratePages(layout.data_runs);
+  uint64_t level_size = total_pages;
+  std::vector<uint64_t> node_pages;
+  while (level_size > 1) {
+    const uint64_t nodes = (level_size + fanout - 1) / fanout;
+    node_pages.clear();
     node_pages.reserve(nodes);
     for (uint64_t n = 0; n < nodes; ++n) {
       auto page = unit->AllocatePage();
@@ -159,32 +192,46 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
       }
       node_pages.push_back(*page);
     }
-    // Serialize and write each pointer page.
-    for (uint64_t n = 0; n < nodes; ++n) {
-      const uint64_t begin = n * fanout;
-      const uint64_t end = std::min<uint64_t>(begin + fanout, level.size());
-      std::vector<uint8_t> image;
-      std::span<const uint8_t> span;
-      if (file->device()->data_mode() == sim::DataMode::kRetain) {
-        image.assign(page_bytes, 0);
+    if (serialize) {
+      // Serialize and write each pointer page.
+      for (uint64_t n = 0; n < nodes; ++n) {
+        const uint64_t begin = n * fanout;
+        const uint64_t end = std::min<uint64_t>(begin + fanout, level.size());
+        std::vector<uint8_t> image(page_bytes, 0);
         PutU64(image.data(), end - begin);  // Child count in the header.
         for (uint64_t c = begin; c < end; ++c) {
           PutU64(image.data() + kPageHeaderBytes + (c - begin) * 8, level[c]);
         }
-        span = image;
+        Status s = file->WritePages(node_pages[n], 1, image);
+        if (!s.ok()) {
+          for (uint64_t i = n; i < nodes; ++i) {
+            Status undo = unit->FreePage(node_pages[i]);
+            (void)undo;
+          }
+          free_partial();
+          return s;
+        }
+        layout.pointer_pages.push_back(node_pages[n]);
       }
-      Status s = file->WritePages(node_pages[n], 1, span);
+      level.assign(node_pages.begin(), node_pages.begin() + nodes);
+    } else {
+      page_runs.clear();
+      for (uint64_t n = 0; n < nodes; ++n) {
+        page_runs.push_back({node_pages[n], 1, nullptr, nullptr});
+      }
+      Status s = file->WritePagesV(page_runs);
       if (!s.ok()) {
-        for (uint64_t i = n; i < nodes; ++i) {
-          Status undo = unit->FreePage(node_pages[i]);
+        for (uint64_t p : node_pages) {
+          Status undo = unit->FreePage(p);
           (void)undo;
         }
         free_partial();
         return s;
       }
-      layout.pointer_pages.push_back(node_pages[n]);
+      layout.pointer_pages.insert(layout.pointer_pages.end(),
+                                  node_pages.begin(), node_pages.end());
     }
-    level.assign(node_pages.begin(), node_pages.begin() + nodes);
+    level_size = nodes;
   }
 
   return layout;
@@ -257,46 +304,56 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
           (positioned ? 0 : layout.pointer_pages.size()) +
           (end_page - first_page)));
 
-  const bool fetch =
-      out != nullptr && file->device()->data_mode() == sim::DataMode::kRetain;
   if (out != nullptr) {
     out->clear();
     out->reserve(length);
   }
 
-  const double t0 = file->device()->clock().now();
-  std::vector<uint8_t> buf;
+  // Plan the read-ahead: contiguous page runs split into capped
+  // sequential requests, all submitted as one vectored batch (each
+  // request still charged individually — continuations are sequential
+  // hits, exactly as the historical request-per-batch loop). The plan
+  // vector is reused across calls on this thread — no allocation on
+  // the measured read path.
+  std::vector<PageFile::PageRun>& batches = file->plan_scratch();
+  batches.clear();
   uint64_t page = first_page;
   while (page < end_page) {
     const alloc::Extent& run = layout.data_runs[run_index];
-    // Read-ahead: contiguous page runs fetched in capped sequential
-    // requests.
     const uint64_t batch = std::min(
         {run.length - page_in_run, end_page - page,
          std::max<uint64_t>(1, kReadAheadBytes / page_bytes)});
-    LOR_RETURN_IF_ERROR(
-        file->ReadPages(run.start + page_in_run, batch, fetch ? &buf : nullptr));
-    if (out != nullptr) {
-      for (uint64_t i = 0; i < batch; ++i) {
-        const uint64_t pstart = (page + i) * payload;
-        const uint64_t pend = std::min(pstart + payload, layout.data_bytes);
-        const uint64_t lo = std::max(pstart, offset);
-        const uint64_t hi = std::min(pend, offset + length);
-        if (hi <= lo) continue;
-        if (fetch) {
-          const uint8_t* src =
-              buf.data() + i * page_bytes + kPageHeaderBytes + (lo - pstart);
-          out->insert(out->end(), src, src + (hi - lo));
-        } else {
-          out->insert(out->end(), hi - lo, 0);
-        }
-      }
-    }
+    batches.push_back({run.start + page_in_run, batch, nullptr, nullptr});
     page += batch;
     page_in_run += batch;
     if (page_in_run == run.length) {
       ++run_index;
       page_in_run = 0;
+    }
+  }
+
+  const double t0 = file->device()->clock().now();
+  LOR_RETURN_IF_ERROR(file->ReadPagesV(batches));
+  if (out != nullptr) {
+    // Payload moves straight from the arena into `out` via ReadView —
+    // no page-image staging buffer. Unwritten pages (and metadata-only
+    // devices) view as zeros, preserving the historical bytes.
+    uint64_t logical = first_page;
+    for (const PageFile::PageRun& b : batches) {
+      for (uint64_t i = 0; i < b.count; ++i) {
+        const uint64_t pstart = (logical + i) * payload;
+        const uint64_t pend = std::min(pstart + payload, layout.data_bytes);
+        const uint64_t lo = std::max(pstart, offset);
+        const uint64_t hi = std::min(pend, offset + length);
+        if (hi <= lo) continue;
+        file->device()->ReadView(
+            file->PageOffset(b.first_page + i) + kPageHeaderBytes +
+                (lo - pstart),
+            hi - lo, [out](std::span<const uint8_t> src) {
+              out->insert(out->end(), src.begin(), src.end());
+            });
+      }
+      logical += b.count;
     }
   }
   const double device_seconds = file->device()->clock().now() - t0;

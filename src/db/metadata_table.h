@@ -129,6 +129,8 @@ class MetadataTable {
   std::unique_ptr<Node> root_;
   mutable MetadataTableStats stats_;
   std::vector<uint64_t> dirty_pages_;
+  /// Coalesced dirty runs staged for the vectored checkpoint flush.
+  std::vector<PageFile::PageRun> checkpoint_runs_;
   /// Pool of pages available for new nodes (allocated extent-wise).
   std::vector<uint64_t> page_pool_;
 };

@@ -150,5 +150,38 @@ Status PageFile::WritePages(uint64_t first_page, uint64_t count,
                         data);
 }
 
+Status PageFile::CollectSlices(std::span<const PageRun> runs, bool write) {
+  io_slices_.clear();
+  for (const PageRun& run : runs) {
+    if (run.count == 0) continue;
+    const uint64_t end_extent =
+        (run.first_page + run.count - 1) / options_.pages_per_extent;
+    if (end_extent >= file_extents_) {
+      return Status::InvalidArgument(write
+                                         ? "page write beyond end of file"
+                                         : "page read beyond end of file");
+    }
+    sim::IoSlice slice;
+    slice.offset = PageOffset(run.first_page);
+    slice.length = run.count * options_.page_bytes;
+    slice.src = run.src;
+    slice.dst = run.dst;
+    io_slices_.push_back(slice);
+  }
+  return Status::OK();
+}
+
+Status PageFile::ReadPagesV(std::span<const PageRun> runs) {
+  LOR_RETURN_IF_ERROR(CollectSlices(runs, /*write=*/false));
+  if (io_slices_.empty()) return Status::OK();
+  return device_->ReadV(io_slices_);
+}
+
+Status PageFile::WritePagesV(std::span<const PageRun> runs) {
+  LOR_RETURN_IF_ERROR(CollectSlices(runs, /*write=*/true));
+  if (io_slices_.empty()) return Status::OK();
+  return device_->WriteV(io_slices_);
+}
+
 }  // namespace db
 }  // namespace lor

@@ -123,6 +123,30 @@ class PageFile {
   Status WritePages(uint64_t first_page, uint64_t count,
                     std::span<const uint8_t> data = {});
 
+  /// One contiguous page run of a vectored submission. `src`/`dst` may
+  /// be null (timing-only); when non-null they must cover
+  /// `count * page_bytes()` bytes.
+  struct PageRun {
+    uint64_t first_page = 0;
+    uint64_t count = 0;
+    const uint8_t* src = nullptr;  ///< WritePagesV payload source.
+    uint8_t* dst = nullptr;        ///< ReadPagesV payload destination.
+  };
+
+  /// Submits every run as one vectored device request: the whole batch
+  /// is validated first, then charged exactly as the equivalent
+  /// ReadPages-per-run loop (zero-count runs are skipped).
+  Status ReadPagesV(std::span<const PageRun> runs);
+
+  /// WritePagesV twin of ReadPagesV.
+  Status WritePagesV(std::span<const PageRun> runs);
+
+  /// Reusable scratch for callers composing PageRun batch plans
+  /// (BlobBtree's write slices and read-ahead). Contents are call-local
+  /// — cleared by the borrower, never read across PageFile calls
+  /// (ReadPagesV/WritePagesV lower into their own slice scratch).
+  std::vector<PageRun>& plan_scratch() { return plan_scratch_; }
+
   const GamBitmap& gam() const { return gam_; }
   const PageFileStats& stats() const { return stats_; }
   sim::BlockDevice* device() { return device_; }
@@ -133,6 +157,8 @@ class PageFile {
  private:
   /// Grows the file by the autogrow increment; NoSpace at the cap.
   Status Grow();
+  /// Validates `runs` and lowers them into `io_slices_`.
+  Status CollectSlices(std::span<const PageRun> runs, bool write);
   /// Releases deferred frees that have come due.
   Status ReleaseDue();
 
@@ -152,6 +178,10 @@ class PageFile {
   uint64_t pending_extents_ = 0;
   uint64_t alloc_counter_ = 0;
   uint64_t scan_cursor_ = 0;  ///< GAM scan hint (last allocation end).
+  /// Scratch for the vectored submissions (reused across calls).
+  std::vector<sim::IoSlice> io_slices_;
+  /// Batch-plan scratch loaned out via plan_scratch().
+  std::vector<PageRun> plan_scratch_;
 };
 
 }  // namespace db

@@ -370,13 +370,10 @@ class FileStore {
   void ChargeMftAccess(uint64_t file_id, bool write);
   /// Charges a journal append + optional flush.
   void ChargeJournal(bool flush);
-  /// Maps a logical byte range to physical byte runs.
-  std::vector<std::pair<uint64_t, uint64_t>> MapRange(const FileInfo& file,
-                                                      uint64_t offset,
-                                                      uint64_t length) const;
-  /// MapRange into a caller-owned vector (cleared first). Locates the
-  /// starting extent by walking from the tail, so mapping an appended
-  /// range costs O(extents in range), not O(all extents).
+  /// Maps a logical byte range to physical byte runs into a
+  /// caller-owned vector (cleared first). Locates the starting extent
+  /// by walking from the tail, so mapping an appended range costs
+  /// O(extents in range), not O(all extents).
   void MapRangeInto(const FileInfo& file, uint64_t offset, uint64_t length,
                     std::vector<std::pair<uint64_t, uint64_t>>* runs) const;
   /// Frees all clusters of `file` through the allocator.
@@ -404,11 +401,13 @@ class FileStore {
   bool batched_journal_flush_ = false;
   /// Scratch for AppendToFile's range mapping (reused across appends).
   std::vector<std::pair<uint64_t, uint64_t>> append_runs_;
-  /// Scratch for ReadResolved's range mapping and per-run payload
-  /// staging (reused across reads — no per-operation allocations on the
-  /// read hot path).
+  /// Scratch for ReadResolved's / MoveFileData's range mapping (reused
+  /// — no per-operation allocations on the read hot path).
   std::vector<std::pair<uint64_t, uint64_t>> read_runs_;
-  std::vector<uint8_t> read_chunk_;
+  /// Scratch for lowering a run list into one vectored submission;
+  /// payload moves directly between caller buffers and the device, so
+  /// there is no per-run staging vector anywhere on the data paths.
+  std::vector<sim::IoSlice> io_slices_;
   /// Open-handle table (slot/generation tickets + name index).
   core::HandleTable<OpenFilePayload, FileHandle> handles_;
   /// MFT record ids freed by deletes/replacements, reused by creates.

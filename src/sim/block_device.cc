@@ -1,13 +1,75 @@
 #include "sim/block_device.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace lor {
 namespace sim {
 
+namespace {
+
+/// Shared all-zeros slab backing ReadView/ReadChunk over unwritten
+/// ranges (and every range in kMetadataOnly mode). Read-only by
+/// contract; allocated once per process.
+const uint8_t* ZeroSlab() {
+  static const std::unique_ptr<uint8_t[]> zero(
+      new uint8_t[BlockDevice::kSlabBytes]());
+  return zero.get();
+}
+
+}  // namespace
+
+/// Level-2 of the arena page table: a fixed span of lazily allocated
+/// contiguous slab extents.
+struct BlockDevice::SlabGroup {
+  std::array<std::unique_ptr<uint8_t[]>, kSlabsPerGroup> slabs;
+};
+
 BlockDevice::BlockDevice(DiskParams params, DataMode mode)
-    : model_(params), mode_(mode) {}
+    : model_(params), mode_(mode) {
+  if (mode_ == DataMode::kRetain) {
+    const uint64_t slabs = (capacity() + kSlabBytes - 1) / kSlabBytes;
+    groups_.resize((slabs + kSlabsPerGroup - 1) / kSlabsPerGroup);
+  }
+}
+
+BlockDevice::~BlockDevice() = default;
+
+uint8_t* BlockDevice::SlabAt(uint64_t slab_index) const {
+  const uint64_t group = slab_index / kSlabsPerGroup;
+  if (group >= groups_.size() || groups_[group] == nullptr) return nullptr;
+  return groups_[group]->slabs[slab_index % kSlabsPerGroup].get();
+}
+
+uint8_t* BlockDevice::EnsureSlab(uint64_t slab_index) {
+  const uint64_t group = slab_index / kSlabsPerGroup;
+  if (group >= groups_.size()) return nullptr;  // Beyond capacity: dropped.
+  if (groups_[group] == nullptr) {
+    groups_[group] = std::make_unique<SlabGroup>();
+  }
+  std::unique_ptr<uint8_t[]>& slab =
+      groups_[group]->slabs[slab_index % kSlabsPerGroup];
+  if (slab == nullptr) slab.reset(new uint8_t[kSlabBytes]());  // Zero-filled.
+  return slab.get();
+}
+
+const uint8_t* BlockDevice::ReadChunk(uint64_t offset, uint64_t len,
+                                      uint64_t* chunk) const {
+  const uint64_t in_slab = offset % kSlabBytes;
+  *chunk = std::min(len, kSlabBytes - in_slab);
+  const uint8_t* base = SlabAt(offset / kSlabBytes);
+  return (base != nullptr ? base : ZeroSlab()) + in_slab;
+}
+
+uint8_t* BlockDevice::WriteChunk(uint64_t offset, uint64_t len,
+                                 uint64_t* chunk) {
+  const uint64_t in_slab = offset % kSlabBytes;
+  *chunk = std::min(len, kSlabBytes - in_slab);
+  if (mode_ != DataMode::kRetain) return nullptr;
+  uint8_t* base = EnsureSlab(offset / kSlabBytes);
+  return base == nullptr ? nullptr : base + in_slab;
+}
 
 Status BlockDevice::CheckRange(uint64_t offset, uint64_t len) const {
   if (offset > capacity() || len > capacity() - offset) {
@@ -37,38 +99,38 @@ void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
   head_valid_ = true;
 }
 
-void BlockDevice::StoreBytes(uint64_t offset, std::span<const uint8_t> data,
+void BlockDevice::StoreBytes(uint64_t offset, const uint8_t* src,
                              uint64_t len) {
-  uint64_t pos = 0;
-  while (pos < len) {
-    const uint64_t page = (offset + pos) / kDataPageBytes;
-    const uint64_t in_page = (offset + pos) % kDataPageBytes;
-    const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
-    auto& storage = pages_[page];
-    if (storage.empty()) storage.resize(kDataPageBytes, 0);
-    if (!data.empty()) {
-      std::memcpy(storage.data() + in_page, data.data() + pos, chunk);
-    } else {
-      std::memset(storage.data() + in_page, 0, chunk);
+  while (len > 0) {
+    uint64_t chunk = 0;
+    uint8_t* dst = WriteChunk(offset, len, &chunk);
+    if (dst != nullptr) {
+      if (src != nullptr) {
+        std::memcpy(dst, src, chunk);
+        src += chunk;
+      } else {
+        std::memset(dst, 0, chunk);
+      }
     }
-    pos += chunk;
+    offset += chunk;
+    len -= chunk;
   }
 }
 
-void BlockDevice::LoadBytes(uint64_t offset, uint64_t len,
-                            std::vector<uint8_t>* out) {
-  out->assign(len, 0);
-  if (mode_ != DataMode::kRetain) return;
-  uint64_t pos = 0;
-  while (pos < len) {
-    const uint64_t page = (offset + pos) / kDataPageBytes;
-    const uint64_t in_page = (offset + pos) % kDataPageBytes;
-    const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
-    auto it = pages_.find(page);
-    if (it != pages_.end()) {
-      std::memcpy(out->data() + pos, it->second.data() + in_page, chunk);
+void BlockDevice::LoadBytesInto(uint64_t offset, uint8_t* dst,
+                                uint64_t len) const {
+  while (len > 0) {
+    const uint64_t in_slab = offset % kSlabBytes;
+    const uint64_t chunk = std::min(len, kSlabBytes - in_slab);
+    const uint8_t* base = SlabAt(offset / kSlabBytes);
+    if (base != nullptr) {
+      std::memcpy(dst, base + in_slab, chunk);
+    } else {
+      std::memset(dst, 0, chunk);
     }
-    pos += chunk;
+    dst += chunk;
+    offset += chunk;
+    len -= chunk;
   }
 }
 
@@ -78,20 +140,69 @@ Status BlockDevice::Write(uint64_t offset, uint64_t len,
   if (!data.empty() && data.size() != len) {
     return Status::InvalidArgument("data size does not match request length");
   }
+  if (len == 0) return Status::OK();  // No bytes: no charge, no head move.
   ChargePositioning(offset, len);
   ++stats_.writes;
   stats_.bytes_written += len;
-  if (mode_ == DataMode::kRetain) StoreBytes(offset, data, len);
+  if (mode_ == DataMode::kRetain) {
+    StoreBytes(offset, data.empty() ? nullptr : data.data(), len);
+  }
   return Status::OK();
 }
 
 Status BlockDevice::Read(uint64_t offset, uint64_t len,
                          std::vector<uint8_t>* out) {
   LOR_RETURN_IF_ERROR(CheckRange(offset, len));
+  if (len == 0) {
+    if (out != nullptr) out->clear();
+    return Status::OK();
+  }
   ChargePositioning(offset, len);
   ++stats_.reads;
   stats_.bytes_read += len;
-  if (out != nullptr) LoadBytes(offset, len, out);
+  if (out != nullptr) {
+    // Reuse the caller's capacity; every byte of the range is then
+    // written exactly once (memcpy where backed, memset where not), so
+    // no assign()-style zero-fill precedes the copy.
+    out->resize(len);
+    LoadBytesInto(offset, out->data(), len);
+  }
+  return Status::OK();
+}
+
+Status BlockDevice::ReadV(std::span<const IoSlice> slices) {
+  for (const IoSlice& s : slices) {
+    LOR_RETURN_IF_ERROR(CheckRange(s.offset, s.length));
+  }
+  bool charged = false;
+  for (const IoSlice& s : slices) {
+    if (s.length == 0) continue;
+    ChargePositioning(s.offset, s.length);
+    ++stats_.reads;
+    stats_.bytes_read += s.length;
+    ++stats_.coalesced_runs;
+    charged = true;
+    if (s.dst != nullptr) LoadBytesInto(s.offset, s.dst, s.length);
+  }
+  if (charged) ++stats_.vectored_requests;
+  return Status::OK();
+}
+
+Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
+  for (const IoSlice& s : slices) {
+    LOR_RETURN_IF_ERROR(CheckRange(s.offset, s.length));
+  }
+  bool charged = false;
+  for (const IoSlice& s : slices) {
+    if (s.length == 0) continue;
+    ChargePositioning(s.offset, s.length);
+    ++stats_.writes;
+    stats_.bytes_written += s.length;
+    ++stats_.coalesced_runs;
+    charged = true;
+    if (mode_ == DataMode::kRetain) StoreBytes(s.offset, s.src, s.length);
+  }
+  if (charged) ++stats_.vectored_requests;
   return Status::OK();
 }
 

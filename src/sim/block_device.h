@@ -8,7 +8,32 @@
 // Payload bytes are not retained by default (a 400 GB experiment would
 // not fit in memory); layout and timing do not need them. Tests that
 // verify end-to-end data integrity construct the device with
-// `DataMode::kRetain`, which keeps a sparse page map of real bytes.
+// `DataMode::kRetain`, which keeps the written bytes in a sparse arena.
+//
+// Data plane: retained bytes live in a two-level direct page table over
+// contiguous slab extents — a directory of slab groups, each group
+// holding pointers to lazily allocated, zero-filled 1 MiB slabs. A byte
+// address resolves with two shifts and two indexed loads (no hashing),
+// and a physically contiguous request touches at most
+// len/kSlabBytes + 1 slabs, each moved with one memcpy. The previous
+// hash-map-of-pages plane survives as a reference model for tests and
+// the micro_device bench (sim/reference_data_plane.h).
+//
+// Vectored I/O: `ReadV`/`WriteV` submit a batch of physically
+// contiguous runs in one call. Charging is *identical by construction*
+// to issuing one scalar Read/Write per run in the same order — each run
+// pays its own per-request overhead and transfer, and positioning is
+// charged exactly once per run that does not sequentially continue the
+// previous one — so callers can convert loops of device calls into one
+// submission without perturbing any simulated figure. Batches bump the
+// `vectored_requests` / `coalesced_runs` counters, which the scalar
+// path never touches.
+//
+// Zero-copy views: `ReadView`/`WriteView` iterate the arena's
+// contiguous chunks for a byte range so callers can move payload
+// directly between application buffers and the retained store without
+// intermediate staging vectors. Views move bytes only — they charge
+// nothing; pair them with a timing-only request for the device time.
 //
 // Threading: a BlockDevice (and the SimClock it owns) is confined to
 // one thread at a time — all state is instance members, there are no
@@ -22,7 +47,6 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/disk_model.h"
@@ -37,13 +61,27 @@ namespace sim {
 /// Whether the device retains payload bytes.
 enum class DataMode {
   kMetadataOnly,  ///< Timing and layout only; reads return zeros.
-  kRetain,        ///< Sparse in-memory store; reads return written bytes.
+  kRetain,        ///< Sparse in-memory arena; reads return written bytes.
+};
+
+/// One physically contiguous run of a vectored request. `src`/`dst`
+/// may be null (timing-only run); when non-null they must point to
+/// `length` valid bytes.
+struct IoSlice {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  const uint8_t* src = nullptr;  ///< WriteV payload source.
+  uint8_t* dst = nullptr;        ///< ReadV payload destination.
 };
 
 /// Simulated rotating block device.
 class BlockDevice {
  public:
   BlockDevice(DiskParams params, DataMode mode = DataMode::kMetadataOnly);
+  ~BlockDevice();
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
 
   uint64_t capacity() const { return model_.params().capacity_bytes; }
   const DiskModel& model() const { return model_; }
@@ -54,18 +92,65 @@ class BlockDevice {
 
   /// Writes `len` bytes at `offset`. `data` may be empty in
   /// kMetadataOnly mode (or even in kRetain mode, in which case zeros are
-  /// stored); if non-empty it must be exactly `len` bytes.
+  /// stored); if non-empty it must be exactly `len` bytes. Zero-length
+  /// requests are complete no-ops: nothing is charged and the head does
+  /// not move.
   Status Write(uint64_t offset, uint64_t len, std::span<const uint8_t> data);
 
   /// Convenience for timing-only writes.
   Status Write(uint64_t offset, uint64_t len) { return Write(offset, len, {}); }
 
   /// Reads `len` bytes at `offset`. If `out` is non-null it is resized
-  /// and filled (zeros in kMetadataOnly mode).
+  /// and filled (zeros in kMetadataOnly mode); existing capacity is
+  /// reused, so a caller looping reads through one buffer pays no
+  /// per-request allocation or redundant zero-fill. Zero-length
+  /// requests charge nothing and do not move the head.
   Status Read(uint64_t offset, uint64_t len, std::vector<uint8_t>* out);
 
   /// Timing-only read.
   Status Read(uint64_t offset, uint64_t len) { return Read(offset, len, nullptr); }
+
+  /// Submits a batch of contiguous runs as reads. Validates the whole
+  /// batch before charging anything, then charges each run exactly as
+  /// the equivalent scalar Read sequence would (zero-length runs are
+  /// skipped). Runs with a non-null `dst` receive the payload bytes.
+  Status ReadV(std::span<const IoSlice> slices);
+
+  /// Submits a batch of contiguous runs as writes; the WriteV twin of
+  /// ReadV. Runs with a non-null `src` store the payload bytes (zeros
+  /// are stored for timing-only runs in kRetain mode).
+  Status WriteV(std::span<const IoSlice> slices);
+
+  /// Invokes `fn(std::span<const uint8_t>)` for each contiguous arena
+  /// chunk of [offset, offset+len), in order. Unwritten ranges (and
+  /// every range in kMetadataOnly mode) yield zero-filled chunks. Moves
+  /// no clock and no stats; the range must be within capacity.
+  template <typename Fn>
+  void ReadView(uint64_t offset, uint64_t len, Fn&& fn) const {
+    while (len > 0) {
+      uint64_t chunk = 0;
+      const uint8_t* p = ReadChunk(offset, len, &chunk);
+      fn(std::span<const uint8_t>(p, chunk));
+      offset += chunk;
+      len -= chunk;
+    }
+  }
+
+  /// Invokes `fn(std::span<uint8_t>)` for each writable contiguous
+  /// arena chunk of [offset, offset+len), allocating zero-filled slabs
+  /// on demand. In kMetadataOnly mode `fn` is never invoked (payload is
+  /// dropped, as everywhere else). Charges nothing; pair with a
+  /// timing-only Write/WriteV for the device time.
+  template <typename Fn>
+  void WriteView(uint64_t offset, uint64_t len, Fn&& fn) {
+    while (len > 0) {
+      uint64_t chunk = 0;
+      uint8_t* p = WriteChunk(offset, len, &chunk);
+      if (p != nullptr) fn(std::span<uint8_t>(p, chunk));
+      offset += chunk;
+      len -= chunk;
+    }
+  }
 
   /// Charges a cache-flush barrier: the next request never counts as
   /// sequential, plus a fixed settle cost. Models FUA/flush commands.
@@ -77,16 +162,33 @@ class BlockDevice {
   /// Byte offset one past the end of the last request (head position).
   uint64_t head_position() const { return head_; }
 
+  /// Contiguous arena extent size (tests size their straddling cases
+  /// off this).
+  static constexpr uint64_t kSlabBytes = 1024 * 1024;
+
  private:
+  struct SlabGroup;
+
   Status CheckRange(uint64_t offset, uint64_t len) const;
   /// Advances the clock for a request at [offset, offset+len); returns
   /// whether it was sequential.
   void ChargePositioning(uint64_t offset, uint64_t len);
-  void StoreBytes(uint64_t offset, std::span<const uint8_t> data,
-                  uint64_t len);
-  void LoadBytes(uint64_t offset, uint64_t len, std::vector<uint8_t>* out);
+  void StoreBytes(uint64_t offset, const uint8_t* src, uint64_t len);
+  void LoadBytesInto(uint64_t offset, uint8_t* dst, uint64_t len) const;
+  /// Largest contiguous readable chunk at `offset`, capped at `len`;
+  /// unbacked ranges resolve into a shared zero slab.
+  const uint8_t* ReadChunk(uint64_t offset, uint64_t len,
+                           uint64_t* chunk) const;
+  /// Writable twin of ReadChunk; null in kMetadataOnly mode (the chunk
+  /// length is still produced so views can skip forward).
+  uint8_t* WriteChunk(uint64_t offset, uint64_t len, uint64_t* chunk);
+  /// Slab base address, or null when the slab was never written.
+  uint8_t* SlabAt(uint64_t slab_index) const;
+  /// Slab base address, allocating the zero-filled slab (and its group)
+  /// on first touch.
+  uint8_t* EnsureSlab(uint64_t slab_index);
 
-  static constexpr uint64_t kDataPageBytes = 64 * kKiB;
+  static constexpr uint64_t kSlabsPerGroup = 256;
   static constexpr double kFlushCost = 0.0005;
 
   DiskModel model_;
@@ -95,7 +197,9 @@ class BlockDevice {
   IoStats stats_;
   uint64_t head_ = 0;
   bool head_valid_ = false;
-  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+  /// Level-1 directory of the arena; entries are allocated on first
+  /// write into their 256-slab address range.
+  std::vector<std::unique_ptr<SlabGroup>> groups_;
 };
 
 }  // namespace sim

@@ -15,6 +15,8 @@ IoStats IoStats::operator-(const IoStats& other) const {
   d.bytes_written = bytes_written - other.bytes_written;
   d.seeks = seeks - other.seeks;
   d.sequential_hits = sequential_hits - other.sequential_hits;
+  d.vectored_requests = vectored_requests - other.vectored_requests;
+  d.coalesced_runs = coalesced_runs - other.coalesced_runs;
   d.seek_time_s = seek_time_s - other.seek_time_s;
   d.rotational_time_s = rotational_time_s - other.rotational_time_s;
   d.transfer_time_s = transfer_time_s - other.transfer_time_s;
@@ -29,6 +31,8 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   bytes_written += other.bytes_written;
   seeks += other.seeks;
   sequential_hits += other.sequential_hits;
+  vectored_requests += other.vectored_requests;
+  coalesced_runs += other.coalesced_runs;
   seek_time_s += other.seek_time_s;
   rotational_time_s += other.rotational_time_s;
   transfer_time_s += other.transfer_time_s;
@@ -49,15 +53,18 @@ IoStats Sum(std::span<const IoStats> parts) {
 }
 
 std::string IoStats::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
-      "reads=%llu (%s) writes=%llu (%s) seeks=%llu seq=%llu busy=%s",
+      "reads=%llu (%s) writes=%llu (%s) seeks=%llu seq=%llu vec=%llu "
+      "runs=%llu busy=%s",
       static_cast<unsigned long long>(reads), FormatBytes(bytes_read).c_str(),
       static_cast<unsigned long long>(writes),
       FormatBytes(bytes_written).c_str(),
       static_cast<unsigned long long>(seeks),
       static_cast<unsigned long long>(sequential_hits),
+      static_cast<unsigned long long>(vectored_requests),
+      static_cast<unsigned long long>(coalesced_runs),
       FormatSeconds(busy_time_s).c_str());
   return buf;
 }

@@ -20,6 +20,13 @@ struct IoStats {
   uint64_t bytes_written = 0;
   uint64_t seeks = 0;            ///< Requests that required head movement.
   uint64_t sequential_hits = 0;  ///< Requests that continued the last one.
+  /// ReadV/WriteV submissions that carried at least one run. Each batch
+  /// replaces what used to be one device call per contiguous run.
+  uint64_t vectored_requests = 0;
+  /// Physically contiguous runs carried by those vectored submissions
+  /// (each still charged as its own request; positioning is paid only
+  /// where a run does not continue the previous one).
+  uint64_t coalesced_runs = 0;
   double seek_time_s = 0.0;
   double rotational_time_s = 0.0;
   double transfer_time_s = 0.0;

@@ -1,0 +1,219 @@
+// ReferenceBlockDevice: the pre-arena BlockDevice data plane, kept as
+// an executable reference model for tests and bench/micro_device.
+//
+// Payload bytes live in the historical sparse hash map of 64 KiB
+// pages: every page touched by a request costs a hash lookup, reads
+// assign()-zero-fill their output before copying, and first touch of a
+// page zero-initializes the whole page. The charging model (seek /
+// rotation / transfer / per-request overhead, sequential detection,
+// zero-length early-out) is kept in lockstep with sim::BlockDevice so
+// randomized property tests can drive identical operation sequences
+// through both and require bytes, stats, and clock to match exactly —
+// any divergence is a bug in the arena rewrite, not an expected delta.
+//
+// ReadV/WriteV are provided as the definitional expansion — a loop of
+// scalar requests plus the vectored counters — so the micro bench can
+// run the same driver against both planes. Nothing in the system links
+// against this header; it is a test/bench harness only.
+
+#ifndef LOREPO_SIM_REFERENCE_DATA_PLANE_H_
+#define LOREPO_SIM_REFERENCE_DATA_PLANE_H_
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/block_device.h"  // IoSlice, DataMode
+#include "sim/disk_model.h"
+#include "sim/io_stats.h"
+#include "sim/sim_clock.h"
+#include "util/status.h"
+
+namespace lor {
+namespace sim {
+
+/// The historical hash-map-of-pages device. Interface mirrors
+/// BlockDevice's request surface (no views: the hash map cannot hand
+/// out stable contiguous spans across pages).
+class ReferenceBlockDevice {
+ public:
+  explicit ReferenceBlockDevice(DiskParams params,
+                                DataMode mode = DataMode::kMetadataOnly)
+      : model_(params), mode_(mode) {}
+
+  uint64_t capacity() const { return model_.params().capacity_bytes; }
+  const DiskModel& model() const { return model_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const IoStats& stats() const { return stats_; }
+  DataMode data_mode() const { return mode_; }
+
+  Status Write(uint64_t offset, uint64_t len, std::span<const uint8_t> data) {
+    LOR_RETURN_IF_ERROR(CheckRange(offset, len));
+    if (!data.empty() && data.size() != len) {
+      return Status::InvalidArgument("data size does not match request length");
+    }
+    if (len == 0) return Status::OK();
+    ChargePositioning(offset, len);
+    ++stats_.writes;
+    stats_.bytes_written += len;
+    if (mode_ == DataMode::kRetain) StoreBytes(offset, data, len);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, uint64_t len) { return Write(offset, len, {}); }
+
+  Status Read(uint64_t offset, uint64_t len, std::vector<uint8_t>* out) {
+    LOR_RETURN_IF_ERROR(CheckRange(offset, len));
+    if (len == 0) {
+      if (out != nullptr) out->clear();
+      return Status::OK();
+    }
+    ChargePositioning(offset, len);
+    ++stats_.reads;
+    stats_.bytes_read += len;
+    if (out != nullptr) LoadBytes(offset, len, out);
+    return Status::OK();
+  }
+
+  Status Read(uint64_t offset, uint64_t len) {
+    return Read(offset, len, nullptr);
+  }
+
+  Status ReadV(std::span<const IoSlice> slices) {
+    for (const IoSlice& s : slices) {
+      LOR_RETURN_IF_ERROR(CheckRange(s.offset, s.length));
+    }
+    bool charged = false;
+    for (const IoSlice& s : slices) {
+      if (s.length == 0) continue;
+      ChargePositioning(s.offset, s.length);
+      ++stats_.reads;
+      stats_.bytes_read += s.length;
+      ++stats_.coalesced_runs;
+      charged = true;
+      if (s.dst != nullptr) {
+        LoadBytes(s.offset, s.length, &scratch_);
+        std::memcpy(s.dst, scratch_.data(), s.length);
+      }
+    }
+    if (charged) ++stats_.vectored_requests;
+    return Status::OK();
+  }
+
+  Status WriteV(std::span<const IoSlice> slices) {
+    for (const IoSlice& s : slices) {
+      LOR_RETURN_IF_ERROR(CheckRange(s.offset, s.length));
+    }
+    bool charged = false;
+    for (const IoSlice& s : slices) {
+      if (s.length == 0) continue;
+      ChargePositioning(s.offset, s.length);
+      ++stats_.writes;
+      stats_.bytes_written += s.length;
+      ++stats_.coalesced_runs;
+      charged = true;
+      if (mode_ == DataMode::kRetain) {
+        StoreBytes(s.offset,
+                   s.src == nullptr
+                       ? std::span<const uint8_t>()
+                       : std::span<const uint8_t>(s.src, s.length),
+                   s.length);
+      }
+    }
+    if (charged) ++stats_.vectored_requests;
+    return Status::OK();
+  }
+
+  void Flush() {
+    head_valid_ = false;
+    stats_.busy_time_s += kFlushCost;
+    clock_.Advance(kFlushCost);
+  }
+
+  void ChargeCpu(double seconds) { clock_.Advance(seconds); }
+
+  uint64_t head_position() const { return head_; }
+
+ private:
+  Status CheckRange(uint64_t offset, uint64_t len) const {
+    if (offset > capacity() || len > capacity() - offset) {
+      return Status::InvalidArgument("request beyond device capacity");
+    }
+    return Status::OK();
+  }
+
+  void ChargePositioning(uint64_t offset, uint64_t len) {
+    double t = model_.params().per_request_overhead_s;
+    if (head_valid_ && offset == head_) {
+      ++stats_.sequential_hits;
+    } else {
+      const double seek = model_.SeekTime(head_valid_ ? head_ : 0, offset);
+      const double rot = model_.RotationalLatency();
+      stats_.seek_time_s += seek;
+      stats_.rotational_time_s += rot;
+      t += seek + rot;
+      ++stats_.seeks;
+    }
+    const double transfer = model_.TransferTime(offset, len);
+    stats_.transfer_time_s += transfer;
+    t += transfer;
+    stats_.busy_time_s += t;
+    clock_.Advance(t);
+    head_ = offset + len;
+    head_valid_ = true;
+  }
+
+  void StoreBytes(uint64_t offset, std::span<const uint8_t> data,
+                  uint64_t len) {
+    uint64_t pos = 0;
+    while (pos < len) {
+      const uint64_t page = (offset + pos) / kDataPageBytes;
+      const uint64_t in_page = (offset + pos) % kDataPageBytes;
+      const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
+      auto& storage = pages_[page];
+      if (storage.empty()) storage.resize(kDataPageBytes, 0);
+      if (!data.empty()) {
+        std::memcpy(storage.data() + in_page, data.data() + pos, chunk);
+      } else {
+        std::memset(storage.data() + in_page, 0, chunk);
+      }
+      pos += chunk;
+    }
+  }
+
+  void LoadBytes(uint64_t offset, uint64_t len, std::vector<uint8_t>* out) {
+    out->assign(len, 0);
+    if (mode_ != DataMode::kRetain) return;
+    uint64_t pos = 0;
+    while (pos < len) {
+      const uint64_t page = (offset + pos) / kDataPageBytes;
+      const uint64_t in_page = (offset + pos) % kDataPageBytes;
+      const uint64_t chunk = std::min(len - pos, kDataPageBytes - in_page);
+      auto it = pages_.find(page);
+      if (it != pages_.end()) {
+        std::memcpy(out->data() + pos, it->second.data() + in_page, chunk);
+      }
+      pos += chunk;
+    }
+  }
+
+  static constexpr uint64_t kDataPageBytes = 64 * kKiB;
+  static constexpr double kFlushCost = 0.0005;
+
+  DiskModel model_;
+  DataMode mode_;
+  SimClock clock_;
+  IoStats stats_;
+  uint64_t head_ = 0;
+  bool head_valid_ = false;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+  std::vector<uint8_t> scratch_;  ///< ReadV staging (hash map only).
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_REFERENCE_DATA_PLANE_H_

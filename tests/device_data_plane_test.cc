@@ -1,0 +1,449 @@
+// Tests for the arena data plane, the vectored I/O API, and the
+// zero-copy views — including the randomized property test that drives
+// identical operation sequences through the old hash-map data plane
+// (sim/reference_data_plane.h) and the new arena, requiring bytes,
+// stats, and clock to match exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "db/page_file.h"
+#include "sim/block_device.h"
+#include "sim/reference_data_plane.h"
+#include "util/random.h"
+
+namespace lor {
+namespace sim {
+namespace {
+
+DiskParams SmallDisk(uint64_t capacity = 64 * kMiB) {
+  DiskParams p = DiskParams::St3400832as();
+  return p.WithCapacity(capacity);
+}
+
+/// Exact equality over every IoStats field — integer counters and the
+/// double-valued times, which must be bit-identical (same arithmetic in
+/// the same order), not merely close.
+void ExpectStatsIdentical(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.seeks, b.seeks);
+  EXPECT_EQ(a.sequential_hits, b.sequential_hits);
+  EXPECT_EQ(a.vectored_requests, b.vectored_requests);
+  EXPECT_EQ(a.coalesced_runs, b.coalesced_runs);
+  EXPECT_EQ(a.seek_time_s, b.seek_time_s);
+  EXPECT_EQ(a.rotational_time_s, b.rotational_time_s);
+  EXPECT_EQ(a.transfer_time_s, b.transfer_time_s);
+  EXPECT_EQ(a.busy_time_s, b.busy_time_s);
+}
+
+// -- Old-plane vs arena property test ---------------------------------
+
+TEST(DataPlaneParityTest, RandomizedOpSequencesMatchReferenceExactly) {
+  const uint64_t capacity = 16 * kMiB;
+  BlockDevice arena(SmallDisk(capacity), DataMode::kRetain);
+  ReferenceBlockDevice reference(SmallDisk(capacity), DataMode::kRetain);
+  Rng rng(20070107);
+
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> got_a, got_r;
+  std::vector<uint8_t> vec_a, vec_r;
+  std::vector<IoSlice> slices;
+
+  // Offsets biased toward slab and page boundaries so chunks straddle
+  // both the arena's 1 MiB slabs and the reference's 64 KiB pages.
+  auto random_offset = [&](uint64_t max_len) {
+    const uint64_t boundary =
+        rng.Uniform(2) == 0 ? BlockDevice::kSlabBytes : 64 * kKiB;
+    uint64_t off;
+    switch (rng.Uniform(4)) {
+      case 0:  // Just below a boundary (straddles it).
+        off = boundary * (1 + rng.Uniform(8)) - 1 - rng.Uniform(4096);
+        break;
+      case 1:  // Exactly on a boundary.
+        off = boundary * rng.Uniform(12);
+        break;
+      default:  // Anywhere (misaligned).
+        off = rng.Uniform(capacity - max_len);
+        break;
+    }
+    return std::min(off, capacity - max_len);
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    // 1 in 16 operations is zero-length; the rest are 1..256 KiB.
+    const uint64_t len =
+        rng.Uniform(16) == 0 ? 0 : rng.Uniform(256 * kKiB) + 1;
+    const uint64_t offset = random_offset(256 * kKiB);
+    switch (rng.Uniform(6)) {
+      case 0: {  // Payload write.
+        payload.resize(len);
+        for (uint64_t i = 0; i < len; ++i) {
+          payload[i] = static_cast<uint8_t>(rng.Uniform(256));
+        }
+        ASSERT_TRUE(arena.Write(offset, len, payload).ok());
+        ASSERT_TRUE(reference.Write(offset, len, payload).ok());
+        break;
+      }
+      case 1: {  // Timing-only write (stores zeros in retain mode).
+        ASSERT_TRUE(arena.Write(offset, len).ok());
+        ASSERT_TRUE(reference.Write(offset, len).ok());
+        break;
+      }
+      case 2: {  // Read with payload (sparse ranges read as zeros).
+        ASSERT_TRUE(arena.Read(offset, len, &got_a).ok());
+        ASSERT_TRUE(reference.Read(offset, len, &got_r).ok());
+        ASSERT_EQ(got_a, got_r) << "read bytes diverged at op " << op;
+        break;
+      }
+      case 3: {  // Timing-only read.
+        ASSERT_TRUE(arena.Read(offset, len).ok());
+        ASSERT_TRUE(reference.Read(offset, len).ok());
+        break;
+      }
+      case 4: {  // Vectored batch (2-5 runs, mixed read/write).
+        const uint64_t runs = 2 + rng.Uniform(4);
+        const uint64_t run_len = 1 + rng.Uniform(64 * kKiB);
+        slices.clear();
+        payload.resize(runs * run_len);
+        for (uint64_t i = 0; i < payload.size(); ++i) {
+          payload[i] = static_cast<uint8_t>(rng.Uniform(256));
+        }
+        const bool write = rng.Uniform(2) == 0;
+        vec_a.assign(runs * run_len, 0xAA);
+        vec_r.assign(runs * run_len, 0xBB);
+        for (uint64_t r = 0; r < runs; ++r) {
+          IoSlice s;
+          s.offset = random_offset(run_len);
+          s.length = run_len;
+          if (write) {
+            s.src = payload.data() + r * run_len;
+          }
+          slices.push_back(s);
+        }
+        if (write) {
+          ASSERT_TRUE(arena.WriteV(slices).ok());
+          ASSERT_TRUE(reference.WriteV(slices).ok());
+        } else {
+          for (uint64_t r = 0; r < runs; ++r) {
+            slices[r].dst = vec_a.data() + r * run_len;
+          }
+          ASSERT_TRUE(arena.ReadV(slices).ok());
+          for (uint64_t r = 0; r < runs; ++r) {
+            slices[r].dst = vec_r.data() + r * run_len;
+          }
+          ASSERT_TRUE(reference.ReadV(slices).ok());
+          ASSERT_EQ(vec_a, vec_r) << "vectored bytes diverged at op " << op;
+        }
+        break;
+      }
+      case 5: {  // Flush barrier.
+        arena.Flush();
+        reference.Flush();
+        break;
+      }
+    }
+  }
+  ExpectStatsIdentical(arena.stats(), reference.stats());
+  EXPECT_EQ(arena.clock().now(), reference.clock().now());
+  EXPECT_EQ(arena.head_position(), reference.head_position());
+
+  // Final sweep: every retained byte of the volume must agree,
+  // including sparse never-written regions.
+  for (uint64_t off = 0; off < capacity; off += kMiB) {
+    ASSERT_TRUE(arena.Read(off, kMiB, &got_a).ok());
+    ASSERT_TRUE(reference.Read(off, kMiB, &got_r).ok());
+    ASSERT_EQ(got_a, got_r) << "sweep diverged at " << off;
+  }
+}
+
+// -- Vectored charging is the scalar sequence by construction ---------
+
+TEST(VectoredIoTest, BatchChargesEqualScalarSequence) {
+  BlockDevice vec(SmallDisk(), DataMode::kMetadataOnly);
+  BlockDevice scalar(SmallDisk(), DataMode::kMetadataOnly);
+
+  // A batch mixing a seek, a sequential continuation, and another seek.
+  const IoSlice slices[] = {
+      {1 * kMiB, 256 * kKiB, nullptr, nullptr},
+      {1 * kMiB + 256 * kKiB, 64 * kKiB, nullptr, nullptr},  // Sequential.
+      {8 * kMiB, 4 * kKiB, nullptr, nullptr},
+  };
+  ASSERT_TRUE(vec.WriteV(slices).ok());
+  for (const IoSlice& s : slices) {
+    ASSERT_TRUE(scalar.Write(s.offset, s.length).ok());
+  }
+  EXPECT_EQ(vec.clock().now(), scalar.clock().now());
+  EXPECT_EQ(vec.stats().writes, scalar.stats().writes);
+  EXPECT_EQ(vec.stats().seeks, scalar.stats().seeks);
+  EXPECT_EQ(vec.stats().sequential_hits, scalar.stats().sequential_hits);
+  EXPECT_EQ(vec.stats().busy_time_s, scalar.stats().busy_time_s);
+  EXPECT_EQ(vec.stats().bytes_written, scalar.stats().bytes_written);
+  // Only the batch path counts vectored submissions.
+  EXPECT_EQ(vec.stats().vectored_requests, 1u);
+  EXPECT_EQ(vec.stats().coalesced_runs, 3u);
+  EXPECT_EQ(scalar.stats().vectored_requests, 0u);
+  EXPECT_EQ(scalar.stats().coalesced_runs, 0u);
+
+  const IoSlice reads[] = {
+      {2 * kMiB, 128 * kKiB, nullptr, nullptr},
+      {2 * kMiB + 128 * kKiB, 128 * kKiB, nullptr, nullptr},
+  };
+  ASSERT_TRUE(vec.ReadV(reads).ok());
+  for (const IoSlice& s : reads) {
+    ASSERT_TRUE(scalar.Read(s.offset, s.length).ok());
+  }
+  EXPECT_EQ(vec.clock().now(), scalar.clock().now());
+  EXPECT_EQ(vec.stats().reads, scalar.stats().reads);
+  EXPECT_EQ(vec.stats().vectored_requests, 2u);
+  EXPECT_EQ(vec.stats().coalesced_runs, 5u);
+}
+
+TEST(VectoredIoTest, BatchValidatesWholeBatchBeforeCharging) {
+  BlockDevice dev(SmallDisk());
+  const IoSlice slices[] = {
+      {0, kMiB, nullptr, nullptr},
+      {dev.capacity(), kMiB, nullptr, nullptr},  // Out of range.
+  };
+  EXPECT_TRUE(dev.WriteV(slices).IsInvalidArgument());
+  EXPECT_EQ(dev.stats().writes, 0u);
+  EXPECT_DOUBLE_EQ(dev.clock().now(), 0.0);
+}
+
+TEST(VectoredIoTest, ReadVFillsDestinationsAcrossSlabBoundaries) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  // Pattern straddling a slab boundary.
+  const uint64_t base = BlockDevice::kSlabBytes - 1000;
+  std::vector<uint8_t> pattern(4096);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  ASSERT_TRUE(dev.Write(base, pattern.size(), pattern).ok());
+
+  std::vector<uint8_t> out(4096 + 512);
+  const IoSlice slices[] = {
+      {base, 4096, nullptr, out.data()},
+      {10 * kMiB, 512, nullptr, out.data() + 4096},  // Sparse: zeros.
+  };
+  ASSERT_TRUE(dev.ReadV(slices).ok());
+  EXPECT_TRUE(std::memcmp(out.data(), pattern.data(), 4096) == 0);
+  EXPECT_EQ(std::vector<uint8_t>(out.begin() + 4096, out.end()),
+            std::vector<uint8_t>(512, 0));
+}
+
+TEST(VectoredIoTest, EmptyAndZeroLengthBatchesChargeNothing) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.WriteV({}).ok());
+  const IoSlice zero[] = {{kMiB, 0, nullptr, nullptr}};
+  ASSERT_TRUE(dev.WriteV(zero).ok());
+  ASSERT_TRUE(dev.ReadV(zero).ok());
+  EXPECT_EQ(dev.stats().vectored_requests, 0u);
+  EXPECT_EQ(dev.stats().coalesced_runs, 0u);
+  EXPECT_DOUBLE_EQ(dev.clock().now(), 0.0);
+}
+
+// -- Zero-length scalar requests (charge pin) -------------------------
+
+TEST(BlockDeviceChargeTest, ZeroLengthRequestsChargeNothingAndKeepHead) {
+  BlockDevice dev(SmallDisk());
+  ASSERT_TRUE(dev.Write(0, kMiB).ok());
+  const IoStats before = dev.stats();
+  const double clock_before = dev.clock().now();
+
+  // Zero-length ops at a far offset: no charge, no counters, and —
+  // critically — the head stays at the previous end, so the next real
+  // request is still a sequential hit.
+  ASSERT_TRUE(dev.Write(32 * kMiB, 0).ok());
+  ASSERT_TRUE(dev.Read(48 * kMiB, 0).ok());
+  std::vector<uint8_t> out(7, 0xCD);
+  ASSERT_TRUE(dev.Read(5 * kMiB, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  EXPECT_EQ(dev.stats().reads, before.reads);
+  EXPECT_EQ(dev.stats().writes, before.writes);
+  EXPECT_EQ(dev.stats().seeks, before.seeks);
+  EXPECT_DOUBLE_EQ(dev.clock().now(), clock_before);
+  EXPECT_EQ(dev.head_position(), kMiB);
+
+  ASSERT_TRUE(dev.Write(kMiB, kMiB).ok());
+  EXPECT_EQ(dev.stats().sequential_hits, before.sequential_hits + 1);
+
+  // Out-of-range zero-length requests still fail validation.
+  EXPECT_TRUE(dev.Write(dev.capacity() + 1, 0).IsInvalidArgument());
+}
+
+// -- Scalar read buffer reuse -----------------------------------------
+
+TEST(BlockDeviceChargeTest, ReadReusesCallerCapacity) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  std::vector<uint8_t> data(64 * kKiB, 0x5C);
+  ASSERT_TRUE(dev.Write(0, data.size(), data).ok());
+
+  std::vector<uint8_t> out;
+  out.reserve(256 * kKiB);
+  const uint8_t* storage = out.data();
+  ASSERT_TRUE(dev.Read(0, 64 * kKiB, &out).ok());
+  EXPECT_EQ(out.size(), 64 * kKiB);
+  EXPECT_EQ(out.data(), storage);  // No reallocation.
+  EXPECT_EQ(out, data);
+
+  // A shorter read into the same buffer shrinks it (no stale tail) and
+  // still reuses the allocation.
+  ASSERT_TRUE(dev.Read(1000, 100, &out).ok());
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.data(), storage);
+  EXPECT_EQ(out, std::vector<uint8_t>(100, 0x5C));
+}
+
+// -- Views ------------------------------------------------------------
+
+TEST(DeviceViewTest, WriteViewBytesAreReadBack) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  const uint64_t base = BlockDevice::kSlabBytes - 100;  // Straddles slabs.
+  const uint64_t len = 300;
+  // Timing-only write charges; the view then fills the payload.
+  ASSERT_TRUE(dev.Write(base, len).ok());
+  uint8_t next = 1;
+  dev.WriteView(base, len, [&next](std::span<uint8_t> chunk) {
+    for (uint8_t& b : chunk) b = next++;
+  });
+
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(dev.Read(base, len, &out).ok());
+  uint8_t want = 1;
+  for (uint64_t i = 0; i < len; ++i) {
+    EXPECT_EQ(out[i], want++) << "byte " << i;
+  }
+}
+
+TEST(DeviceViewTest, ReadViewYieldsZerosForSparseAndMetadataOnly) {
+  BlockDevice retain(SmallDisk(), DataMode::kRetain);
+  uint64_t seen = 0;
+  retain.ReadView(3 * kMiB - 17, 5000, [&](std::span<const uint8_t> chunk) {
+    for (uint8_t b : chunk) EXPECT_EQ(b, 0);
+    seen += chunk.size();
+  });
+  EXPECT_EQ(seen, 5000u);
+
+  BlockDevice meta(SmallDisk(), DataMode::kMetadataOnly);
+  std::vector<uint8_t> data(64, 0xEE);
+  ASSERT_TRUE(meta.Write(0, data.size(), data).ok());
+  seen = 0;
+  meta.ReadView(0, 64, [&](std::span<const uint8_t> chunk) {
+    for (uint8_t b : chunk) EXPECT_EQ(b, 0);
+    seen += chunk.size();
+  });
+  EXPECT_EQ(seen, 64u);
+  // WriteView in metadata-only mode drops the payload without invoking
+  // the filler.
+  bool invoked = false;
+  meta.WriteView(0, 64, [&invoked](std::span<uint8_t>) { invoked = true; });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(DeviceViewTest, ViewsChargeNothing) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  dev.WriteView(0, kMiB, [](std::span<uint8_t> chunk) {
+    std::memset(chunk.data(), 0x11, chunk.size());
+  });
+  dev.ReadView(0, kMiB, [](std::span<const uint8_t>) {});
+  EXPECT_DOUBLE_EQ(dev.clock().now(), 0.0);
+  EXPECT_EQ(dev.stats().reads + dev.stats().writes, 0u);
+}
+
+// -- PageFile vectored submissions carry payload ----------------------
+
+TEST(PageFileVectoredTest, PageRunPayloadRoundTripsAndValidates) {
+  BlockDevice dev(SmallDisk(), DataMode::kRetain);
+  db::PageFileOptions options;
+  options.initial_bytes = 8 * kMiB;
+  db::PageFile file(&dev, options);
+  const uint64_t page_bytes = file.page_bytes();
+
+  // Two discontiguous runs written with real page images through the
+  // vectored path (src covers count * page_bytes per run).
+  std::vector<uint8_t> images(3 * page_bytes);
+  for (size_t i = 0; i < images.size(); ++i) {
+    images[i] = static_cast<uint8_t>(i * 17 + 5);
+  }
+  const db::PageFile::PageRun writes[] = {
+      {0, 2, images.data(), nullptr},
+      {10, 1, images.data() + 2 * page_bytes, nullptr},
+  };
+  ASSERT_TRUE(file.WritePagesV(writes).ok());
+
+  // Read them back through PageRun dst pointers in one submission.
+  std::vector<uint8_t> got(3 * page_bytes, 0);
+  const db::PageFile::PageRun reads[] = {
+      {0, 2, nullptr, got.data()},
+      {10, 1, nullptr, got.data() + 2 * page_bytes},
+  };
+  ASSERT_TRUE(file.ReadPagesV(reads).ok());
+  EXPECT_EQ(got, images);
+
+  // Zero-count runs are skipped; out-of-file runs fail the whole batch
+  // before anything is charged.
+  const IoStats before = dev.stats();
+  const db::PageFile::PageRun empty[] = {{5, 0, nullptr, nullptr}};
+  ASSERT_TRUE(file.WritePagesV(empty).ok());
+  EXPECT_EQ(dev.stats().writes, before.writes);
+  const db::PageFile::PageRun bad[] = {
+      {0, 1, nullptr, nullptr},
+      {file.file_extents() * file.pages_per_extent(), 1, nullptr, nullptr},
+  };
+  EXPECT_TRUE(file.WritePagesV(bad).IsInvalidArgument());
+  EXPECT_EQ(dev.stats().writes, before.writes);
+}
+
+// -- IoStats merge math for the new counters --------------------------
+
+TEST(IoStatsVectoredCountersTest, MergeMathIsExact) {
+  IoStats a;
+  a.vectored_requests = 3;
+  a.coalesced_runs = 11;
+  IoStats b;
+  b.vectored_requests = 5;
+  b.coalesced_runs = 17;
+
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.vectored_requests, 8u);
+  EXPECT_EQ(sum.coalesced_runs, 28u);
+
+  IoStats acc = a;
+  acc += b;
+  EXPECT_EQ(acc.vectored_requests, 8u);
+  EXPECT_EQ(acc.coalesced_runs, 28u);
+
+  const IoStats diff = sum - a;
+  EXPECT_EQ(diff.vectored_requests, 5u);
+  EXPECT_EQ(diff.coalesced_runs, 17u);
+
+  const IoStats parts[] = {a, b, diff};
+  const IoStats total = Sum(parts);
+  EXPECT_EQ(total.vectored_requests, 13u);
+  EXPECT_EQ(total.coalesced_runs, 45u);
+  EXPECT_EQ(Sum({}).vectored_requests, 0u);
+  EXPECT_EQ(Sum({}).coalesced_runs, 0u);
+}
+
+TEST(IoStatsVectoredCountersTest, DeviceCountersFlowThroughSnapshots) {
+  BlockDevice dev(SmallDisk());
+  const IoSlice slices[] = {{0, kMiB, nullptr, nullptr},
+                            {4 * kMiB, kMiB, nullptr, nullptr}};
+  ASSERT_TRUE(dev.WriteV(slices).ok());
+  const IoStats snap = dev.stats();
+  ASSERT_TRUE(dev.ReadV(slices).ok());
+  const IoStats delta = dev.stats() - snap;
+  EXPECT_EQ(delta.vectored_requests, 1u);
+  EXPECT_EQ(delta.coalesced_runs, 2u);
+  EXPECT_EQ(delta.reads, 2u);
+  EXPECT_EQ(delta.writes, 0u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace lor
