@@ -27,6 +27,13 @@ Options Options::FromArgs(int argc, char** argv) {
       opts.csv = true;
     } else if (std::strcmp(arg, "--name-path") == 0) {
       opts.name_path = true;
+    } else if (std::strncmp(arg, "--qd=", 5) == 0) {
+      const uint64_t n = std::strtoull(arg + 5, nullptr, 10);
+      if (n > 0 && n <= UINT32_MAX) {
+        opts.queue_depth = static_cast<uint32_t>(n);
+      }
+    } else if (std::strcmp(arg, "--sync") == 0) {
+      opts.queue_depth = 1;
     } else if (std::strncmp(arg, "--shards=", 9) == 0 ||
                std::strncmp(arg, "--threads=", 10) == 0) {
       const char* value = arg + (arg[2] == 's' ? 9 : 10);
@@ -96,6 +103,7 @@ Result<std::vector<AgingCheckpoint>> CollectCheckpoints(
   zero.measured_age = runner->storage_age();
   zero.fragmentation = runner->Fragmentation();
   zero.device = runner->device_stats();
+  zero.latency = runner->latency();
   checkpoints.push_back(std::move(zero));
 
   for (double age : ages) {
@@ -108,6 +116,7 @@ Result<std::vector<AgingCheckpoint>> CollectCheckpoints(
     cp.measured_age = runner->storage_age();
     cp.fragmentation = runner->Fragmentation();
     cp.device = runner->device_stats();
+    cp.latency = runner->latency();
     checkpoints.push_back(std::move(cp));
   }
   return checkpoints;

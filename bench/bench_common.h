@@ -40,18 +40,26 @@ struct Options {
   /// per-object handles (the historical path, kept for A/B runs; the
   /// two produce bit-identical layouts).
   bool name_path = false;
+  /// Operations kept in flight per shard during the aging and read
+  /// phases (`--qd=N`). 1 — also spelled `--sync` — is the synchronous
+  /// submission path and reproduces every historical figure exactly;
+  /// N > 1 engages the back ends' submission queues, so latency
+  /// percentiles include queueing delay.
+  uint32_t queue_depth = 1;
 
   /// Parses --scale=small|paper|<float>, --seed=N, --csv,
-  /// --shards=N/--threads=N, --name-path.
+  /// --shards=N/--threads=N, --name-path, --qd=N, --sync.
   static Options FromArgs(int argc, char** argv);
 
   uint64_t ScaleBytes(uint64_t paper_bytes) const;
 
-  /// Workload config seeded from these options (seed + access path).
+  /// Workload config seeded from these options (seed + access path +
+  /// queue depth).
   workload::WorkloadConfig MakeWorkloadConfig() const {
     workload::WorkloadConfig config;
     config.seed = seed;
     config.use_handles = !name_path;
+    config.queue_depth = queue_depth;
     return config;
   }
 };
@@ -85,6 +93,10 @@ struct AgingCheckpoint {
   /// Cumulative device counters at this checkpoint (summed across
   /// shards for sharded runs).
   sim::IoStats device;
+  /// Cumulative per-op-class latency histograms at this checkpoint
+  /// (merged across shards). Subtract the previous checkpoint's to
+  /// isolate one interval (sim::LatencyRecorder::operator-).
+  sim::LatencyRecorder latency;
 };
 
 /// Bulk loads, then visits each storage age in order, measuring write

@@ -39,6 +39,12 @@ void Run(const Options& options) {
 
   // ours[backend][size] -> readings at ages 0,2,4.
   std::map<std::string, std::map<uint64_t, std::vector<double>>> ours;
+  // lat[backend][size] -> per-age read-latency histograms, each isolated
+  // to that checkpoint's probe interval (cumulative snapshots
+  // subtracted; aging adds no gets, so the get-class delta is exactly
+  // the probe).
+  std::map<std::string, std::map<uint64_t, std::vector<LatencyHistogram>>>
+      lat;
 
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     for (uint64_t size : sizes) {
@@ -53,8 +59,13 @@ void Run(const Options& options) {
         continue;
       }
       auto& series = ours[repo->name()][size];
+      auto& lat_series = lat[repo->name()][size];
+      sim::LatencyRecorder prev;
       for (const AgingCheckpoint& cp : *checkpoints) {
         series.push_back(cp.read.mb_per_s());
+        lat_series.push_back(
+            (cp.latency - prev).histogram(sim::OpClass::kGet));
+        prev = cp.latency;
       }
     }
   }
@@ -65,9 +76,19 @@ void Run(const Options& options) {
                 a == 0 ? "bulk load"
                        : (a == 1 ? "two overwrites" : "four overwrites"));
     TableWriter table({"object size", "database", "filesystem",
-                       "paper db (approx)", "paper fs (approx)"});
+                       "paper db (approx)", "paper fs (approx)",
+                       "db p50 ms", "db p99 ms", "db p999 ms",
+                       "fs p50 ms", "fs p99 ms", "fs p999 ms"});
     for (uint64_t size : sizes) {
       const auto paper = kPaperDbFs.at({age_labels[a], size});
+      const LatencyHistogram db_lat =
+          lat["database"][size].size() > static_cast<size_t>(a)
+              ? lat["database"][size][a]
+              : LatencyHistogram{};
+      const LatencyHistogram fs_lat =
+          lat["filesystem"][size].size() > static_cast<size_t>(a)
+              ? lat["filesystem"][size][a]
+              : LatencyHistogram{};
       table.Row()
           .Cell(FormatBytes(size))
           .Cell(ours["database"][size].size() > static_cast<size_t>(a)
@@ -77,7 +98,13 @@ void Run(const Options& options) {
                     ? ours["filesystem"][size][a]
                     : 0.0)
           .Cell(paper.first)
-          .Cell(paper.second);
+          .Cell(paper.second)
+          .Cell(db_lat.Quantile(0.5) * 1e3, 3)
+          .Cell(db_lat.Quantile(0.99) * 1e3, 3)
+          .Cell(db_lat.Quantile(0.999) * 1e3, 3)
+          .Cell(fs_lat.Quantile(0.5) * 1e3, 3)
+          .Cell(fs_lat.Quantile(0.99) * 1e3, 3)
+          .Cell(fs_lat.Quantile(0.999) * 1e3, 3);
     }
     if (options.csv) {
       table.PrintCsv();

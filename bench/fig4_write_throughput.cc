@@ -27,6 +27,10 @@ void Run(const Options& options) {
   const double paper_fs[] = {10.1, 9.5, 9.2};
 
   std::map<std::string, std::vector<double>> series;
+  // Per-interval write-latency histograms (put + safe-write merged),
+  // isolated by subtracting the previous checkpoint's cumulative
+  // snapshot.
+  std::map<std::string, std::vector<LatencyHistogram>> lat;
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto repo = MakeRepository(backend, volume);
     workload::WorkloadConfig config = options.MakeWorkloadConfig();
@@ -38,23 +42,39 @@ void Run(const Options& options) {
                    checkpoints.status().ToString().c_str());
       continue;
     }
+    sim::LatencyRecorder prev;
     for (const AgingCheckpoint& cp : *checkpoints) {
       series[repo->name()].push_back(cp.write.mb_per_s());
+      lat[repo->name()].push_back((cp.latency - prev).writes());
+      prev = cp.latency;
     }
   }
 
   const char* labels[] = {"during bulk load (age 0)", "age 0 -> 2",
                           "age 2 -> 4"};
   TableWriter table({"interval", "database", "filesystem",
-                     "paper db", "paper fs"});
+                     "paper db", "paper fs",
+                     "db p50 ms", "db p99 ms", "db p999 ms",
+                     "fs p50 ms", "fs p99 ms", "fs p999 ms"});
   for (size_t i = 0; i < 3; ++i) {
+    const LatencyHistogram db_lat =
+        i < lat["database"].size() ? lat["database"][i] : LatencyHistogram{};
+    const LatencyHistogram fs_lat = i < lat["filesystem"].size()
+                                        ? lat["filesystem"][i]
+                                        : LatencyHistogram{};
     table.Row()
         .Cell(labels[i])
         .Cell(i < series["database"].size() ? series["database"][i] : 0.0)
         .Cell(i < series["filesystem"].size() ? series["filesystem"][i]
                                               : 0.0)
         .Cell(paper_db[i])
-        .Cell(paper_fs[i]);
+        .Cell(paper_fs[i])
+        .Cell(db_lat.Quantile(0.5) * 1e3, 3)
+        .Cell(db_lat.Quantile(0.99) * 1e3, 3)
+        .Cell(db_lat.Quantile(0.999) * 1e3, 3)
+        .Cell(fs_lat.Quantile(0.5) * 1e3, 3)
+        .Cell(fs_lat.Quantile(0.99) * 1e3, 3)
+        .Cell(fs_lat.Quantile(0.999) * 1e3, 3);
   }
   if (options.csv) {
     table.PrintCsv();

@@ -40,7 +40,9 @@ void Run(const Options& options) {
 
   TableWriter table({"backend", "shards", "load mb/s", "aged write mb/s",
                      "read mb/s", "frag/obj", "device busy s",
-                     "vectored req", "coalesced runs"});
+                     "vectored req", "coalesced runs",
+                     "read p50 ms", "read p99 ms", "read p999 ms",
+                     "write p50 ms", "write p99 ms", "write p999 ms"});
   for (Backend backend : {Backend::kDatabase, Backend::kFilesystem}) {
     auto factory = MakeRepositoryFactory(backend, volume);
     for (uint32_t shards : sweep) {
@@ -55,6 +57,12 @@ void Run(const Options& options) {
       }
       const AgingCheckpoint& loaded = checkpoints->front();
       const AgingCheckpoint& aged = checkpoints->back();
+      // Latency over the aged interval only (post-load behavior): the
+      // cumulative recorders minus the load-time snapshot.
+      const sim::LatencyRecorder aged_lat = aged.latency - loaded.latency;
+      const LatencyHistogram reads =
+          aged_lat.histogram(sim::OpClass::kGet);
+      const LatencyHistogram writes = aged_lat.writes();
       table.Row()
           .Cell(factory->name())
           .Cell(static_cast<uint64_t>(shards))
@@ -64,7 +72,13 @@ void Run(const Options& options) {
           .Cell(aged.fragmentation.fragments_per_object)
           .Cell(aged.device.busy_time_s)
           .Cell(aged.device.vectored_requests)
-          .Cell(aged.device.coalesced_runs);
+          .Cell(aged.device.coalesced_runs)
+          .Cell(reads.Quantile(0.5) * 1e3, 3)
+          .Cell(reads.Quantile(0.99) * 1e3, 3)
+          .Cell(reads.Quantile(0.999) * 1e3, 3)
+          .Cell(writes.Quantile(0.5) * 1e3, 3)
+          .Cell(writes.Quantile(0.99) * 1e3, 3)
+          .Cell(writes.Quantile(0.999) * 1e3, 3);
     }
   }
   if (options.csv) {

@@ -14,22 +14,41 @@ DbRepository::DbRepository(DbRepositoryConfig config)
   }
   store_ = std::make_unique<db::BlobStore>(data_device_.get(),
                                            log_device_.get(), config_.store);
+  scheduler_ =
+      std::make_unique<sim::IoScheduler>(data_device_.get(), &latency_);
+  data_device_->AttachScheduler(scheduler_.get());
+}
+
+Status DbRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
+  if (depth == 0) {
+    return Status::InvalidArgument("queue depth must be at least 1");
+  }
+  if (depth == 1) return scheduler_->Disengage();
+  return scheduler_->Engage(depth, policy);
+}
+
+Status DbRepository::DrainIo() {
+  scheduler_->Drain();
+  return Status::OK();
 }
 
 // -- Handle surface ----------------------------------------------------
 
 Result<ObjectHandle> DbRepository::Open(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_ASSIGN_OR_RETURN(db::BlobHandle bh, store_->OpenRead(key));
   return MakeHandle(key, /*writable=*/false, bh.slot, bh.gen);
 }
 
 Result<ObjectHandle> DbRepository::OpenForWrite(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_ASSIGN_OR_RETURN(db::BlobHandle bh, store_->OpenWrite(key));
   return MakeHandle(key, /*writable=*/true, bh.slot, bh.gen);
 }
 
 Status DbRepository::Release(ObjectHandle* handle) {
   if (handle == nullptr) return Status::InvalidArgument("null handle");
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_RETURN_IF_ERROR(ValidateHandle(*handle));
   LOR_RETURN_IF_ERROR(store_->Close({handle->slot_, handle->gen_}));
   handle->owner_ = nullptr;
@@ -39,12 +58,14 @@ Status DbRepository::Release(ObjectHandle* handle) {
 
 Status DbRepository::Get(const ObjectHandle& handle,
                          std::vector<uint8_t>* out) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kGet);
   LOR_RETURN_IF_ERROR(ValidateHandle(handle));
   return store_->Get(db::BlobHandle{handle.slot_, handle.gen_}, out);
 }
 
 Status DbRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
                                std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kSafeWrite);
   LOR_RETURN_IF_ERROR(ValidateHandle(handle, /*need_write=*/true));
   return store_->SafeWrite(db::BlobHandle{handle.slot_, handle.gen_}, size,
                            data);
@@ -52,6 +73,7 @@ Status DbRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
 
 Status DbRepository::Delete(ObjectHandle* handle) {
   if (handle == nullptr) return Status::InvalidArgument("null handle");
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kDelete);
   LOR_RETURN_IF_ERROR(ValidateHandle(*handle, /*need_write=*/true));
   LOR_RETURN_IF_ERROR(
       store_->Delete(db::BlobHandle{handle->slot_, handle->gen_}));
@@ -86,6 +108,7 @@ Result<uint64_t> DbRepository::GetSize(const ObjectHandle& handle) const {
 
 Status DbRepository::Put(const std::string& key, uint64_t size,
                          std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kPut);
   LOR_ASSIGN_OR_RETURN(db::BlobHandle h, store_->OpenWrite(key));
   auto bound = store_->HandleBound(h);
   if (!bound.ok() || *bound) {
@@ -101,6 +124,7 @@ Status DbRepository::Put(const std::string& key, uint64_t size,
 
 Status DbRepository::SafeWrite(const std::string& key, uint64_t size,
                                std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kSafeWrite);
   LOR_ASSIGN_OR_RETURN(db::BlobHandle h, store_->OpenWrite(key));
   Status s = store_->SafeWrite(h, size, data);
   Status c = store_->Close(h);
@@ -108,12 +132,14 @@ Status DbRepository::SafeWrite(const std::string& key, uint64_t size,
 }
 
 Status DbRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kGet);
   // The store's per-key read already pays the query + row lookup every
   // call — no handle-table entry needed for a single-shot read.
   return store_->Get(key, out);
 }
 
 Status DbRepository::Delete(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kDelete);
   return store_->Delete(key);
 }
 

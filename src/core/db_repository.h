@@ -83,8 +83,21 @@ class DbRepository : public ObjectRepository {
   Status CheckConsistency() const override;
   std::string name() const override { return "database"; }
 
+  // Submission/completion pipeline. The scheduler fronts the data
+  // volume only: the log stays a strictly-ordered synchronous append
+  // stream (bulk-logged commits are tiny and serialized by the engine),
+  // with commit waits charged to the op's chain as CPU.
+  Status SetQueueDepth(
+      uint32_t depth,
+      sim::SchedPolicy policy = sim::SchedPolicy::kSptf) override;
+  Status DrainIo() override;
+  const sim::LatencyRecorder* latency_recorder() const override {
+    return &latency_;
+  }
+
   db::BlobStore* blob_store() { return store_.get(); }
   sim::BlockDevice* data_device() { return data_device_.get(); }
+  sim::IoScheduler* io_scheduler() { return scheduler_.get(); }
   const DbRepositoryConfig& config() const { return config_; }
 
  private:
@@ -95,6 +108,10 @@ class DbRepository : public ObjectRepository {
   std::unique_ptr<sim::BlockDevice> data_device_;
   std::unique_ptr<sim::BlockDevice> log_device_;
   std::unique_ptr<db::BlobStore> store_;
+  sim::LatencyRecorder latency_;
+  /// Fronts data_device_ for the repository's whole lifetime
+  /// (disengaged = synchronous).
+  std::unique_ptr<sim::IoScheduler> scheduler_;
 };
 
 }  // namespace core

@@ -30,6 +30,21 @@ FsRepository::FsRepository(FsRepositoryConfig config,
       config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
   store_ = std::make_unique<fs::FileStore>(device_.get(), config_.store,
                                            std::move(allocator));
+  scheduler_ = std::make_unique<sim::IoScheduler>(device_.get(), &latency_);
+  device_->AttachScheduler(scheduler_.get());
+}
+
+Status FsRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
+  if (depth == 0) {
+    return Status::InvalidArgument("queue depth must be at least 1");
+  }
+  if (depth == 1) return scheduler_->Disengage();
+  return scheduler_->Engage(depth, policy);
+}
+
+Status FsRepository::DrainIo() {
+  scheduler_->Drain();
+  return Status::OK();
 }
 
 std::string FsRepository::NextTempName(const std::string& key) {
@@ -39,17 +54,20 @@ std::string FsRepository::NextTempName(const std::string& key) {
 // -- Handle surface ----------------------------------------------------
 
 Result<ObjectHandle> FsRepository::Open(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_ASSIGN_OR_RETURN(fs::FileHandle fh, store_->OpenRead(key));
   return MakeHandle(key, /*writable=*/false, fh.slot, fh.gen);
 }
 
 Result<ObjectHandle> FsRepository::OpenForWrite(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_ASSIGN_OR_RETURN(fs::FileHandle fh, store_->OpenWrite(key));
   return MakeHandle(key, /*writable=*/true, fh.slot, fh.gen);
 }
 
 Status FsRepository::Release(ObjectHandle* handle) {
   if (handle == nullptr) return Status::InvalidArgument("null handle");
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
   LOR_RETURN_IF_ERROR(ValidateHandle(*handle));
   LOR_RETURN_IF_ERROR(store_->Close({handle->slot_, handle->gen_}));
   handle->owner_ = nullptr;
@@ -59,6 +77,7 @@ Status FsRepository::Release(ObjectHandle* handle) {
 
 Status FsRepository::Get(const ObjectHandle& handle,
                          std::vector<uint8_t>* out) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kGet);
   LOR_RETURN_IF_ERROR(ValidateHandle(handle));
   return store_->ReadAll(fs::FileHandle{handle.slot_, handle.gen_}, out);
 }
@@ -97,6 +116,7 @@ Status FsRepository::SafeWriteThrough(fs::FileHandle target,
 
 Status FsRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
                                std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kSafeWrite);
   LOR_RETURN_IF_ERROR(ValidateHandle(handle, /*need_write=*/true));
   return SafeWriteThrough(fs::FileHandle{handle.slot_, handle.gen_},
                           handle.key_, size, data);
@@ -104,6 +124,7 @@ Status FsRepository::SafeWrite(const ObjectHandle& handle, uint64_t size,
 
 Status FsRepository::Delete(ObjectHandle* handle) {
   if (handle == nullptr) return Status::InvalidArgument("null handle");
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kDelete);
   LOR_RETURN_IF_ERROR(ValidateHandle(*handle, /*need_write=*/true));
   LOR_RETURN_IF_ERROR(
       store_->Delete(fs::FileHandle{handle->slot_, handle->gen_}));
@@ -137,6 +158,7 @@ Result<uint64_t> FsRepository::GetSize(const ObjectHandle& handle) const {
 
 Status FsRepository::Put(const std::string& key, uint64_t size,
                          std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kPut);
   LOR_ASSIGN_OR_RETURN(fs::FileHandle h, store_->OpenWrite(key));
   auto bound = store_->HandleBound(h);
   if (!bound.ok() || *bound) {
@@ -152,6 +174,7 @@ Status FsRepository::Put(const std::string& key, uint64_t size,
 
 Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
                                std::span<const uint8_t> data) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kSafeWrite);
   LOR_ASSIGN_OR_RETURN(fs::FileHandle h, store_->OpenWrite(key));
   Status s = SafeWriteThrough(h, key, size, data);
   Status c = store_->Close(h);
@@ -159,6 +182,7 @@ Status FsRepository::SafeWrite(const std::string& key, uint64_t size,
 }
 
 Status FsRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kGet);
   // The store's name-based read is already the open–read–close session
   // (open CPU + MFT read, data, close CPU) — no handle-table entry
   // needed for a single-shot read.
@@ -166,6 +190,7 @@ Status FsRepository::Get(const std::string& key, std::vector<uint8_t>* out) {
 }
 
 Status FsRepository::Delete(const std::string& key) {
+  sim::OpScope scope(scheduler_.get(), sim::OpClass::kDelete);
   return store_->Delete(key);
 }
 

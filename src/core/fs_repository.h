@@ -97,8 +97,18 @@ class FsRepository : public ObjectRepository {
   Status CheckConsistency() const override;
   std::string name() const override { return "filesystem"; }
 
+  // Submission/completion pipeline.
+  Status SetQueueDepth(
+      uint32_t depth,
+      sim::SchedPolicy policy = sim::SchedPolicy::kSptf) override;
+  Status DrainIo() override;
+  const sim::LatencyRecorder* latency_recorder() const override {
+    return &latency_;
+  }
+
   fs::FileStore* store() { return store_.get(); }
   sim::BlockDevice* device() { return device_.get(); }
+  sim::IoScheduler* io_scheduler() { return scheduler_.get(); }
   const FsRepositoryConfig& config() const { return config_; }
 
  private:
@@ -120,6 +130,10 @@ class FsRepository : public ObjectRepository {
   FsRepositoryConfig config_;
   std::unique_ptr<sim::BlockDevice> device_;
   std::unique_ptr<fs::FileStore> store_;
+  sim::LatencyRecorder latency_;
+  /// Owns the data volume's submission queue; attached to device_ for
+  /// the repository's whole lifetime (disengaged = synchronous).
+  std::unique_ptr<sim::IoScheduler> scheduler_;
   uint64_t temp_counter_ = 0;
 };
 

@@ -37,6 +37,18 @@ ObjectHandle ObjectRepository::MakeHandle(const std::string& key,
   return handle;
 }
 
+Status ObjectRepository::SetQueueDepth(uint32_t depth,
+                                       sim::SchedPolicy /*policy*/) {
+  if (depth == 0) {
+    return Status::InvalidArgument("queue depth must be at least 1");
+  }
+  if (depth == 1) return Status::OK();  // Synchronous: every back end.
+  return Status::NotSupported(name() +
+                              " does not support queued submission");
+}
+
+Status ObjectRepository::DrainIo() { return Status::OK(); }
+
 Result<ObjectHandle> ObjectRepository::Open(const std::string& key) {
   if (!Exists(key)) return Status::NotFound("no object: " + key);
   return MakeHandle(key, /*writable=*/false);

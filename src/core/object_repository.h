@@ -27,6 +27,7 @@
 #include "alloc/extent.h"
 #include "core/object_handle.h"
 #include "sim/io_stats.h"
+#include "sim/latency_recorder.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -132,6 +133,31 @@ class ObjectRepository {
   /// snapshot this so aggregate device figures merge exactly
   /// (sim::Sum); back ends without a device model return zeros.
   virtual sim::IoStats device_stats() const { return {}; }
+
+  // -- Submission/completion pipeline -----------------------------------
+
+  /// Sets the number of operations the repository keeps in flight
+  /// against its data volume. Depth 1 (the default) is the synchronous
+  /// path: each operation completes before the next is issued, and
+  /// every historical figure is reproduced exactly. Depth > 1 engages
+  /// the back end's IoScheduler: device requests queue per operation
+  /// and service in `policy` order (NCQ-style SPTF by default), so
+  /// completion latency includes queueing delay. Back ends without a
+  /// scheduler accept only depth 1. Pending work is drained before the
+  /// depth changes; may not be called mid-operation.
+  virtual Status SetQueueDepth(uint32_t depth,
+                               sim::SchedPolicy policy = sim::SchedPolicy::kSptf);
+
+  /// Services everything queued and advances the clock to the
+  /// completion horizon. A no-op at depth 1.
+  virtual Status DrainIo();
+
+  /// Per-op-class submit-to-completion latency histograms, or null when
+  /// the back end does not record them. Populated on both the
+  /// synchronous and the queued path.
+  virtual const sim::LatencyRecorder* latency_recorder() const {
+    return nullptr;
+  }
 
   /// Structural invariants (no shared clusters/extents, accounting).
   virtual Status CheckConsistency() const = 0;

@@ -72,7 +72,7 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
     }
   };
 
-  const double t0 = file->device()->clock().now();
+  file->device()->BeginStreamWindow();
 
   // Stream the blob in client write-request slices; pages are
   // allocated from the unit as each slice arrives.
@@ -156,9 +156,7 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
     }
   }
 
-  const double device_seconds = file->device()->clock().now() - t0;
-  file->device()->ChargeCpu(sim::OpCostModel::StreamPenalty(
-      nbytes, costs.db_write_stream_bandwidth, device_seconds));
+  file->device()->EndStreamWindow(nbytes, costs.db_write_stream_bandwidth);
   file->device()->ChargeCpu(costs.db_per_page_cpu_s *
                             static_cast<double>(total_pages));
 
@@ -332,7 +330,7 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
     }
   }
 
-  const double t0 = file->device()->clock().now();
+  file->device()->BeginStreamWindow();
   LOR_RETURN_IF_ERROR(file->ReadPagesV(batches));
   if (out != nullptr) {
     // Payload moves straight from the arena into `out` via ReadView —
@@ -356,9 +354,7 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
       logical += b.count;
     }
   }
-  const double device_seconds = file->device()->clock().now() - t0;
-  file->device()->ChargeCpu(sim::OpCostModel::StreamPenalty(
-      length, costs.db_read_stream_bandwidth, device_seconds));
+  file->device()->EndStreamWindow(length, costs.db_read_stream_bandwidth);
   if (cursor != nullptr) {
     cursor->valid = true;
     cursor->next_page = end_page;

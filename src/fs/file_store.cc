@@ -483,7 +483,7 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
     file->allocated_clusters = needed;
   }
 
-  const double t0 = device_->clock().now();
+  device_->BeginStreamWindow();
   // Fast path: the appended range lies entirely inside the tail extent
   // (sequential extension), so it maps to one physical run.
   const alloc::Extent& tail = file->extents.back();
@@ -508,9 +508,7 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
     }
     LOR_RETURN_IF_ERROR(device_->WriteV(io_slices_));
   }
-  const double device_seconds = device_->clock().now() - t0;
-  device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
-      length, options_.costs.fs_stream_bandwidth, device_seconds));
+  device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
 
   file->size_bytes += length;
   stats_.live_bytes += length;
@@ -539,7 +537,7 @@ Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
   if (length > file->size_bytes || offset > file->size_bytes - length) {
     return Status::InvalidArgument("read beyond end of file");
   }
-  const double t0 = device_->clock().now();
+  device_->BeginStreamWindow();
   // One vectored submission for the whole run list; the device copies
   // each run's bytes directly into the caller's buffer (no per-run
   // staging vector), reusing whatever capacity it already holds.
@@ -554,9 +552,7 @@ Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
     consumed += len;
   }
   LOR_RETURN_IF_ERROR(device_->ReadV(io_slices_));
-  const double device_seconds = device_->clock().now() - t0;
-  device_->ChargeCpu(sim::OpCostModel::StreamPenalty(
-      length, options_.costs.fs_stream_bandwidth, device_seconds));
+  device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
   ++stats_.reads;
   ++file->read_count;
   return Status::OK();

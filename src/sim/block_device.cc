@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <utility>
+
+#include "sim/op_cost_model.h"
 
 namespace lor {
 namespace sim {
@@ -78,7 +81,8 @@ Status BlockDevice::CheckRange(uint64_t offset, uint64_t len) const {
   return Status::OK();
 }
 
-void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
+double BlockDevice::ServiceRequest(bool /*write*/, uint64_t offset,
+                                   uint64_t len) {
   double t = model_.params().per_request_overhead_s;
   if (head_valid_ && offset == head_) {
     ++stats_.sequential_hits;
@@ -94,9 +98,28 @@ void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
   stats_.transfer_time_s += transfer;
   t += transfer;
   stats_.busy_time_s += t;
-  clock_.Advance(t);
   head_ = offset + len;
   head_valid_ = true;
+  return t;
+}
+
+double BlockDevice::ServiceFlush() {
+  head_valid_ = false;
+  stats_.busy_time_s += kFlushCost;
+  return kFlushCost;
+}
+
+double BlockDevice::PeekPositioningCost(uint64_t offset) const {
+  if (head_valid_ && offset == head_) return 0.0;
+  return model_.SeekTime(head_valid_ ? head_ : 0, offset);
+}
+
+bool BlockDevice::AsyncActive() const {
+  return scheduler_ != nullptr && scheduler_->ShouldQueue();
+}
+
+void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
+  clock_.Advance(ServiceRequest(false, offset, len));
 }
 
 void BlockDevice::StoreBytes(uint64_t offset, const uint8_t* src,
@@ -141,7 +164,11 @@ Status BlockDevice::Write(uint64_t offset, uint64_t len,
     return Status::InvalidArgument("data size does not match request length");
   }
   if (len == 0) return Status::OK();  // No bytes: no charge, no head move.
-  ChargePositioning(offset, len);
+  if (AsyncActive()) {
+    scheduler_->EnqueueRequest(/*write=*/true, offset, len, nullptr);
+  } else {
+    ChargePositioning(offset, len);
+  }
   ++stats_.writes;
   stats_.bytes_written += len;
   if (mode_ == DataMode::kRetain) {
@@ -157,7 +184,11 @@ Status BlockDevice::Read(uint64_t offset, uint64_t len,
     if (out != nullptr) out->clear();
     return Status::OK();
   }
-  ChargePositioning(offset, len);
+  if (AsyncActive()) {
+    scheduler_->EnqueueRequest(/*write=*/false, offset, len, nullptr);
+  } else {
+    ChargePositioning(offset, len);
+  }
   ++stats_.reads;
   stats_.bytes_read += len;
   if (out != nullptr) {
@@ -177,7 +208,11 @@ Status BlockDevice::ReadV(std::span<const IoSlice> slices) {
   bool charged = false;
   for (const IoSlice& s : slices) {
     if (s.length == 0) continue;
-    ChargePositioning(s.offset, s.length);
+    if (AsyncActive()) {
+      scheduler_->EnqueueRequest(/*write=*/false, s.offset, s.length, nullptr);
+    } else {
+      ChargePositioning(s.offset, s.length);
+    }
     ++stats_.reads;
     stats_.bytes_read += s.length;
     ++stats_.coalesced_runs;
@@ -195,7 +230,11 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
   bool charged = false;
   for (const IoSlice& s : slices) {
     if (s.length == 0) continue;
-    ChargePositioning(s.offset, s.length);
+    if (AsyncActive()) {
+      scheduler_->EnqueueRequest(/*write=*/true, s.offset, s.length, nullptr);
+    } else {
+      ChargePositioning(s.offset, s.length);
+    }
     ++stats_.writes;
     stats_.bytes_written += s.length;
     ++stats_.coalesced_runs;
@@ -206,13 +245,112 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
   return Status::OK();
 }
 
-void BlockDevice::Flush() {
-  head_valid_ = false;
-  stats_.busy_time_s += kFlushCost;
-  clock_.Advance(kFlushCost);
+Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
+  LOR_RETURN_IF_ERROR(CheckRange(req.offset, req.length));
+  if (req.length == 0) {
+    if (done) done(clock_.now());
+    return Status::OK();
+  }
+  const bool async = AsyncActive();
+  if (async) {
+    scheduler_->EnqueueRequest(req.write, req.offset, req.length,
+                               std::move(done));
+  } else {
+    ChargePositioning(req.offset, req.length);
+  }
+  if (req.write) {
+    ++stats_.writes;
+    stats_.bytes_written += req.length;
+    if (mode_ == DataMode::kRetain) {
+      StoreBytes(req.offset, req.src, req.length);
+    }
+  } else {
+    ++stats_.reads;
+    stats_.bytes_read += req.length;
+    if (req.dst != nullptr) LoadBytesInto(req.offset, req.dst, req.length);
+  }
+  if (!async && done) done(clock_.now());
+  return Status::OK();
 }
 
-void BlockDevice::ChargeCpu(double seconds) { clock_.Advance(seconds); }
+Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
+                            IoCompletion done) {
+  for (const IoRequest& r : reqs) {
+    LOR_RETURN_IF_ERROR(CheckRange(r.offset, r.length));
+  }
+  const bool async = AsyncActive();
+  // Under the scheduler, the batch callback rides on the last nonzero
+  // run — chains service in order, so its completion is the batch's.
+  size_t last_nonzero = reqs.size();
+  if (async && done) {
+    for (size_t i = reqs.size(); i-- > 0;) {
+      if (reqs[i].length != 0) {
+        last_nonzero = i;
+        break;
+      }
+    }
+  }
+  bool charged = false;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const IoRequest& r = reqs[i];
+    if (r.length == 0) continue;
+    if (async) {
+      scheduler_->EnqueueRequest(
+          r.write, r.offset, r.length,
+          i == last_nonzero ? std::move(done) : IoCompletion());
+    } else {
+      ChargePositioning(r.offset, r.length);
+    }
+    if (r.write) {
+      ++stats_.writes;
+      stats_.bytes_written += r.length;
+      if (mode_ == DataMode::kRetain) StoreBytes(r.offset, r.src, r.length);
+    } else {
+      ++stats_.reads;
+      stats_.bytes_read += r.length;
+      if (r.dst != nullptr) LoadBytesInto(r.offset, r.dst, r.length);
+    }
+    ++stats_.coalesced_runs;
+    charged = true;
+  }
+  if (charged) ++stats_.vectored_requests;
+  if (done && (!async || last_nonzero == reqs.size())) done(clock_.now());
+  return Status::OK();
+}
+
+void BlockDevice::Flush() {
+  if (AsyncActive()) {
+    scheduler_->EnqueueFlush();
+    return;
+  }
+  clock_.Advance(ServiceFlush());
+}
+
+void BlockDevice::ChargeCpu(double seconds) {
+  if (AsyncActive()) {
+    scheduler_->EnqueueCpu(seconds);
+    return;
+  }
+  clock_.Advance(seconds);
+}
+
+void BlockDevice::BeginStreamWindow() {
+  if (AsyncActive()) {
+    scheduler_->EnqueueWindowBegin();
+    return;
+  }
+  window_t0_ = clock_.now();
+}
+
+void BlockDevice::EndStreamWindow(uint64_t len,
+                                  double bandwidth_cap_bytes_per_s) {
+  if (AsyncActive()) {
+    scheduler_->EnqueueWindowEnd(len, bandwidth_cap_bytes_per_s);
+    return;
+  }
+  ChargeCpu(OpCostModel::StreamPenalty(len, bandwidth_cap_bytes_per_s,
+                                       clock_.now() - window_t0_));
+}
 
 }  // namespace sim
 }  // namespace lor

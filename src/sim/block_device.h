@@ -29,6 +29,21 @@
 // `vectored_requests` / `coalesced_runs` counters, which the scalar
 // path never touches.
 //
+// Submission/completion: an IoScheduler can be attached with
+// `AttachScheduler`. While the scheduler is engaged (queue depth > 1)
+// and an op scope is open, every timing charge — positioning, flush,
+// CPU, stream-penalty windows — is queued on the op's request chain and
+// replayed in scheduler-chosen service order instead of advancing the
+// clock inline; payload bytes still move at submission in host program
+// order, and the reads/writes/bytes counters are stamped at submission
+// (seeks, sequential hits, and the time decomposition are stamped at
+// service, where they are actually decided). With no scheduler attached
+// or the scheduler disengaged, every entry point takes the historical
+// synchronous path unchanged. `Submit`/`SubmitV` are the explicit
+// submit/complete forms: they accept a completion callback that fires
+// with the simulated completion time (immediately, under the sync
+// path).
+//
 // Zero-copy views: `ReadView`/`WriteView` iterate the arena's
 // contiguous chunks for a byte range so callers can move payload
 // directly between application buffers and the retained store without
@@ -50,6 +65,7 @@
 #include <vector>
 
 #include "sim/disk_model.h"
+#include "sim/io_scheduler.h"
 #include "sim/io_stats.h"
 #include "sim/sim_clock.h"
 #include "util/config.h"  // C++20 floor guard (std::span above)
@@ -72,6 +88,18 @@ struct IoSlice {
   uint64_t length = 0;
   const uint8_t* src = nullptr;  ///< WriteV payload source.
   uint8_t* dst = nullptr;        ///< ReadV payload destination.
+};
+
+/// One request for the explicit submit/complete API. Payload pointers
+/// follow the IoSlice rules (null means timing-only) and must stay
+/// valid only for the duration of the Submit call — bytes move at
+/// submission.
+struct IoRequest {
+  bool write = false;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  const uint8_t* src = nullptr;  ///< Write payload source.
+  uint8_t* dst = nullptr;        ///< Read payload destination.
 };
 
 /// Simulated rotating block device.
@@ -152,12 +180,41 @@ class BlockDevice {
     }
   }
 
+  /// Submits one request through the submission/completion path. `done`
+  /// (optional) fires with the simulated completion time: inline under
+  /// the synchronous path, at service completion when queued.
+  Status Submit(const IoRequest& req, IoCompletion done = nullptr);
+
+  /// Vectored Submit: a batch of contiguous runs charged exactly like
+  /// the equivalent scalar sequence (the ReadV/WriteV guarantee), with
+  /// one completion callback firing when the whole batch has been
+  /// serviced. Bumps the vectored counters.
+  Status SubmitV(std::span<const IoRequest> reqs, IoCompletion done = nullptr);
+
   /// Charges a cache-flush barrier: the next request never counts as
   /// sequential, plus a fixed settle cost. Models FUA/flush commands.
   void Flush();
 
   /// Charges host CPU / software-stack time to the same clock.
   void ChargeCpu(double seconds);
+
+  /// Opens a stream-penalty window: the host-side streaming loop runs
+  /// concurrently with the device work between Begin and End, and End
+  /// charges only the CPU time the device did not already cover
+  /// (sim::OpCostModel::StreamPenalty). Under the synchronous path this
+  /// is exactly the historical now()-delta arithmetic; under the
+  /// scheduler the window spans the op's serviced seconds.
+  void BeginStreamWindow();
+  void EndStreamWindow(uint64_t len, double bandwidth_cap_bytes_per_s);
+
+  /// Wires up (or detaches, with null) the submission scheduler. The
+  /// scheduler must outlive every subsequent request on this device.
+  void AttachScheduler(IoScheduler* scheduler) { scheduler_ = scheduler; }
+  IoScheduler* scheduler() { return scheduler_; }
+
+  /// Positioning cost (seek only; zero when sequential) a request at
+  /// `offset` would pay right now — the SPTF scheduling key.
+  double PeekPositioningCost(uint64_t offset) const;
 
   /// Byte offset one past the end of the last request (head position).
   uint64_t head_position() const { return head_; }
@@ -167,11 +224,22 @@ class BlockDevice {
   static constexpr uint64_t kSlabBytes = 1024 * 1024;
 
  private:
+  friend class IoScheduler;  // Drives ServiceRequest / ServiceFlush.
+
   struct SlabGroup;
 
   Status CheckRange(uint64_t offset, uint64_t len) const;
-  /// Advances the clock for a request at [offset, offset+len); returns
-  /// whether it was sequential.
+  /// Service-side core: decides sequentiality against the current head,
+  /// stamps the time-decomposition stats, moves the head, and returns
+  /// the request's service seconds — without touching the clock. The
+  /// synchronous path advances the clock by the return value; the
+  /// scheduler places it on its own timeline.
+  double ServiceRequest(bool write, uint64_t offset, uint64_t len);
+  /// Flush twin of ServiceRequest (invalidates sequentiality).
+  double ServiceFlush();
+  /// True when an engaged scheduler should absorb timing charges.
+  bool AsyncActive() const;
+  /// Advances the clock for a request at [offset, offset+len).
   void ChargePositioning(uint64_t offset, uint64_t len);
   void StoreBytes(uint64_t offset, const uint8_t* src, uint64_t len);
   void LoadBytesInto(uint64_t offset, uint8_t* dst, uint64_t len) const;
@@ -195,6 +263,8 @@ class BlockDevice {
   DataMode mode_;
   SimClock clock_;
   IoStats stats_;
+  IoScheduler* scheduler_ = nullptr;
+  double window_t0_ = 0.0;  ///< Synchronous stream-window start.
   uint64_t head_ = 0;
   bool head_valid_ = false;
   /// Level-1 directory of the arena; entries are allocated on first

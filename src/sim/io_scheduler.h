@@ -1,0 +1,212 @@
+// IoScheduler: asynchronous submission/completion front end for one
+// BlockDevice — the refactor from call-returns-when-charged to
+// submit/complete.
+//
+// Model. Repository operations are bracketed by OpScope markers. In
+// synchronous mode (the default; never engaged, or engaged at nothing)
+// the scope just stamps the device clock at the boundaries and records
+// the op's latency — the historical charging path is untouched and
+// every figure stays bit-identical. When the scheduler is *engaged* at
+// queue depth N, the device routes charges made inside an op scope into
+// the op's request chain instead of advancing the clock, and the
+// scheduler replays chains against the device on a separate event
+// timeline:
+//
+//   * Closed loop: N logical clients. An op's arrival time is the
+//     completion time of the slot it reuses (the earliest-freeing
+//     slot), so at most N ops are in flight, exactly an application
+//     keeping N requests outstanding with zero think time.
+//   * Chains: requests within one op service in submission order (the
+//     op's own program order — a safe write must write before it
+//     fsyncs). CPU charges and stream-penalty windows attach to the
+//     chain and extend the op without occupying the device.
+//   * Device: one request at a time. Among the ready chain fronts the
+//     scheduler picks FIFO (submission order) or SPTF (NCQ-style
+//     shortest positioning time from the current head, ties broken by
+//     submission order). Positioning is charged in *actual service
+//     order* — an interleaved service order pays the seeks the
+//     interleaving causes, which is how queueing delay and head
+//     interference become visible in simulated time.
+//
+// Data plane note: payload bytes move at submission time, in host
+// program order, so reads always observe the host-order store contents;
+// only the *timing* is deferred. Scratch buffers reused across
+// in-flight ops therefore behave as they do synchronously.
+//
+// Determinism: everything is integer/double arithmetic over the same
+// submission sequence — no host time, no randomness — so a given
+// (workload, queue depth, policy) triple always produces the same
+// service order, clock, and histograms.
+//
+// Threading: an IoScheduler is confined to its device's thread, like
+// the device itself. Cross-shard latency aggregation merges
+// LatencyRecorder snapshots after the phase barrier.
+
+#ifndef LOREPO_SIM_IO_SCHEDULER_H_
+#define LOREPO_SIM_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <queue>
+#include <vector>
+
+#include "sim/latency_recorder.h"
+#include "util/status.h"
+
+namespace lor {
+namespace sim {
+
+class BlockDevice;
+
+/// Completion callback for the Submit/SubmitV device API: receives the
+/// simulated time at which the submission completed.
+using IoCompletion = std::function<void(double completion_s)>;
+
+/// Per-device submission queue and service-order scheduler.
+class IoScheduler {
+ public:
+  /// `recorder` may be null (no latency accounting). The scheduler
+  /// keeps raw pointers; both must outlive it.
+  IoScheduler(BlockDevice* device, LatencyRecorder* recorder);
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Engages asynchronous mode at `queue_depth` ops in flight.
+  /// Drains any previous state first; fails inside an op scope.
+  Status Engage(uint32_t queue_depth, SchedPolicy policy = SchedPolicy::kSptf);
+
+  /// Drains and returns to the synchronous path.
+  Status Disengage();
+
+  /// Services every queued request and advances the device clock to the
+  /// completion horizon. Callable only between ops.
+  void Drain();
+
+  bool engaged() const { return engaged_; }
+  uint32_t queue_depth() const { return queue_depth_; }
+  SchedPolicy policy() const { return policy_; }
+  LatencyRecorder* recorder() { return recorder_; }
+
+  // -- Op lifecycle (driven by OpScope) --------------------------------
+
+  /// Opens an op. In async mode this is the closed-loop admission
+  /// point: when all slots are busy, queued work is serviced until one
+  /// frees, and the op arrives at that completion time. Nested calls
+  /// attach to the outermost op.
+  void BeginOp(OpClass cls);
+
+  /// Closes the current op (records sync latency / seals the chain).
+  void EndOp();
+
+  /// True when the device should queue charges instead of applying
+  /// them: engaged and inside an op scope.
+  bool ShouldQueue() const { return engaged_ && op_depth_ > 0; }
+
+  // -- Charge intake from the device (async mode only) -----------------
+
+  void EnqueueRequest(bool write, uint64_t offset, uint64_t len,
+                      IoCompletion done);
+  void EnqueueFlush();
+  void EnqueueCpu(double seconds);
+  void EnqueueWindowBegin();
+  void EnqueueWindowEnd(uint64_t len, double bandwidth_cap);
+
+  // -- Introspection (tests) -------------------------------------------
+
+  uint64_t completed_ops() const { return completed_ops_; }
+  uint64_t serviced_requests() const { return serviced_requests_; }
+  /// Ops admitted and not yet completed.
+  uint32_t inflight_ops() const;
+
+ private:
+  struct Request {
+    enum class Kind : uint8_t { kIo, kFlush, kCpu, kWinBegin, kWinEnd };
+    Kind kind = Kind::kIo;
+    bool write = false;
+    uint64_t offset = 0;
+    uint64_t len = 0;
+    double cpu_s = 0.0;   // kCpu
+    double cap = 0.0;     // kWinEnd: bandwidth cap (bytes/s)
+    uint64_t seq = 0;     // global submission order (FIFO + tie-break)
+    IoCompletion done;    // fires at service completion
+  };
+
+  /// One in-flight operation and its request chain.
+  struct Op {
+    OpClass cls = OpClass::kControl;
+    double arrival = 0.0;      // slot reuse time (closed loop)
+    double ready = 0.0;        // completion time of the serviced prefix
+    double busy = 0.0;         // serviced seconds (device + cpu + penalties)
+    double window_base = 0.0;  // `busy` at the open stream window's start
+    std::deque<Request> chain;
+  };
+
+  /// Consumes any non-device entries at the chain front (CPU, window
+  /// markers): they extend the op without occupying the device.
+  void SettleFront(Op* op);
+
+  /// Completion bookkeeping: latency record, horizon, freed slot.
+  void CompleteOp(const Op& op);
+
+  /// Services exactly one device request (the scheduling decision);
+  /// false when nothing is pending.
+  bool ServiceOne();
+
+  /// Seals the op being built and moves it to the pending list (or
+  /// completes it outright when its chain is already empty).
+  void SealCurrentOp();
+
+  BlockDevice* device_;
+  LatencyRecorder* recorder_;
+
+  bool engaged_ = false;
+  uint32_t queue_depth_ = 1;
+  SchedPolicy policy_ = SchedPolicy::kSptf;
+
+  // Op-scope state (both modes).
+  int op_depth_ = 0;
+  OpClass sync_class_ = OpClass::kControl;
+  double sync_t0_ = 0.0;
+
+  // Async state.
+  bool building_open_ = false;
+  Op building_;                 // op currently accepting requests
+  std::list<Op> pending_;       // sealed ops with unserviced chains
+  double device_free_ = 0.0;    // absolute time the device frees up
+  double horizon_ = 0.0;        // latest completion seen
+  uint32_t allocated_slots_ = 0;
+  /// Completion times of freed, not-yet-reused slots (earliest first).
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      free_slots_;
+  uint64_t next_seq_ = 0;
+  uint64_t completed_ops_ = 0;
+  uint64_t serviced_requests_ = 0;
+};
+
+/// RAII op-boundary marker for repository operations. Constructing with
+/// a null scheduler is a no-op, so wrapper back ends without a pipeline
+/// need no special casing.
+class OpScope {
+ public:
+  OpScope(IoScheduler* scheduler, OpClass cls) : scheduler_(scheduler) {
+    if (scheduler_ != nullptr) scheduler_->BeginOp(cls);
+  }
+  ~OpScope() {
+    if (scheduler_ != nullptr) scheduler_->EndOp();
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  IoScheduler* scheduler_;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_IO_SCHEDULER_H_

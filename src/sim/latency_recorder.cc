@@ -1,0 +1,76 @@
+#include "sim/latency_recorder.h"
+
+namespace lor {
+namespace sim {
+
+const char* OpClassName(OpClass cls) {
+  switch (cls) {
+    case OpClass::kGet:
+      return "get";
+    case OpClass::kPut:
+      return "put";
+    case OpClass::kSafeWrite:
+      return "safe-write";
+    case OpClass::kDelete:
+      return "delete";
+    case OpClass::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+void LatencyRecorder::Record(OpClass cls, double seconds) {
+  const size_t index = static_cast<size_t>(cls);
+  if (index >= kTrackedOpClasses) return;  // kControl and anything odd.
+  hists_[index].Add(seconds);
+}
+
+const LatencyHistogram& LatencyRecorder::histogram(OpClass cls) const {
+  return hists_[static_cast<size_t>(cls) % kTrackedOpClasses];
+}
+
+LatencyHistogram LatencyRecorder::writes() const {
+  LatencyHistogram merged = hists_[static_cast<size_t>(OpClass::kPut)];
+  merged.Merge(hists_[static_cast<size_t>(OpClass::kSafeWrite)]);
+  return merged;
+}
+
+uint64_t LatencyRecorder::total_count() const {
+  uint64_t total = 0;
+  for (const LatencyHistogram& h : hists_) total += h.count();
+  return total;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < kTrackedOpClasses; ++i) {
+    hists_[i].Merge(other.hists_[i]);
+  }
+}
+
+LatencyRecorder LatencyRecorder::operator-(
+    const LatencyRecorder& other) const {
+  LatencyRecorder diff;
+  for (size_t i = 0; i < kTrackedOpClasses; ++i) {
+    diff.hists_[i] = hists_[i] - other.hists_[i];
+  }
+  return diff;
+}
+
+void LatencyRecorder::Reset() {
+  for (LatencyHistogram& h : hists_) h.Reset();
+}
+
+std::string LatencyRecorder::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kTrackedOpClasses; ++i) {
+    if (hists_[i].count() == 0) continue;
+    if (!out.empty()) out += "; ";
+    out += OpClassName(static_cast<OpClass>(i));
+    out += ": ";
+    out += hists_[i].ToString();
+  }
+  return out.empty() ? "no ops recorded" : out;
+}
+
+}  // namespace sim
+}  // namespace lor

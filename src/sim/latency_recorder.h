@@ -1,0 +1,84 @@
+// LatencyRecorder: per-operation completion-latency accounting for the
+// submission/completion pipeline. Repository operations are tagged with
+// an OpClass (get / put / safe-write / delete); the recorder keeps one
+// log-bucketed LatencyHistogram per class, measured in simulated
+// seconds from op submission to op completion.
+//
+// Like sim::IoStats, recorders are per-shard objects confined to the
+// shard's thread; cross-shard aggregation merges snapshots exactly
+// (Merge is per-bucket integer addition), and checkpoint intervals are
+// isolated by subtracting cumulative snapshots (operator-).
+//
+// This header also defines the small pipeline enums (OpClass,
+// SchedPolicy) so interface layers (core::ObjectRepository) can name
+// them without pulling in the scheduler or device headers.
+
+#ifndef LOREPO_SIM_LATENCY_RECORDER_H_
+#define LOREPO_SIM_LATENCY_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace lor {
+namespace sim {
+
+/// Repository operation classes whose completion latency is tracked
+/// separately. kControl marks op scopes that only exist to carry device
+/// charges (open/close/release bookkeeping); their latency is not
+/// recorded.
+enum class OpClass : uint8_t {
+  kGet = 0,
+  kPut,
+  kSafeWrite,
+  kDelete,
+  kControl,
+};
+
+/// Number of recorded classes (kControl excluded).
+inline constexpr size_t kTrackedOpClasses = 4;
+
+const char* OpClassName(OpClass cls);
+
+/// Service order among queued device requests at queue depth > 1.
+enum class SchedPolicy : uint8_t {
+  kFifo,  ///< Strict submission order.
+  kSptf,  ///< NCQ-style shortest-positioning-time-first.
+};
+
+/// Per-op-class completion latency histograms.
+class LatencyRecorder {
+ public:
+  /// Folds one completed operation in. kControl ops are ignored.
+  void Record(OpClass cls, double seconds);
+
+  const LatencyHistogram& histogram(OpClass cls) const;
+
+  /// Put and safe-write merged: both are whole-object writes, and bulk
+  /// load lands in either class depending on the access path, so write
+  /// columns report them together.
+  LatencyHistogram writes() const;
+
+  uint64_t total_count() const;
+
+  /// Exact cross-shard merge (the LatencyHistogram merge per class).
+  void Merge(const LatencyRecorder& other);
+
+  /// Exact interval isolation for cumulative snapshots: `*this` must
+  /// have been produced by recording on top of `other`.
+  LatencyRecorder operator-(const LatencyRecorder& other) const;
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  std::array<LatencyHistogram, kTrackedOpClasses> hists_;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_LATENCY_RECORDER_H_

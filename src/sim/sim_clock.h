@@ -5,6 +5,8 @@
 #ifndef LOREPO_SIM_SIM_CLOCK_H_
 #define LOREPO_SIM_SIM_CLOCK_H_
 
+#include <cassert>
+
 namespace lor {
 namespace sim {
 
@@ -13,8 +15,11 @@ class SimClock {
  public:
   double now() const { return now_s_; }
 
-  /// Advances time by `seconds` (negative advances are ignored).
+  /// Advances time by `seconds`. Time is monotonic: a negative advance
+  /// is a caller bug — asserted in debug builds, ignored in release
+  /// builds (where the clock simply does not move backwards).
   void Advance(double seconds) {
+    assert(seconds >= 0.0 && "SimClock::Advance called with negative time");
     if (seconds > 0.0) now_s_ += seconds;
   }
 

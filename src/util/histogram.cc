@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace lor {
 
@@ -54,6 +55,136 @@ std::string SummaryStats::ToString() const {
                 "n=%llu mean=%.3f min=%.3f max=%.3f stddev=%.3f",
                 static_cast<unsigned long long>(count_), mean(), min(), max(),
                 stddev());
+  return buf;
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  // Everything below the tracked range (including zero and any negative
+  // or non-finite garbage) lands in the underflow bucket.
+  if (!(seconds >= std::ldexp(1.0, kMinOctave))) return 0;
+  if (seconds >= std::ldexp(1.0, kMaxOctave)) return kBucketCount - 1;
+  int exp = 0;
+  const double m = std::frexp(seconds, &exp);  // seconds = m * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1;                  // seconds in [2^octave, 2^(octave+1))
+  int sub = static_cast<int>((m * 2.0 - 1.0) * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 +
+         static_cast<size_t>(octave - kMinOctave) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxOctave);
+  const size_t linear = index - 1;
+  const int octave = kMinOctave + static_cast<int>(linear / kSubBuckets);
+  const int sub = static_cast<int>(linear % kSubBuckets);
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(index + 1);
+}
+
+void LatencyHistogram::Add(double seconds) {
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[BucketIndex(seconds)];
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+LatencyHistogram LatencyHistogram::operator-(
+    const LatencyHistogram& other) const {
+  LatencyHistogram diff;
+  size_t first = kBucketCount;
+  size_t last = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t d =
+        buckets_[i] >= other.buckets_[i] ? buckets_[i] - other.buckets_[i] : 0;
+    diff.buckets_[i] = d;
+    if (d != 0) {
+      first = std::min(first, i);
+      last = i;
+    }
+    diff.count_ += d;
+  }
+  diff.sum_ = sum_ - other.sum_;
+  if (diff.count_ != 0) {
+    // Exact extrema are gone after subtraction; bound them by the
+    // occupied buckets (the overflow bucket's upper bound is the
+    // cumulative max, the tightest value still known).
+    diff.min_ = BucketLowerBound(first);
+    diff.max_ = last >= kBucketCount - 1 ? max_ : BucketUpperBound(last);
+  }
+  return diff;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  size_t bucket = kBucketCount - 1;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      bucket = i;
+      break;
+    }
+  }
+  double v;
+  if (bucket >= kBucketCount - 1) {
+    v = max_;  // Overflow bucket: the exact max is the best answer.
+  } else {
+    v = (BucketLowerBound(bucket) + BucketUpperBound(bucket)) / 2.0;
+  }
+  return std::clamp(v, min_, max_);
+}
+
+std::string LatencyHistogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_),
+                Quantile(0.5) * 1e3, Quantile(0.99) * 1e3,
+                Quantile(0.999) * 1e3, max() * 1e3);
   return buf;
 }
 

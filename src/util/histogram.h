@@ -37,6 +37,64 @@ class SummaryStats {
   double sum_ = 0.0;
 };
 
+/// Log-bucketed histogram for positive durations in seconds, built for
+/// per-operation latency percentiles. Buckets subdivide each power-of-two
+/// octave into kSubBuckets linear slices, covering ~60 ns to ~36 hours
+/// with under/overflow buckets at the ends, so p50/p99/p999 resolve to
+/// within one part in kSubBuckets across the whole range. Merge and
+/// operator- are exact per-bucket integer arithmetic, which lets
+/// cumulative per-shard recorders be summed (like sim::Sum for IoStats)
+/// and checkpoint snapshots be differenced without drift.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(double seconds);
+  /// Exact per-bucket merge: the result is identical to adding both
+  /// inputs' samples into one histogram.
+  void Merge(const LatencyHistogram& other);
+  /// Exact per-bucket difference for cumulative snapshots: `*this` must
+  /// have been produced by adding samples on top of `other`. The
+  /// difference's min/max are known only to bucket resolution.
+  LatencyHistogram operator-(const LatencyHistogram& other) const;
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Exact extrema of the added samples (bucket bounds after operator-).
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Value v such that at least a `q` fraction of samples are <= v's
+  /// bucket: the midpoint of the target bucket, clamped to [min, max].
+  /// A single-sample histogram therefore returns that sample exactly.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr int kSubBuckets = 16;
+
+  /// Bucket mapping, exposed so tests can pin the boundary behaviour.
+  static size_t BucketIndex(double seconds);
+  static double BucketLowerBound(size_t index);
+  static double BucketUpperBound(size_t index);
+  static size_t bucket_count() { return kBucketCount; }
+
+ private:
+  static constexpr int kMinOctave = -24;  // 2^-24 s ~ 60 ns
+  static constexpr int kMaxOctave = 17;   // 2^17 s ~ 36 hours
+  static constexpr size_t kBucketCount =
+      static_cast<size_t>(kMaxOctave - kMinOctave) * kSubBuckets + 2;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Histogram over integer values with unit-width buckets up to a cap;
 /// values above the cap land in an overflow bucket. Suited to
 /// fragments-per-object distributions, which are small integers.

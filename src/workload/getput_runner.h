@@ -51,6 +51,13 @@ class GetPutRunner {
   sim::IoStats device_stats() const {
     return engine_.repository()->device_stats();
   }
+  /// Cumulative per-op-class latency histograms (empty when the back
+  /// end records none) — same interface as ShardedRunner.
+  sim::LatencyRecorder latency() const {
+    const sim::LatencyRecorder* rec =
+        engine_.repository()->latency_recorder();
+    return rec != nullptr ? *rec : sim::LatencyRecorder{};
+  }
   const core::StorageAgeTracker& age_tracker() const {
     return engine_.age_tracker();
   }

@@ -3,6 +3,44 @@
 namespace lor {
 namespace workload {
 
+namespace {
+
+/// Engages the repository's submission queue for one phase and
+/// guarantees the return to the synchronous path (draining queued work)
+/// on every exit, including error returns.
+class QueueDepthWindow {
+ public:
+  explicit QueueDepthWindow(core::ObjectRepository* repo) : repo_(repo) {}
+
+  Status Enter(uint32_t depth, sim::SchedPolicy policy) {
+    if (depth <= 1) return Status::OK();
+    LOR_RETURN_IF_ERROR(repo_->SetQueueDepth(depth, policy));
+    engaged_ = true;
+    return Status::OK();
+  }
+
+  /// Explicit close so the phase can observe the drained clock (and any
+  /// error) before computing its elapsed interval.
+  Status Exit() {
+    if (!engaged_) return Status::OK();
+    engaged_ = false;
+    return repo_->SetQueueDepth(1);
+  }
+
+  ~QueueDepthWindow() {
+    if (engaged_) {
+      Status s = repo_->SetQueueDepth(1);
+      (void)s;
+    }
+  }
+
+ private:
+  core::ObjectRepository* repo_;
+  bool engaged_ = false;
+};
+
+}  // namespace
+
 ShardEngine::ShardEngine(core::ObjectRepository* repo, WorkloadConfig config,
                          uint32_t shard, const core::ShardRouter* router)
     : repo_(repo),
@@ -96,6 +134,8 @@ Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
   if (!loaded_) return Status::InvalidArgument("bulk load first");
   ThroughputSample sample;
   const double t0 = repo_->now();
+  QueueDepthWindow window(repo_);
+  LOR_RETURN_IF_ERROR(window.Enter(config_.queue_depth, config_.queue_policy));
   while (age_.age() < target_age) {
     const uint64_t victim = rng_.Uniform(keys_.size());
     const uint64_t old_size = sizes_[victim];
@@ -110,6 +150,7 @@ Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
     sample.bytes += new_size;
     ++sample.operations;
   }
+  LOR_RETURN_IF_ERROR(window.Exit());  // Drain before reading the clock.
   sample.seconds = repo_->now() - t0;
   return sample;
 }
@@ -124,6 +165,8 @@ Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
   std::vector<uint8_t>* out =
       config_.materialize_reads ? &read_scratch_ : nullptr;
   const double t0 = repo_->now();
+  QueueDepthWindow window(repo_);
+  LOR_RETURN_IF_ERROR(window.Enter(config_.queue_depth, config_.queue_policy));
   for (uint64_t i = 0; i < probes; ++i) {
     const uint64_t victim = rng_.Uniform(keys_.size());
     if (config_.use_handles) {
@@ -134,6 +177,7 @@ Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
     sample.bytes += sizes_[victim];
     ++sample.operations;
   }
+  LOR_RETURN_IF_ERROR(window.Exit());  // Drain before reading the clock.
   sample.seconds = repo_->now() - t0;
   return sample;
 }

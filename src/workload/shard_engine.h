@@ -50,6 +50,14 @@ struct WorkloadConfig {
   /// across the whole phase (integrity runs on data-retaining devices).
   /// Off = timing-only probes, no payload buffer at all.
   bool materialize_reads = false;
+  /// Operations kept in flight against the repository during the aging
+  /// and read-measurement phases. 1 (the default) is the synchronous
+  /// path and reproduces every historical figure exactly; > 1 engages
+  /// the back end's submission queue for those phases (bulk load always
+  /// runs synchronously — its open-then-write pairs are dependent).
+  uint32_t queue_depth = 1;
+  /// Service order when queue_depth > 1.
+  sim::SchedPolicy queue_policy = sim::SchedPolicy::kSptf;
 };
 
 /// Throughput measured over an interval of simulated time.

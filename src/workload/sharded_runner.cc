@@ -123,6 +123,15 @@ sim::IoStats ShardedRunner::device_stats() const {
   return sim::Sum(parts);
 }
 
+sim::LatencyRecorder ShardedRunner::latency() const {
+  sim::LatencyRecorder merged;
+  for (const Shard& shard : shards_) {
+    const sim::LatencyRecorder* rec = shard.repo->latency_recorder();
+    if (rec != nullptr) merged.Merge(*rec);
+  }
+  return merged;
+}
+
 double ShardedRunner::storage_age() const {
   uint64_t churned = 0;
   uint64_t live = 0;

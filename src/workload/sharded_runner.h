@@ -67,6 +67,11 @@ class ShardedRunner {
   /// Aggregate data-volume device activity across all shards.
   sim::IoStats device_stats() const;
 
+  /// Aggregate per-op-class latency histograms: per-shard recorders
+  /// merged exactly (per-bucket sums), like device_stats. Snapshot only
+  /// at phase barriers — shard recorders are thread-confined.
+  sim::LatencyRecorder latency() const;
+
   /// Aggregate storage age: total churned bytes over total live bytes.
   double storage_age() const;
 

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/block_device.h"
 #include "sim/disk_model.h"
 #include "sim/op_cost_model.h"
+#include "sim/sim_clock.h"
 
 namespace lor {
 namespace sim {
@@ -216,13 +219,110 @@ TEST(DiskParamsTest, ToStringMentionsCapacity) {
   EXPECT_NE(s.find("7200"), std::string::npos);
 }
 
-TEST(SimClockTest, IgnoresNegativeAdvance) {
+TEST(SimClockTest, AdvanceIsMonotonic) {
+  SimClock c;
+  c.Advance(1.0);
+  c.Advance(0.0);  // Zero advance is legal and moves nothing.
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);
+  double prev = c.now();
+  for (int i = 0; i < 100; ++i) {
+    c.Advance(1e-9 * i);
+    EXPECT_GE(c.now(), prev);
+    prev = c.now();
+  }
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+#ifdef NDEBUG
+TEST(SimClockTest, NegativeAdvanceIgnoredInRelease) {
+  // Release builds compile the assert out; the clock still refuses to
+  // move backwards.
   SimClock c;
   c.Advance(1.0);
   c.Advance(-0.5);
   EXPECT_DOUBLE_EQ(c.now(), 1.0);
-  c.Reset();
-  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+#else
+TEST(SimClockDeathTest, NegativeAdvanceAssertsInDebug) {
+  SimClock c;
+  c.Advance(1.0);
+  EXPECT_DEATH(c.Advance(-0.5), "Advance");
+}
+#endif
+
+TEST(DiskModelTest, SeekCurveAtMinStroke) {
+  // An adjacent-sector seek sits at the bottom of the curve: the
+  // distance term is ~1/capacity, so the time is min_seek plus a
+  // vanishing fraction of the stroke range.
+  DiskModel m(SmallDisk());
+  const DiskParams& p = m.params();
+  const double t = m.SeekTime(0, 1);
+  EXPECT_GE(t, p.min_seek_s);
+  const double d = 1.0 / static_cast<double>(p.capacity_bytes);
+  const double expected =
+      p.min_seek_s + (p.max_seek_s - p.min_seek_s) *
+                         (p.seek_sqrt_weight * std::sqrt(d) +
+                          (1.0 - p.seek_sqrt_weight) * d);
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(DiskModelTest, SeekCurveAtMaxStroke) {
+  // A full-stroke seek (offset 0 -> capacity) is exactly max_seek:
+  // sqrt(1) and 1 both contribute their whole weight.
+  DiskModel m(SmallDisk());
+  const DiskParams& p = m.params();
+  EXPECT_NEAR(m.SeekTime(0, p.capacity_bytes), p.max_seek_s, 1e-12);
+  EXPECT_NEAR(m.SeekTime(p.capacity_bytes, 0), p.max_seek_s, 1e-12);
+}
+
+TEST(DiskModelTest, ZoneBoundaryBandwidthSteps) {
+  // Bandwidth is a step function of the zone index: constant inside a
+  // zone, strictly decreasing across each boundary, spanning the full
+  // outer..inner range.
+  DiskModel m(SmallDisk());
+  const DiskParams& p = m.params();
+  const uint64_t zone_size = p.capacity_bytes / p.num_zones;
+  EXPECT_DOUBLE_EQ(m.BandwidthAt(0), p.outer_bandwidth);
+  for (uint32_t z = 0; z < p.num_zones; ++z) {
+    const uint64_t first = static_cast<uint64_t>(z) * zone_size;
+    const uint64_t last = first + zone_size - 1;
+    EXPECT_EQ(m.ZoneOf(first), z);
+    EXPECT_EQ(m.ZoneOf(last), z);
+    EXPECT_DOUBLE_EQ(m.BandwidthAt(first), m.BandwidthAt(last));
+    if (z > 0) {
+      EXPECT_LT(m.BandwidthAt(first), m.BandwidthAt(first - 1));
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.BandwidthAt(p.capacity_bytes - 1), p.inner_bandwidth);
+}
+
+TEST(DiskModelTest, TransferSplitsExactlyAtZoneBoundary) {
+  // A transfer straddling a zone boundary is charged piecewise: the
+  // bytes before the boundary at the outer zone's bandwidth, the rest
+  // at the inner's. Compare against the hand-split sum.
+  DiskParams p = SmallDisk();
+  p.num_zones = 4;
+  DiskModel m(p);
+  const uint64_t zone_size = p.capacity_bytes / p.num_zones;
+  const uint64_t before = 3 * kKiB;
+  const uint64_t after = 5 * kKiB;
+  const uint64_t start = zone_size - before;
+  const double split = m.TransferTime(start, before + after);
+  const double expected = static_cast<double>(before) / m.BandwidthAt(start) +
+                          static_cast<double>(after) / m.BandwidthAt(zone_size);
+  EXPECT_NEAR(split, expected, 1e-15);
+}
+
+TEST(DiskModelTest, CapacityNotDivisibleByZonesClampsToLastZone) {
+  // With a capacity that is not a zone-size multiple the trailing
+  // remainder bytes still belong to the innermost zone, never to a
+  // phantom zone past num_zones.
+  DiskParams p = SmallDisk();
+  p.capacity_bytes = kGiB + 12345;
+  DiskModel m(p);
+  EXPECT_EQ(m.ZoneOf(p.capacity_bytes - 1), p.num_zones - 1);
+  EXPECT_DOUBLE_EQ(m.BandwidthAt(p.capacity_bytes - 1), p.inner_bandwidth);
 }
 
 }  // namespace

@@ -279,6 +279,120 @@ TEST(IntHistogramTest, MergeAddsCounts) {
   EXPECT_EQ(a.BucketCount(2), 1u);
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileIsExact) {
+  // Quantiles clamp to [min, max], so one sample is returned exactly at
+  // every q even though the bucket midpoint differs.
+  LatencyHistogram h;
+  h.Add(0.0123);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0123);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0123);
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.0123);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0123);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesTile) {
+  // Lower/upper bounds tile the range with no gaps, and a value equal
+  // to a bucket's lower bound indexes into that bucket.
+  for (size_t i = 1; i + 2 < LatencyHistogram::bucket_count(); ++i) {
+    const double lo = LatencyHistogram::BucketLowerBound(i);
+    const double hi = LatencyHistogram::BucketUpperBound(i);
+    EXPECT_LT(lo, hi);
+    EXPECT_DOUBLE_EQ(hi, LatencyHistogram::BucketLowerBound(i + 1));
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i);
+  }
+}
+
+TEST(LatencyHistogramTest, BoundaryValueLandsInUpperBucket) {
+  // Exactly at a boundary the sample belongs to the bucket whose lower
+  // bound it is — pinned so percentile math is reproducible.
+  const size_t idx = LatencyHistogram::bucket_count() / 2;
+  const double boundary = LatencyHistogram::BucketLowerBound(idx);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(boundary), idx);
+  // A hair below the boundary stays in the bucket below.
+  const double below = boundary * (1.0 - 1e-12);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(below), idx - 1);
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowBuckets) {
+  LatencyHistogram h;
+  h.Add(0.0);      // Below the first octave: underflow bucket.
+  h.Add(1e-12);    // Ditto.
+  h.Add(1e9);      // Past the last octave: overflow bucket.
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e9),
+            LatencyHistogram::bucket_count() - 1);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformSpread) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(1e-3 * i);  // 1 ms .. 1 s.
+  // Log buckets resolve to one part in kSubBuckets: allow ~7% slack.
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.5 / LatencyHistogram::kSubBuckets);
+  EXPECT_NEAR(h.Quantile(0.99), 0.99, 0.99 / LatencyHistogram::kSubBuckets);
+  EXPECT_GE(h.Quantile(0.999), h.Quantile(0.99));
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedAdds) {
+  LatencyHistogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    const double va = 1e-4 * i;
+    const double vb = 2e-3 * i;
+    a.Add(va);
+    b.Add(vb);
+    combined.Add(va);
+    combined.Add(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, SubtractIsolatesInterval) {
+  // Cumulative-snapshot protocol: record a prefix, snapshot, record
+  // more, then difference. The delta must see only the suffix samples.
+  LatencyHistogram cumulative;
+  for (int i = 0; i < 50; ++i) cumulative.Add(1e-3);
+  const LatencyHistogram snapshot = cumulative;
+  for (int i = 0; i < 10; ++i) cumulative.Add(1.0);
+  const LatencyHistogram delta = cumulative - snapshot;
+  EXPECT_EQ(delta.count(), 10u);
+  EXPECT_DOUBLE_EQ(delta.sum(), cumulative.sum() - snapshot.sum());
+  // All suffix samples sit in the 1 s bucket; the quantile resolves
+  // there to bucket precision.
+  EXPECT_NEAR(delta.Quantile(0.5), 1.0, 1.0 / LatencyHistogram::kSubBuckets);
+  EXPECT_NEAR(delta.Quantile(0.999), 1.0, 1.0 / LatencyHistogram::kSubBuckets);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Add(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
 TEST(TableWriterTest, AlignedText) {
   TableWriter t({"name", "value"});
   t.Row().Cell("x").Cell(uint64_t{42});
