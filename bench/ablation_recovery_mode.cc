@@ -4,6 +4,7 @@
 // authors chose the mode they did for a fair comparison with NTFS).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/db_repository.h"
 #include "bench_common.h"
@@ -30,7 +31,12 @@ void Run(const Options& options) {
     wc.sizes = workload::SizeDistribution::Constant(512 * kKiB);
     workload::GetPutRunner runner(&repo, wc);
     auto load = runner.BulkLoad();
-    if (!load.ok()) continue;
+    if (!load.ok()) {
+      std::fprintf(stderr, "ablation_recovery_mode: bulk load (%s) failed: %s\n",
+                   bulk_logged ? "bulk-logged" : "fully logged",
+                   load.status().ToString().c_str());
+      std::exit(1);
+    }
     auto aged = runner.AgeTo(2.0);
     const auto& stats = repo.blob_store()->stats();
     table.Row()

@@ -1,0 +1,116 @@
+// Figure 8 (extension) — crash-recovery time and data-loss window.
+// The paper's §3.1 fault-injection methodology (pull the plug mid-
+// workload, remount, verify) applied to both back ends: seeded power
+// cuts on the device plane, journal/log replay at mount, repository
+// fsck, and an oracle check that nothing acknowledged was lost. Rows
+// sweep volume age and the commit-hardening mode each back end trades
+// durability against throughput with (NTFS lazy-commit journal
+// batching; SQL Server bulk-logged vs fully-logged BLOB writes).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "util/table_writer.h"
+#include "workload/crash_torture.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+void Run(const Options& options) {
+  PrintBanner("Fig 8: recovery time and data-loss window after power cuts",
+              "Section 3.1 (fault injection), Section 4 (recovery modes)",
+              options);
+
+  struct Cell {
+    workload::CrashBackend backend;
+    bool hardened;  // FS: per-op journal charges; DB: fully logged.
+    uint64_t aging_rounds;
+  };
+  std::vector<Cell> cells;
+  for (auto backend : {workload::CrashBackend::kFilesystem,
+                       workload::CrashBackend::kDatabase}) {
+    for (bool hardened : {false, true}) {
+      for (uint64_t age : {uint64_t{0}, uint64_t{4}}) {
+        cells.push_back({backend, hardened, age});
+      }
+    }
+  }
+
+  TableWriter table({"back end", "commit mode", "age rounds", "cuts",
+                     "mean recovery seconds", "max recovery seconds",
+                     "acked ops lost", "rolled-back MB"});
+  for (const Cell& cell : cells) {
+    workload::CrashTortureOptions torture;
+    torture.backend = cell.backend;
+    torture.volume_bytes = options.ScaleBytes(2 * kGiB);
+    torture.object_bytes = 256 * kKiB;
+    torture.objects = 64;
+    torture.cuts = 12;
+    torture.aging_rounds = cell.aging_rounds;
+    torture.queue_depth = std::max<uint32_t>(options.queue_depth, 1);
+    torture.batch_journal_charges = !cell.hardened;
+    torture.bulk_logged = !cell.hardened;
+    // Metadata-only keeps the sweep cheap; existence and sizes still
+    // verify against the oracle (the byte-level hash check runs in the
+    // crash-torture test suite).
+    torture.data_mode = sim::DataMode::kMetadataOnly;
+    torture.seed = options.seed;
+
+    workload::CrashTortureRunner runner(torture);
+    auto summary = runner.Run();
+    const bool fs = cell.backend == workload::CrashBackend::kFilesystem;
+    if (!summary.ok()) {
+      std::fprintf(stderr, "fig8 cell (%s) failed: %s\n",
+                   fs ? "filesystem" : "database",
+                   summary.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (summary->committed_lost != 0 || summary->torn_surfaced != 0 ||
+        summary->fsck_dirty_cuts != 0) {
+      std::fprintf(stderr,
+                   "fig8 consistency violation: lost=%llu torn=%llu "
+                   "dirty=%llu\n",
+                   static_cast<unsigned long long>(summary->committed_lost),
+                   static_cast<unsigned long long>(summary->torn_surfaced),
+                   static_cast<unsigned long long>(summary->fsck_dirty_cuts));
+      std::exit(1);
+    }
+    table.Row()
+        .Cell(fs ? "filesystem" : "database")
+        .Cell(fs ? (cell.hardened ? "per-op journal" : "batched journal")
+                 : (cell.hardened ? "fully logged" : "bulk-logged"))
+        .Cell(static_cast<double>(cell.aging_rounds), 0)
+        .Cell(static_cast<double>(summary->cuts_executed), 0)
+        .Cell(summary->total_recovery_seconds /
+                  static_cast<double>(summary->cuts_executed),
+              4)
+        .Cell(summary->max_recovery_seconds, 4)
+        .Cell(static_cast<double>(summary->acked_rolled_back), 0)
+        .Cell(static_cast<double>(summary->data_loss_bytes) /
+                  static_cast<double>(kMiB),
+              2);
+  }
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf(
+      "\nShape check: every cut remounts and passes fsck with zero acked\n"
+      "objects lost. Hardened commit modes shrink the loss window the\n"
+      "lazy modes leave open; recovery time grows with volume age as the\n"
+      "replay scan covers more metadata.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+  return 0;
+}

@@ -83,6 +83,20 @@ class DbRepository : public ObjectRepository {
   Status CheckConsistency() const override;
   std::string name() const override { return "database"; }
 
+  /// Checkpoint + log-tail replay against the attached
+  /// sim::FaultInjector's durability verdicts (db::BlobStore::Recover).
+  /// When the injector tripped, the data scheduler's dead queue is
+  /// abandoned and both volumes' head positions invalidated first, so
+  /// calling Mount right after MaterializeCrash is the whole restart.
+  Result<MountReport> Mount() override;
+
+  /// Adds to the base verifier: payload FNV-1a checks under
+  /// DataMode::kRetain (kTornPayload / kLostObject), and exact page
+  /// accounting of live layouts against the LOB allocation unit
+  /// (kLeakedExtent / kDoubleAllocated). Not meaningful while a crash
+  /// window is armed — held pre-images look like leaks.
+  Result<FsckReport> Fsck() override;
+
   // Submission/completion pipeline. The scheduler fronts the data
   // volume only: the log stays a strictly-ordered synchronous append
   // stream (bulk-logged commits are tiny and serialized by the engine),
@@ -97,6 +111,8 @@ class DbRepository : public ObjectRepository {
 
   db::BlobStore* blob_store() { return store_.get(); }
   sim::BlockDevice* data_device() { return data_device_.get(); }
+  /// Null when the configuration disables the dedicated log volume.
+  sim::BlockDevice* log_device() { return log_device_.get(); }
   sim::IoScheduler* io_scheduler() { return scheduler_.get(); }
   const DbRepositoryConfig& config() const { return config_; }
 

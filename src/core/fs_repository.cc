@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/fault_injector.h"
+#include "util/fnv.h"
+
 namespace lor {
 namespace core {
 
@@ -246,6 +249,79 @@ sim::IoStats FsRepository::device_stats() const { return device_->stats(); }
 
 Status FsRepository::CheckConsistency() const {
   return store_->CheckConsistency();
+}
+
+Result<MountReport> FsRepository::Mount() {
+  const double t0 = device_->clock().now();
+  const sim::FaultInjector* injector = device_->fault_injector();
+  if (injector != nullptr && injector->tripped()) {
+    // The submission queue died with the power: its uncharged work
+    // never happened, and the head position is unknown after restart.
+    scheduler_->Abandon();
+    device_->NotePowerCycle();
+  }
+  LOR_ASSIGN_OR_RETURN(fs::RecoveryStats rs, store_->Recover(IsTempName));
+  MountReport report;
+  report.entries_scanned = rs.entries_scanned;
+  report.ops_redone = rs.ops_redone;
+  report.ops_rolled_back = rs.ops_rolled_back;
+  report.orphan_temps_discarded = rs.orphan_temps_discarded;
+  report.data_loss_bytes = rs.data_loss_bytes;
+  report.recovery_seconds = device_->clock().now() - t0;
+  return report;
+}
+
+Result<FsckReport> FsRepository::Fsck() {
+  LOR_ASSIGN_OR_RETURN(FsckReport report, ObjectRepository::Fsck());
+  // Typed allocator accounting: every data-zone cluster is owned by a
+  // live file, an index buffer, or the allocator (free or deferred).
+  uint64_t owned = store_->index_buffer_clusters();
+  store_->VisitFiles([&](const std::string&, const fs::FileInfo& info) {
+    owned += info.allocated_clusters;
+  });
+  const uint64_t data_zone =
+      store_->total_clusters() - store_->mft_clusters();
+  const uint64_t unused = store_->allocator()->total_unused_clusters();
+  if (owned + unused < data_zone) {
+    report.issues.push_back(
+        {FsckIssue::Kind::kLeakedExtent,
+         std::to_string(data_zone - owned - unused) +
+             " clusters owned by no live object"});
+  } else if (owned + unused > data_zone) {
+    report.issues.push_back(
+        {FsckIssue::Kind::kDoubleAllocated,
+         std::to_string(owned + unused - data_zone) +
+             " clusters claimed twice (object vs free space)"});
+  }
+  // Payload verification (only possible when the device retains bytes):
+  // re-read every hashed file and check its streamed FNV-1a. Orphan
+  // temps should not have survived recovery.
+  const bool retain = device_->data_mode() == sim::DataMode::kRetain;
+  std::vector<std::pair<std::string, uint64_t>> hashed;
+  store_->VisitFiles([&](const std::string& name, const fs::FileInfo& info) {
+    if (IsTempName(name)) {
+      report.issues.push_back({FsckIssue::Kind::kOrphanTemp, name});
+    }
+    if (retain && info.hash_valid && info.size_bytes > 0) {
+      hashed.emplace_back(name, info.payload_hash);
+    }
+  });
+  std::vector<uint8_t> payload;
+  for (const auto& [name, expected] : hashed) {
+    payload.clear();
+    const Status s = store_->ReadAll(name, &payload);
+    if (!s.ok()) {
+      report.issues.push_back(
+          {FsckIssue::Kind::kLostObject, name + ": " + s.ToString()});
+      continue;
+    }
+    ++report.payloads_hashed;
+    if (Fnv(payload) != expected) {
+      report.issues.push_back(
+          {FsckIssue::Kind::kTornPayload, "payload hash mismatch: " + name});
+    }
+  }
+  return report;
 }
 
 }  // namespace core

@@ -97,6 +97,22 @@ class FsRepository : public ObjectRepository {
   Status CheckConsistency() const override;
   std::string name() const override { return "filesystem"; }
 
+  /// Journal recovery against the attached sim::FaultInjector's
+  /// durability verdicts (fs::FileStore::Recover). When the injector
+  /// tripped, the scheduler's dead queue is abandoned and the head
+  /// position invalidated first, so calling Mount right after
+  /// MaterializeCrash is the whole restart sequence. Recovery I/O is
+  /// charged synchronously; recovery_seconds is the simulated elapsed
+  /// time.
+  Result<MountReport> Mount() override;
+
+  /// Adds to the base verifier: payload FNV-1a checks under
+  /// DataMode::kRetain (kTornPayload / kLostObject), typed allocator
+  /// accounting (kLeakedExtent / kDoubleAllocated), and an orphan
+  /// safe-write-temp scan (kOrphanTemp). Not meaningful while a crash
+  /// window is armed (rollback holds look like leaks).
+  Result<FsckReport> Fsck() override;
+
   // Submission/completion pipeline.
   Status SetQueueDepth(
       uint32_t depth,
@@ -122,6 +138,12 @@ class FsRepository : public ObjectRepository {
   /// Fresh safe-write temp name (counter keeps names collision-free
   /// against user keys and leftover temps).
   std::string NextTempName(const std::string& key);
+
+  /// True for names NextTempName could have produced (Mount's orphan
+  /// sweep and Fsck's orphan scan).
+  static bool IsTempName(const std::string& name) {
+    return name.find(".tmp") != std::string::npos;
+  }
 
   /// Converts a byte-extent layout from cluster extents.
   Result<alloc::ExtentList> ScaleExtents(

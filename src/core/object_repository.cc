@@ -1,5 +1,9 @@
 #include "core/object_repository.h"
 
+#include <algorithm>
+
+#include "core/fragmentation.h"
+
 namespace lor {
 namespace core {
 
@@ -48,6 +52,53 @@ Status ObjectRepository::SetQueueDepth(uint32_t depth,
 }
 
 Status ObjectRepository::DrainIo() { return Status::OK(); }
+
+Result<MountReport> ObjectRepository::Mount() { return MountReport{}; }
+
+Result<FsckReport> ObjectRepository::Fsck() {
+  FsckReport report;
+  // Extent cross-check: no byte may belong to two objects. Works purely
+  // through the name-routed introspection surface, so wrappers that
+  // forward VisitObjects get a working verifier for free.
+  std::vector<alloc::Extent> all;
+  VisitObjects([&](const std::string&, const alloc::ExtentList& layout,
+                   uint64_t) {
+    ++report.objects_checked;
+    all.insert(all.end(), layout.begin(), layout.end());
+  });
+  std::sort(all.begin(), all.end(),
+            [](const alloc::Extent& a, const alloc::Extent& b) {
+              return a.start < b.start;
+            });
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].start < all[i - 1].end()) {
+      report.issues.push_back(
+          {FsckIssue::Kind::kDoubleAllocated,
+           "overlapping object extents at byte " +
+               std::to_string(all[i].start)});
+    }
+  }
+  // Tracker vs. full scan: the incrementally maintained counts must
+  // match a from-scratch walk of every layout.
+  if (const FragmentationTracker* tracker = fragmentation_tracker()) {
+    const FragmentationReport scan = AnalyzeFragmentationFullScan(*this);
+    const FragmentationReport snap = tracker->Snapshot();
+    if (snap.objects != scan.objects ||
+        snap.fragments_per_object != scan.fragments_per_object ||
+        snap.max_fragments != scan.max_fragments) {
+      report.issues.push_back(
+          {FsckIssue::Kind::kAccounting,
+           "fragmentation tracker diverges from full scan"});
+    }
+  }
+  // Structural invariants (allocator accounting, shared clusters).
+  const Status consistency = CheckConsistency();
+  if (!consistency.ok()) {
+    report.issues.push_back(
+        {FsckIssue::Kind::kAccounting, consistency.ToString()});
+  }
+  return report;
+}
 
 Result<ObjectHandle> ObjectRepository::Open(const std::string& key) {
   if (!Exists(key)) return Status::NotFound("no object: " + key);

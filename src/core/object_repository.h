@@ -36,6 +36,51 @@ namespace core {
 
 class FragmentationTracker;
 
+/// What mount-time crash recovery found and did (see
+/// ObjectRepository::Mount). Back ends without a recovery path return
+/// an all-zeros report.
+struct MountReport {
+  /// Journal/log records scanned during replay.
+  uint64_t entries_scanned = 0;
+  /// Committed operations re-applied (journal redo / log-tail replay).
+  uint64_t ops_redone = 0;
+  /// Operations rolled back: uncommitted at the cut, or committed with
+  /// bulk-logged payload pages that missed the platter.
+  uint64_t ops_rolled_back = 0;
+  /// Safe-write temps discarded by the orphan sweep.
+  uint64_t orphan_temps_discarded = 0;
+  /// Objects with a committed version that could not be recovered.
+  uint64_t lost_objects = 0;
+  /// Payload bytes of acknowledged operations whose effects were rolled
+  /// back — the data-loss window.
+  uint64_t data_loss_bytes = 0;
+  /// Simulated seconds the recovery I/O and CPU charged.
+  double recovery_seconds = 0.0;
+};
+
+/// One verifier finding (see ObjectRepository::Fsck).
+struct FsckIssue {
+  enum class Kind : uint8_t {
+    kLostObject,       ///< Metadata references an object that is gone.
+    kTornPayload,      ///< Stored bytes fail the recorded payload hash.
+    kLeakedExtent,     ///< Allocated space owned by no live object.
+    kDoubleAllocated,  ///< One run claimed by two owners (or marked free).
+    kOrphanTemp,       ///< Safe-write temp that survived recovery.
+    kAccounting,       ///< Tracker/stats/consistency cross-check failed.
+  };
+  Kind kind = Kind::kAccounting;
+  std::string detail;
+};
+
+/// Full verifier result: every issue found, most severe first not
+/// guaranteed — callers filter by Kind.
+struct FsckReport {
+  std::vector<FsckIssue> issues;
+  uint64_t objects_checked = 0;
+  uint64_t payloads_hashed = 0;
+  bool clean() const { return issues.empty(); }
+};
+
 /// Abstract get/put large-object repository.
 class ObjectRepository {
  public:
@@ -158,6 +203,26 @@ class ObjectRepository {
   virtual const sim::LatencyRecorder* latency_recorder() const {
     return nullptr;
   }
+
+  // -- Crash recovery & verification ------------------------------------
+
+  /// Mount-time recovery: replays the back end's journal/log against
+  /// the post-crash volume state, rolling back whatever did not commit,
+  /// and charges realistic recovery I/O so the report's
+  /// recovery_seconds is a simulated metric. The default (wrapper back
+  /// ends, stores without a crash model) recovers nothing and returns
+  /// an empty report.
+  virtual Result<MountReport> Mount();
+
+  /// Full-volume verifier: cross-checks every object's payload hash,
+  /// extent layout vs. allocator state, and the FragmentationTracker
+  /// vs. a full scan, reporting a typed corruption taxonomy. Never
+  /// fails just because the volume is corrupt — corruption is the
+  /// report's payload; a Status error means the verifier itself could
+  /// not run. The default implementation is name-routed (VisitObjects +
+  /// GetLayout + CheckConsistency only), so RecordingRepository-style
+  /// wrappers keep working.
+  virtual Result<FsckReport> Fsck();
 
   /// Structural invariants (no shared clusters/extents, accounting).
   virtual Status CheckConsistency() const = 0;

@@ -42,6 +42,11 @@ struct BlobLayout {
   /// Pointer (tree) pages, bottom-up then root last. Empty for single-
   /// page blobs, whose root is the lone data page.
   std::vector<uint64_t> pointer_pages;
+  /// FNV-1a of the payload recorded at write time (host-side state for
+  /// the crash-consistency fsck; charges nothing). Valid only when the
+  /// blob was written with real bytes (DataMode::kRetain workloads).
+  uint64_t payload_hash = 0;
+  bool hash_valid = false;
 
   uint64_t data_page_count() const { return TotalLength(data_runs); }
   uint64_t root_page() const {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/fault_injector.h"
+#include "util/fnv.h"
+
 namespace lor {
 namespace db {
 
@@ -20,13 +23,14 @@ BlobStore::BlobStore(sim::BlockDevice* data_device,
                                               options_.ops_per_checkpoint);
 }
 
-void BlobStore::LogCommit(uint64_t payload_bytes) {
+uint64_t BlobStore::LogCommit(uint64_t payload_bytes) {
   const uint64_t record =
       kCommitRecordBytes + (options_.bulk_logged ? 0 : payload_bytes);
   ++stats_.log_records;
   stats_.log_bytes += record;
+  if (CrashArmed()) window_log_bytes_ += record;
   data_device_->ChargeCpu(options_.costs.db_commit_s);
-  if (log_device_ == nullptr) return;
+  if (log_device_ == nullptr) return 0;
   if (log_cursor_ + record > log_device_->capacity()) log_cursor_ = 0;
   // The transaction blocks until the log write completes, so the log
   // device's time is charged to the session clock as well.
@@ -35,6 +39,16 @@ void BlobStore::LogCommit(uint64_t payload_bytes) {
   (void)s;
   log_cursor_ += record;
   data_device_->ChargeCpu(log_device_->clock().now() - t0);
+  // The log device has no scheduler, so the commit record is serviced
+  // at submission: its sequence number decides commit durability.
+  const sim::FaultInjector* injector = log_device_->fault_injector();
+  return (injector != nullptr && injector->armed()) ? injector->last_seq()
+                                                    : 0;
+}
+
+bool BlobStore::CrashArmed() const {
+  const sim::FaultInjector* injector = data_device_->fault_injector();
+  return injector != nullptr && injector->armed();
 }
 
 // -- Handle table ------------------------------------------------------
@@ -181,10 +195,18 @@ Status BlobStore::Put(const std::string& key, uint64_t size,
 
 Status BlobStore::PutResolved(const std::string& key, uint64_t size,
                               std::span<const uint8_t> data) {
+  const sim::FaultInjector* injector = data_device_->fault_injector();
+  const bool armed = injector != nullptr && injector->armed();
+  const uint64_t seq_before = armed ? injector->last_seq() : 0;
   auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
                                  options_.write_request_bytes,
                                  options_.costs);
   if (!layout.ok()) return layout.status();
+  const uint64_t seq_after = armed ? injector->last_seq() : 0;
+  if (!data.empty()) {
+    layout->payload_hash = Fnv(data);
+    layout->hash_valid = true;
+  }
 
   ObjectRow row;
   row.key = key;
@@ -200,7 +222,21 @@ Status BlobStore::PutResolved(const std::string& key, uint64_t size,
   tracker_.Add(layout->Fragments(), size);
   auto it = layouts_.emplace(key, std::move(*layout)).first;
   BindHandles(key, &it->second, &row);
-  LogCommit(size);
+  const uint64_t commit_seq = LogCommit(size);
+  if (armed) {
+    BlobRecoveryEntry entry;
+    entry.kind = BlobRecoveryEntry::Kind::kPut;
+    entry.key = key;
+    entry.new_root_page = it->second.root_page();
+    entry.new_bytes = size;
+    entry.data_seq_lo = seq_after > seq_before ? seq_before + 1 : 0;
+    entry.data_seq_hi = seq_after;
+    entry.commit_seq = commit_seq;
+    if (!options_.bulk_logged && !data.empty()) {
+      entry.payload.assign(data.begin(), data.end());
+    }
+    recovery_log_.push_back(std::move(entry));
+  }
   ++stats_.puts;
   ++stats_.object_count;
   stats_.live_bytes += size;
@@ -226,10 +262,18 @@ Status BlobStore::Replace(const std::string& key, uint64_t size,
 Status BlobStore::ReplaceResolved(const std::string& key,
                                   OpenBlobEntry* entry, uint64_t size,
                                   std::span<const uint8_t> data) {
+  const sim::FaultInjector* injector = data_device_->fault_injector();
+  const bool armed = injector != nullptr && injector->armed();
+  const uint64_t seq_before = armed ? injector->last_seq() : 0;
   auto layout = BlobBtree::Write(&page_file_, &lob_unit_, size, data,
                                  options_.write_request_bytes,
                                  options_.costs);
   if (!layout.ok()) return layout.status();
+  const uint64_t seq_after = armed ? injector->last_seq() : 0;
+  if (!data.empty()) {
+    layout->payload_hash = Fnv(data);
+    layout->hash_valid = true;
+  }
 
   ObjectRow row;
   row.key = key;
@@ -239,16 +283,37 @@ Status BlobStore::ReplaceResolved(const std::string& key,
   LOR_RETURN_IF_ERROR(metadata_->UpdateAt(&entry->row_cursor, row));
 
   // The old pages become reusable once the ghost-cleanup delay elapses.
+  // While a crash window is armed they are held instead (kept allocated
+  // in the recovery-log entry), so rollback can reinstate the old blob
+  // without any page machinery.
   BlobLayout* target = entry->layout;
   const uint64_t old_size = target->data_bytes;
   const uint64_t old_fragments = target->Fragments();
-  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, *target));
+  BlobRecoveryEntry rec;
+  if (armed) {
+    rec.kind = BlobRecoveryEntry::Kind::kReplace;
+    rec.key = key;
+    rec.old_layout = *target;
+    rec.new_bytes = size;
+    rec.data_seq_lo = seq_after > seq_before ? seq_before + 1 : 0;
+    rec.data_seq_hi = seq_after;
+    if (!options_.bulk_logged && !data.empty()) {
+      rec.payload.assign(data.begin(), data.end());
+    }
+  } else {
+    LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, *target));
+  }
   tracker_.Update(old_fragments, old_size, layout->Fragments(), size);
   *target = std::move(*layout);
   // Every open handle on the key (this one included) restarts its
   // positioned reads against the fresh layout and sees the new row.
   BindHandles(key, target, &row);
-  LogCommit(size);
+  const uint64_t commit_seq = LogCommit(size);
+  if (armed) {
+    rec.new_root_page = target->root_page();
+    rec.commit_seq = commit_seq;
+    recovery_log_.push_back(std::move(rec));
+  }
   ++stats_.replaces;
   stats_.live_bytes += size;
   stats_.live_bytes -= old_size;
@@ -281,13 +346,26 @@ Status BlobStore::Delete(const std::string& key) {
 Status BlobStore::DeleteResolved(
     std::unordered_map<std::string, BlobLayout>::iterator it) {
   const std::string& key = it->first;
+  const bool armed = CrashArmed();
   LOR_RETURN_IF_ERROR(metadata_->Delete(key));
-  LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  BlobRecoveryEntry rec;
+  if (armed) {
+    // Hold the pages: an uncommitted delete resurrects the blob intact.
+    rec.kind = BlobRecoveryEntry::Kind::kDelete;
+    rec.key = key;
+    rec.old_layout = it->second;
+  } else {
+    LOR_RETURN_IF_ERROR(BlobBtree::Free(&lob_unit_, it->second));
+  }
   stats_.live_bytes -= it->second.data_bytes;
   tracker_.Remove(it->second.Fragments(), it->second.data_bytes);
   InvalidateHandles(key);
   layouts_.erase(it);
-  LogCommit(0);
+  const uint64_t commit_seq = LogCommit(0);
+  if (armed) {
+    rec.commit_seq = commit_seq;
+    recovery_log_.push_back(std::move(rec));
+  }
   ++stats_.deletes;
   --stats_.object_count;
   if (++deletes_since_purge_ >= options_.deletes_per_ghost_purge) {
@@ -324,6 +402,10 @@ void BlobStore::VisitBlobs(
 }
 
 Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
+  if (CrashArmed()) {
+    return Status::InvalidArgument(
+        "table rebuild inside an armed crash window is not supported");
+  }
   RebuildReport report;
   const double t0 = data_device_->clock().now();
   const std::vector<std::string> keys = ListKeys();
@@ -359,6 +441,10 @@ Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
                                     options_.write_request_bytes,
                                     options_.costs);
       if (!fresh.ok()) return fresh.status();
+      // The copy carries the original bytes, so the recorded hash moves
+      // with it.
+      fresh->payload_hash = it->second.payload_hash;
+      fresh->hash_valid = it->second.hash_valid;
       ObjectRow row;
       row.key = key;
       row.blob_ref = fresh->root_page();
@@ -434,6 +520,215 @@ Status BlobStore::CheckConsistency() const {
   }
   LOR_RETURN_IF_ERROR(lob_unit_.CheckConsistency());
   return metadata_->CheckConsistency();
+}
+
+// -- Crash recovery ----------------------------------------------------
+
+void BlobStore::UndoEntry(const BlobRecoveryEntry& entry,
+                          BlobRecoveryStats* stats) {
+  switch (entry.kind) {
+    case BlobRecoveryEntry::Kind::kPut: {
+      auto it = layouts_.find(entry.key);
+      if (it == layouts_.end()) return;
+      stats->data_loss_bytes += it->second.data_bytes;
+      stats_.live_bytes -= it->second.data_bytes;
+      tracker_.Remove(it->second.Fragments(), it->second.data_bytes);
+      Status freed = BlobBtree::Free(&lob_unit_, it->second);
+      (void)freed;
+      Status dropped = metadata_->Delete(entry.key);
+      (void)dropped;
+      InvalidateHandles(entry.key);
+      layouts_.erase(it);
+      --stats_.object_count;
+      break;
+    }
+    case BlobRecoveryEntry::Kind::kReplace: {
+      auto it = layouts_.find(entry.key);
+      if (it == layouts_.end()) return;
+      BlobLayout* target = &it->second;
+      stats->data_loss_bytes += target->data_bytes;
+      stats_.live_bytes += entry.old_layout.data_bytes;
+      stats_.live_bytes -= target->data_bytes;
+      tracker_.Update(target->Fragments(), target->data_bytes,
+                      entry.old_layout.Fragments(),
+                      entry.old_layout.data_bytes);
+      Status freed = BlobBtree::Free(&lob_unit_, *target);
+      (void)freed;
+      // The old pages were held through the window, so reinstating the
+      // blob is pointer surgery.
+      *target = entry.old_layout;
+      ObjectRow row;
+      row.key = entry.key;
+      row.blob_ref = target->root_page();
+      row.size_bytes = target->data_bytes;
+      row.version = next_version_++;
+      Status repointed = metadata_->Update(row);
+      (void)repointed;
+      InvalidateHandles(entry.key);
+      break;
+    }
+    case BlobRecoveryEntry::Kind::kDelete: {
+      ObjectRow row;
+      row.key = entry.key;
+      row.blob_ref = entry.old_layout.root_page();
+      row.size_bytes = entry.old_layout.data_bytes;
+      row.version = next_version_++;
+      // The delete left a ghost; Insert resurrects it in place (or
+      // re-inserts if the ghost was purged meanwhile).
+      Status resurrected = metadata_->Insert(row);
+      (void)resurrected;
+      tracker_.Add(entry.old_layout.Fragments(),
+                   entry.old_layout.data_bytes);
+      stats_.live_bytes += entry.old_layout.data_bytes;
+      layouts_.emplace(entry.key, entry.old_layout);
+      ++stats_.object_count;
+      break;
+    }
+  }
+}
+
+Result<BlobRecoveryStats> BlobStore::Recover() {
+  BlobRecoveryStats rs;
+  rs.entries_scanned = recovery_log_.size();
+  const sim::FaultInjector* injector = data_device_->fault_injector();
+
+  // Analysis pass: re-read the metadata checkpoint pages, then the log
+  // tail written since the window opened (the restart blocks on the log
+  // device, so its time lands on the session clock like commits do).
+  const MetadataTableStats ms = metadata_->stats();
+  const uint64_t checkpoint_bytes =
+      (ms.leaf_pages + ms.internal_pages) * page_file_.page_bytes();
+  if (checkpoint_bytes > 0) {
+    Status s = data_device_->Read(
+        0, std::min(checkpoint_bytes, data_device_->capacity()));
+    (void)s;
+  }
+  if (log_device_ != nullptr && window_log_bytes_ > 0) {
+    const uint64_t tail = std::min(window_log_bytes_, log_device_->capacity());
+    const uint64_t tail_start = log_cursor_ >= tail ? log_cursor_ - tail : 0;
+    const double t0 = log_device_->clock().now();
+    Status s = log_device_->Read(tail_start, tail);
+    (void)s;
+    data_device_->ChargeCpu(log_device_->clock().now() - t0);
+  }
+
+  // Commit prefix: the log is sequential, so the first commit record
+  // that missed the cut truncates it — everything after is uncommitted
+  // regardless of its own fate.
+  auto durable = [injector](uint64_t seq) {
+    return injector == nullptr || injector->IsDurable(seq);
+  };
+  size_t committed = 0;
+  while (committed < recovery_log_.size() &&
+         durable(recovery_log_[committed].commit_seq)) {
+    ++committed;
+  }
+
+  // Forward redo pass over the committed prefix: one root-page read per
+  // blob write (the page-LSN check a real redo performs), classifying
+  // committed entries whose data pages missed the cut.
+  std::vector<bool> torn(committed, false);
+  for (size_t i = 0; i < committed; ++i) {
+    const BlobRecoveryEntry& entry = recovery_log_[i];
+    data_device_->ChargeCpu(options_.costs.db_query_s);
+    if (entry.kind == BlobRecoveryEntry::Kind::kDelete) continue;
+    Status s =
+        data_device_->Read(entry.new_root_page * page_file_.page_bytes(),
+                           page_file_.page_bytes());
+    (void)s;
+    if (injector != nullptr &&
+        !injector->RangeDurable(entry.data_seq_lo, entry.data_seq_hi)) {
+      torn[i] = true;
+    }
+  }
+
+  // Frees the pre-image a replace/delete held through the window (the
+  // deferred ghost-cleanup of a surviving committed entry).
+  auto release_held = [this](const BlobRecoveryEntry& entry) {
+    if (entry.kind == BlobRecoveryEntry::Kind::kPut) return;
+    Status s = BlobBtree::Free(&lob_unit_, entry.old_layout);
+    (void)s;
+  };
+
+  // Resolution in reverse (strict LIFO keeps chained operations on one
+  // key coherent): undo the uncommitted suffix; in bulk-logged mode
+  // roll back committed entries with lost data pages — the paper's
+  // data-loss window — while fully-logged mode redoes them from the
+  // log; release held pre-images of everything that survives.
+  for (size_t i = recovery_log_.size(); i-- > 0;) {
+    const BlobRecoveryEntry& entry = recovery_log_[i];
+    if (i >= committed) {
+      UndoEntry(entry, &rs);
+      ++rs.ops_rolled_back;
+      continue;
+    }
+    if (torn[i]) {
+      auto it = layouts_.find(entry.key);
+      const bool current = it != layouts_.end() &&
+                           it->second.root_page() == entry.new_root_page;
+      if (!current) {
+        // A later committed write of the key superseded the torn image;
+        // nothing reachable was lost.
+        release_held(entry);
+        ++rs.ops_redone;
+        continue;
+      }
+      if (!options_.bulk_logged) {
+        // Fully logged: the payload rode the commit record into the
+        // log, so redo rewrites the blob from that image (the torn
+        // on-disk copy is discarded, same as a rebuild copy).
+        const BlobLayout stale = it->second;
+        auto fresh = BlobBtree::Write(&page_file_, &lob_unit_,
+                                      stale.data_bytes, entry.payload,
+                                      options_.write_request_bytes,
+                                      options_.costs);
+        if (fresh.ok()) {
+          if (!entry.payload.empty()) {
+            fresh->payload_hash = Fnv(entry.payload);
+            fresh->hash_valid = true;
+          }
+          ObjectRow row;
+          row.key = entry.key;
+          row.blob_ref = fresh->root_page();
+          row.size_bytes = fresh->data_bytes;
+          row.version = next_version_++;
+          Status repointed = metadata_->Update(row);
+          (void)repointed;
+          tracker_.Update(stale.Fragments(), stale.data_bytes,
+                          fresh->Fragments(), fresh->data_bytes);
+          Status freed = BlobBtree::Free(&lob_unit_, stale);
+          (void)freed;
+          it->second = std::move(*fresh);
+          InvalidateHandles(entry.key);
+        }
+        release_held(entry);
+        ++rs.ops_redone;
+        continue;
+      }
+      ++rs.torn_rolled_back;
+      if (entry.kind == BlobRecoveryEntry::Kind::kPut) ++rs.lost_objects;
+      UndoEntry(entry, &rs);
+      continue;
+    }
+    ++rs.ops_redone;
+    release_held(entry);
+  }
+
+  recovery_log_.clear();
+  window_log_bytes_ = 0;
+  // The completion record that ends crash recovery.
+  LogCommit(0);
+  return rs;
+}
+
+void BlobStore::EndCrashWindow() {
+  for (const BlobRecoveryEntry& entry : recovery_log_) {
+    if (entry.kind == BlobRecoveryEntry::Kind::kPut) continue;
+    Status s = BlobBtree::Free(&lob_unit_, entry.old_layout);
+    (void)s;
+  }
+  recovery_log_.clear();
+  window_log_bytes_ = 0;
 }
 
 }  // namespace db

@@ -64,6 +64,59 @@ struct BlobStoreOptions {
   uint32_t deletes_per_ghost_purge = 512;
 };
 
+/// One armed-window intent in the engine's host-side recovery log.
+/// While a sim::FaultInjector window is armed, every mutating operation
+/// records an entry stamped with the injector sequence numbers of its
+/// data-page writes and of its commit record; mount-time recovery
+/// replays the log against the injector's durability verdicts.
+struct BlobRecoveryEntry {
+  enum class Kind : uint8_t { kPut, kReplace, kDelete };
+  Kind kind = Kind::kPut;
+  std::string key;
+  /// Pre-image for rollback (kReplace/kDelete). The old pages stay
+  /// allocated while the window is armed ("held"), so restoring the
+  /// layout is pointer surgery, never page I/O.
+  BlobLayout old_layout;
+  /// Root page and size of the blob this entry wrote (kPut/kReplace);
+  /// lets recovery tell whether the entry's effect is still current or
+  /// was superseded by a later committed write of the same key.
+  uint64_t new_root_page = 0;
+  uint64_t new_bytes = 0;
+  /// Injector sequence range of the new blob's data-page writes; in
+  /// bulk-logged mode these are not redoable from the log, so a
+  /// committed entry whose range is not fully durable is the paper's
+  /// data-loss window. lo == 0 means no device writes (vacuous).
+  uint64_t data_seq_lo = 0;
+  uint64_t data_seq_hi = 0;
+  /// Sequence of the commit record on the log device (0 = vacuously
+  /// durable: no log device attached).
+  uint64_t commit_seq = 0;
+  /// Fully-logged mode only: the payload image that rode the commit
+  /// record into the log, from which redo rewrites torn data pages.
+  /// Empty in bulk-logged mode (that asymmetry IS the loss window) and
+  /// in metadata-only simulations.
+  std::vector<uint8_t> payload;
+};
+
+/// What BlobStore::Recover did.
+struct BlobRecoveryStats {
+  uint64_t entries_scanned = 0;
+  /// Committed entries whose effects survived (redo verified).
+  uint64_t ops_redone = 0;
+  /// Uncommitted entries undone.
+  uint64_t ops_rolled_back = 0;
+  /// Committed entries rolled back because their bulk-logged data pages
+  /// missed the cut (the data-loss window); fully-logged mode redoes
+  /// these from the log instead.
+  uint64_t torn_rolled_back = 0;
+  /// Acked objects that no longer exist at all after recovery
+  /// (committed puts whose data pages were lost in bulk-logged mode).
+  uint64_t lost_objects = 0;
+  /// Payload bytes whose newest image did not survive recovery
+  /// (uncommitted atomic aborts plus the bulk-logged torn window).
+  uint64_t data_loss_bytes = 0;
+};
+
 /// Engine-level counters.
 struct BlobStoreStats {
   uint64_t object_count = 0;
@@ -192,6 +245,26 @@ class BlobStore {
   /// in the GAM, metadata rows and layouts agree.
   Status CheckConsistency() const;
 
+  // -- Crash recovery ---------------------------------------------------
+
+  /// Mount-time recovery after a materialized crash (or a no-op replay
+  /// when nothing tripped). Charges the analysis pass (metadata
+  /// checkpoint read + log-tail read), walks the armed-window recovery
+  /// log against the injector's durability verdicts — committed entries
+  /// are redo-verified (bulk-logged entries whose data pages missed the
+  /// cut are detected and rolled back; fully-logged ones are redone
+  /// from the log), uncommitted entries are undone in reverse — and
+  /// releases the held pre-image pages of committed replaces/deletes.
+  Result<BlobRecoveryStats> Recover();
+
+  /// Clean end of an armed window that never tripped: frees the held
+  /// pre-image pages and drops the recovery log. Must be called (or
+  /// Recover) before the next Arm.
+  void EndCrashWindow();
+
+  /// Entries currently in the armed-window recovery log (tests).
+  uint64_t recovery_log_entries() const { return recovery_log_.size(); }
+
   /// The paper's §5.3 defragmentation procedure for BLOB tables: "create
   /// a new table in a new file group, copy the old records to the new
   /// table and drop the old table". Every object is re-read and
@@ -220,7 +293,16 @@ class BlobStore {
       core::HandleTable<OpenBlobEntry, BlobHandle>::Slot;
 
   /// Writes a commit record (plus blob payload when fully logged).
-  void LogCommit(uint64_t payload_bytes);
+  /// Returns the injector sequence number of the commit-record write,
+  /// or 0 when there is no log device or no armed injector.
+  uint64_t LogCommit(uint64_t payload_bytes);
+
+  /// True while a fault-injection window is armed on the data device.
+  bool CrashArmed() const;
+
+  /// Reverses one recovery-log entry (uncommitted, or committed with
+  /// lost bulk-logged data pages).
+  void UndoEntry(const BlobRecoveryEntry& entry, BlobRecoveryStats* stats);
 
   /// Invalidates every open handle on `key` (delete path).
   void InvalidateHandles(const std::string& key);
@@ -254,6 +336,12 @@ class BlobStore {
   uint64_t log_cursor_ = 0;
   uint64_t next_version_ = 1;
   uint32_t deletes_since_purge_ = 0;
+  /// Armed-window recovery log; entries for replaces/deletes hold the
+  /// old layout (its pages stay allocated until the window resolves).
+  std::vector<BlobRecoveryEntry> recovery_log_;
+  /// Log bytes written during the armed window (Recover's tail-read
+  /// charge).
+  uint64_t window_log_bytes_ = 0;
   /// Open-handle table (slot/generation tickets + key index).
   core::HandleTable<OpenBlobEntry, BlobHandle> handles_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault_injector.h"
+
 namespace lor {
 namespace fs {
 
@@ -228,7 +230,23 @@ void FileStore::ChargeJournal(bool flush) {
   (void)s;
   journal_cursor_ = (journal_cursor_ + kJournalRecordBytes) %
                     (journal_size - kJournalRecordBytes);
+  StampRecoveryLog();
   if (flush) device_->Flush();
+}
+
+bool FileStore::CrashArmed() const {
+  const sim::FaultInjector* injector = device_->fault_injector();
+  return injector != nullptr && injector->armed();
+}
+
+void FileStore::StampRecoveryLog() {
+  const sim::FaultInjector* injector = device_->fault_injector();
+  if (injector == nullptr || !injector->armed()) return;
+  const uint64_t seq = injector->last_seq();
+  for (size_t i = recovery_log_.size(); i-- > 0;) {
+    if (recovery_log_[i].commit_seq != 0) break;
+    recovery_log_[i].commit_seq = seq;
+  }
 }
 
 void FileStore::BeginJournalBatch() {
@@ -284,6 +302,13 @@ Result<FileInfo*> FileStore::CreateImpl(const std::string& name) {
   info.id = TakeRecordId();
   device_->ChargeCpu(options_.costs.fs_open_s);
   ChargeMftAccess(info.id, /*write=*/true);
+  if (CrashArmed()) {
+    RecoveryLogEntry entry;
+    entry.kind = RecoveryLogEntry::Kind::kCreate;
+    entry.name = name;
+    entry.file_id = info.id;
+    recovery_log_.push_back(std::move(entry));
+  }
   ChargeJournal(/*flush=*/false);
   auto [it, inserted] = files_.emplace(name, std::move(info));
   (void)inserted;
@@ -297,6 +322,15 @@ Result<FileInfo*> FileStore::CreateImpl(const std::string& name) {
 }
 
 Status FileStore::FreeFileClusters(const FileInfo& file) {
+  if (CrashArmed()) {
+    // Rollback window: the clusters stay unallocatable until the window
+    // closes (EndCrashWindow frees them; Recover rebuilds wholesale),
+    // so an uncommitted delete or replace can always reinstate the old
+    // layout without colliding with reuse.
+    crash_held_.insert(crash_held_.end(), file.extents.begin(),
+                       file.extents.end());
+    return Status::OK();
+  }
   for (const alloc::Extent& e : file.extents) {
     LOR_RETURN_IF_ERROR(allocator_->Free(e));
   }
@@ -306,6 +340,15 @@ Status FileStore::FreeFileClusters(const FileInfo& file) {
 Status FileStore::Delete(const std::string& name) {
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  if (CrashArmed()) {
+    RecoveryLogEntry entry;
+    entry.kind = RecoveryLogEntry::Kind::kDelete;
+    entry.name = name;
+    entry.file_id = it->second.id;
+    entry.prior = it->second;
+    entry.had_prior = true;
+    recovery_log_.push_back(std::move(entry));
+  }
   LOR_RETURN_IF_ERROR(FreeFileClusters(it->second));
   stats_.live_bytes -= it->second.size_bytes;
   tracker_.Remove(it->second.tracked_fragments, it->second.tracked_bytes);
@@ -342,6 +385,18 @@ Status FileStore::ReplaceImpl(
   }
   device_->ChargeCpu(options_.costs.fs_rename_s);
   auto dst = files_.find(target);
+  if (CrashArmed()) {
+    RecoveryLogEntry entry;
+    entry.kind = RecoveryLogEntry::Kind::kRename;
+    entry.name = target;
+    entry.source = src->first;
+    entry.file_id = src->second.id;
+    if (dst != files_.end()) {
+      entry.prior = dst->second;
+      entry.had_prior = true;
+    }
+    recovery_log_.push_back(std::move(entry));
+  }
   if (dst != files_.end()) {
     LOR_RETURN_IF_ERROR(FreeFileClusters(dst->second));
     stats_.live_bytes -= dst->second.size_bytes;
@@ -510,6 +565,13 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
   }
   device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
 
+  // Streamed FNV-1a keeps hash(file) == hash(all appended bytes);
+  // timing-only appends carry no bytes, so the hash goes unknowable.
+  if (data.empty()) {
+    file->hash_valid = false;
+  } else if (file->hash_valid) {
+    file->payload_hash = FnvUpdate(file->payload_hash, data);
+  }
   file->size_bytes += length;
   stats_.live_bytes += length;
   if (sync_tracker) SyncTracker(file);
@@ -602,6 +664,12 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
   }
   file->allocated_clusters = have;
   stats_.live_bytes -= file->size_bytes - new_size;
+  if (new_size != file->size_bytes) {
+    // A truncated-to-empty file restarts the hash stream; a mid-file
+    // cut leaves no way to rewind FNV, so the hash goes unknowable.
+    file->payload_hash = kFnvBasis;
+    file->hash_valid = new_size == 0;
+  }
   file->size_bytes = new_size;
   SyncTracker(file);
   ChargeMftAccess(file->id, /*write=*/true);
@@ -740,6 +808,181 @@ void FileStore::VisitFiles(
 
 uint64_t FileStore::FreeBytes() const {
   return allocator_->total_unused_clusters() * options_.cluster_bytes;
+}
+
+void FileStore::ReclaimRecordId(uint64_t id) {
+  auto it = std::find(free_record_ids_.begin(), free_record_ids_.end(), id);
+  if (it != free_record_ids_.end()) free_record_ids_.erase(it);
+}
+
+void FileStore::UndoLogEntry(const RecoveryLogEntry& entry,
+                             RecoveryStats* out) {
+  switch (entry.kind) {
+    case RecoveryLogEntry::Kind::kCreate: {
+      auto it = files_.find(entry.name);
+      if (it == files_.end()) return;  // Undone by a later entry's undo.
+      out->data_loss_bytes += it->second.size_bytes;
+      stats_.live_bytes -= it->second.size_bytes;
+      tracker_.Remove(it->second.tracked_fragments, it->second.tracked_bytes);
+      ChargeMftAccess(it->second.id, /*write=*/true);
+      RecycleRecordId(it->second.id);
+      InvalidateHandles(entry.name);
+      files_.erase(it);
+      --stats_.file_count;
+      break;
+    }
+    case RecoveryLogEntry::Kind::kDelete: {
+      // The delete never committed: resurrect the file. Its clusters
+      // were held, never reissued, so the old layout is intact.
+      ReclaimRecordId(entry.prior.id);
+      auto [it, inserted] = files_.emplace(entry.name, entry.prior);
+      if (!inserted) it->second = entry.prior;
+      tracker_.Add(entry.prior.tracked_fragments, entry.prior.tracked_bytes);
+      stats_.live_bytes += entry.prior.size_bytes;
+      ++stats_.file_count;
+      ChargeMftAccess(entry.prior.id, /*write=*/true);
+      InvalidateHandles(entry.name);
+      break;
+    }
+    case RecoveryLogEntry::Kind::kRename: {
+      auto dst = files_.find(entry.name);
+      if (dst == files_.end()) return;
+      // The streamed temp moves back under its source name; its own
+      // (earlier, equally uncommitted) create entry — or the orphan
+      // sweep — then disposes of it, which is also where its bytes are
+      // counted as lost.
+      FileInfo moved = std::move(dst->second);
+      if (entry.had_prior) {
+        ReclaimRecordId(entry.prior.id);
+        dst->second = entry.prior;
+        tracker_.Add(entry.prior.tracked_fragments,
+                     entry.prior.tracked_bytes);
+        stats_.live_bytes += entry.prior.size_bytes;
+      } else {
+        files_.erase(dst);
+        --stats_.file_count;
+      }
+      files_.emplace(entry.source, std::move(moved));
+      ++stats_.file_count;
+      ChargeMftAccess(entry.file_id, /*write=*/true);
+      InvalidateHandles(entry.name);
+      InvalidateHandles(entry.source);
+      break;
+    }
+  }
+}
+
+Result<RecoveryStats> FileStore::Recover(
+    const std::function<bool(const std::string&)>& is_temp) {
+  const sim::FaultInjector* injector = device_->fault_injector();
+  RecoveryStats out;
+  out.entries_scanned = recovery_log_.size();
+
+  // Journal scan: one sequential read over the region the live records
+  // occupy — the first thing a mounting filesystem does.
+  const uint64_t zone_bytes = mft_clusters_ * options_.cluster_bytes;
+  if (options_.charge_metadata_io) {
+    const uint64_t journal_base = zone_bytes / 2;
+    const uint64_t journal_size = std::max<uint64_t>(
+        2 * kJournalRecordBytes, zone_bytes - journal_base);
+    const uint64_t scan = std::min<uint64_t>(
+        std::max<uint64_t>(recovery_log_.size(), 1) * kJournalRecordBytes,
+        journal_size);
+    Status s = device_->Read(journal_base, scan);
+    (void)s;
+  }
+
+  auto durable = [injector](uint64_t seq) {
+    return injector == nullptr || injector->IsDurable(seq);
+  };
+
+  // Commit rule: the journal is written sequentially, so the committed
+  // operations are exactly the longest prefix of records that reached
+  // the platter — the first torn or lost record truncates the log.
+  size_t committed = 0;
+  while (committed < recovery_log_.size() &&
+         durable(recovery_log_[committed].commit_seq)) {
+    ++committed;
+  }
+
+  // Redo pass. A committed operation's MFT writes preceded its commit
+  // record inside the same op chain, so its effects are already on the
+  // platter; redo is the idempotency check — one record read each.
+  for (size_t i = 0; i < committed; ++i) {
+    ChargeMftAccess(recovery_log_[i].file_id, /*write=*/false);
+    ++out.ops_redone;
+  }
+
+  // Undo pass: everything past the committed prefix rolls back, newest
+  // first, so a safe write's rename undoes before its create.
+  for (size_t i = recovery_log_.size(); i-- > committed;) {
+    UndoLogEntry(recovery_log_[i], &out);
+    ++out.ops_rolled_back;
+  }
+
+  // Orphan sweep: temps whose create committed but whose rename did
+  // not are live files under temp names — discard them.
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (!is_temp(it->first)) {
+      ++it;
+      continue;
+    }
+    out.data_loss_bytes += it->second.size_bytes;
+    stats_.live_bytes -= it->second.size_bytes;
+    tracker_.Remove(it->second.tracked_fragments, it->second.tracked_bytes);
+    ChargeMftAccess(it->second.id, /*write=*/true);
+    RecycleRecordId(it->second.id);
+    InvalidateHandles(it->first);
+    --stats_.file_count;
+    ++out.orphan_temps_discarded;
+    it = files_.erase(it);
+  }
+
+  // Free-space rebuild: a fresh allocator claims exactly the surviving
+  // layouts, so held rollback clusters and rolled-back allocations fall
+  // out free without per-extent bookkeeping. One MFT record read per
+  // live file — recovery time scales with volume age. Note this
+  // installs the run-cache default; injected ablation allocators do not
+  // survive a crash.
+  auto rebuilt = std::make_unique<alloc::RunCacheAllocator>(
+      total_clusters_, options_.alloc, mft_clusters_);
+  alloc::FreeSpaceMap* map = rebuilt->free_map();
+  if (map == nullptr) {
+    return Status::NotSupported("recovery requires a free-space map");
+  }
+  for (auto& [name, file] : files_) {
+    ChargeMftAccess(file.id, /*write=*/false);
+    for (const alloc::Extent& e : file.extents) {
+      LOR_RETURN_IF_ERROR(map->AllocateAt(e));
+    }
+  }
+  for (const alloc::Extent& e : index_buffers_) {
+    LOR_RETURN_IF_ERROR(map->AllocateAt(e));
+  }
+  allocator_ = std::move(rebuilt);
+
+  // Close out: open handles do not survive a power cut; a checkpoint
+  // record marks the journal tail replayed.
+  for (auto& [name, file] : files_) handles_.InvalidateAll(name);
+  crash_held_.clear();
+  recovery_log_.clear();
+  journal_batch_open_ = false;
+  batched_journal_records_ = 0;
+  batched_journal_flush_ = false;
+  ChargeJournal(/*flush=*/true);
+  return out;
+}
+
+void FileStore::EndCrashWindow() {
+  recovery_log_.clear();
+  if (!crash_held_.empty()) {
+    for (const alloc::Extent& e : crash_held_) {
+      Status s = allocator_->Free(e);
+      (void)s;
+    }
+    crash_held_.clear();
+    allocator_->Tick();
+  }
 }
 
 Status FileStore::CheckConsistency() const {

@@ -48,6 +48,7 @@
 #include "core/handle_table.h"
 #include "sim/block_device.h"
 #include "sim/op_cost_model.h"
+#include "util/fnv.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -102,6 +103,48 @@ struct FileInfo {
   /// the delta against the current layout is applied on every mutation.
   uint64_t tracked_fragments = 0;
   uint64_t tracked_bytes = 0;
+  /// Streamed FNV-1a over every payload byte appended so far, valid
+  /// while hash_valid. Timing-only workloads (empty data spans) and
+  /// mid-file truncation invalidate it; the fsck verifier then skips
+  /// the payload check for this file. Host-side only — maintaining it
+  /// charges nothing.
+  uint64_t payload_hash = kFnvBasis;
+  bool hash_valid = true;
+};
+
+/// Host-side mirror of one journal record, recorded only while an
+/// armed sim::FaultInjector is attached to the device. Each entry is
+/// stamped with the device-write sequence number of the journal record
+/// that carries it (batched lazy-writer commits stamp every entry of
+/// the batch with the one record's number); mount-time recovery asks
+/// the injector which of those writes reached the platter.
+struct RecoveryLogEntry {
+  enum class Kind : uint8_t { kCreate, kDelete, kRename };
+  Kind kind = Kind::kCreate;
+  std::string name;    ///< Created / deleted / rename-target name.
+  std::string source;  ///< Rename source name (kRename only).
+  uint64_t file_id = 0;
+  /// Pre-operation FileInfo of the file the operation destroyed
+  /// (kDelete: the file itself; kRename: the replaced target). Its
+  /// clusters are held out of the allocator while the window is open,
+  /// so rollback can reinstate the layout without colliding with reuse.
+  FileInfo prior;
+  bool had_prior = false;
+  /// FaultInjector sequence number of the journal record's device
+  /// write; 0 while the (possibly batched) record is still pending —
+  /// and forever when metadata charging is disabled, which the
+  /// injector treats as vacuously durable.
+  uint64_t commit_seq = 0;
+};
+
+/// What FileStore::Recover scanned, redid, and rolled back.
+struct RecoveryStats {
+  uint64_t entries_scanned = 0;
+  uint64_t ops_redone = 0;
+  uint64_t ops_rolled_back = 0;
+  uint64_t orphan_temps_discarded = 0;
+  /// Bytes of new-version content discarded by rollback + orphan sweep.
+  uint64_t data_loss_bytes = 0;
 };
 
 /// Volume-wide statistics.
@@ -293,11 +336,45 @@ class FileStore {
   }
 
   const FileStoreStats& stats() const { return stats_; }
+  /// Clusters held by directory index buffers (fsck accounting).
+  uint64_t index_buffer_clusters() const {
+    uint64_t total = 0;
+    for (const alloc::Extent& e : index_buffers_) total += e.length;
+    return total;
+  }
   alloc::ExtentAllocator* allocator() { return allocator_.get(); }
   const FileStoreOptions& options() const { return options_; }
   uint64_t total_clusters() const { return total_clusters_; }
   uint64_t mft_clusters() const { return mft_clusters_; }
   sim::BlockDevice* device() { return device_; }
+
+  // -- Crash recovery --------------------------------------------------
+
+  /// Mount-time journal recovery after a materialized power cut.
+  /// Replays the host-side journal mirror against the injector's
+  /// durability verdicts: the committed operations are the longest
+  /// prefix of records whose journal writes survived (the journal is
+  /// sequential, so the first missing record truncates the log); they
+  /// are redone (an idempotency check — the MFT writes of a committed
+  /// op preceded its commit record inside the same op). Everything
+  /// after the prefix is undone newest-first, then safe-write temps
+  /// that survived (committed create, uncommitted rename) are swept,
+  /// and the free-space state is rebuilt from the surviving layouts on
+  /// a fresh run-cache allocator — an injected ablation allocator does
+  /// not survive recovery. Charges the journal-region scan, per-entry
+  /// and per-live-file MFT record I/O, and a closing checkpoint record,
+  /// so recovery time scales with volume age. Open handles do not
+  /// survive. `is_temp` identifies safe-write temp names.
+  Result<RecoveryStats> Recover(
+      const std::function<bool(const std::string&)>& is_temp);
+
+  /// Closes a crash-observation window that ended without a crash:
+  /// releases the clusters held for rollback back to the allocator and
+  /// drops the journal mirror. Call after sim::FaultInjector::Disarm.
+  void EndCrashWindow();
+
+  /// Journal-mirror entries currently held (tests).
+  uint64_t recovery_log_entries() const { return recovery_log_.size(); }
 
   /// Free + pending-free bytes available to file data.
   uint64_t FreeBytes() const;
@@ -370,6 +447,20 @@ class FileStore {
   void ChargeMftAccess(uint64_t file_id, bool write);
   /// Charges a journal append + optional flush.
   void ChargeJournal(bool flush);
+
+  /// True while an armed fault injector is attached: namespace
+  /// operations then mirror their journal records into recovery_log_
+  /// and freed clusters are held instead of returned.
+  bool CrashArmed() const;
+  /// Stamps every pending journal-mirror entry with the sequence number
+  /// of the journal record just written (one lazy-writer record commits
+  /// the whole batch).
+  void StampRecoveryLog();
+  /// Rolls back one uncommitted journal-mirror entry.
+  void UndoLogEntry(const RecoveryLogEntry& entry, RecoveryStats* out);
+  /// Removes `id` from the recycled-record pool (a rollback
+  /// resurrected its owner, so it is live again).
+  void ReclaimRecordId(uint64_t id);
   /// Maps a logical byte range to physical byte runs into a
   /// caller-owned vector (cleared first). Locates the starting extent
   /// by walking from the tail, so mapping an appended range costs
@@ -415,6 +506,10 @@ class FileStore {
   std::vector<alloc::Extent> index_buffers_;  ///< Directory index, FIFO.
   uint64_t name_inserts_ = 0;
   uint64_t name_removes_ = 0;
+  /// Host-side journal mirror + rollback holds, populated only while a
+  /// crash window is armed (empty overhead otherwise).
+  std::vector<RecoveryLogEntry> recovery_log_;
+  std::vector<alloc::Extent> crash_held_;
 };
 
 }  // namespace fs

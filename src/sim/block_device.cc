@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "sim/fault_injector.h"
 #include "sim/op_cost_model.h"
 
 namespace lor {
@@ -28,6 +29,66 @@ const uint8_t* ZeroSlab() {
 struct BlockDevice::SlabGroup {
   std::array<std::unique_ptr<uint8_t[]>, kSlabsPerGroup> slabs;
 };
+
+/// Deep copy of the arena's allocated slabs, group table and all.
+struct ArenaSnapshot::Rep {
+  std::vector<std::unique_ptr<BlockDevice::SlabGroup>> groups;
+};
+
+ArenaSnapshot::ArenaSnapshot() : rep_(std::make_unique<Rep>()) {}
+ArenaSnapshot::~ArenaSnapshot() = default;
+ArenaSnapshot::ArenaSnapshot(ArenaSnapshot&&) noexcept = default;
+ArenaSnapshot& ArenaSnapshot::operator=(ArenaSnapshot&&) noexcept = default;
+
+ArenaSnapshot BlockDevice::SnapshotArena() const {
+  ArenaSnapshot snapshot;
+  snapshot.rep_->groups.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g] == nullptr) continue;
+    auto group = std::make_unique<SlabGroup>();
+    for (size_t s = 0; s < kSlabsPerGroup; ++s) {
+      const uint8_t* slab = groups_[g]->slabs[s].get();
+      if (slab == nullptr) continue;
+      group->slabs[s].reset(new uint8_t[kSlabBytes]);
+      std::memcpy(group->slabs[s].get(), slab, kSlabBytes);
+    }
+    snapshot.rep_->groups[g] = std::move(group);
+  }
+  return snapshot;
+}
+
+void BlockDevice::RestoreArena(const ArenaSnapshot& snapshot) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const SlabGroup* from = g < snapshot.rep_->groups.size()
+                                ? snapshot.rep_->groups[g].get()
+                                : nullptr;
+    if (from == nullptr) {
+      groups_[g].reset();  // Written since the snapshot: back to zeros.
+      continue;
+    }
+    if (groups_[g] == nullptr) groups_[g] = std::make_unique<SlabGroup>();
+    for (size_t s = 0; s < kSlabsPerGroup; ++s) {
+      const uint8_t* slab = from->slabs[s].get();
+      if (slab == nullptr) {
+        groups_[g]->slabs[s].reset();
+        continue;
+      }
+      if (groups_[g]->slabs[s] == nullptr) {
+        groups_[g]->slabs[s].reset(new uint8_t[kSlabBytes]);
+      }
+      std::memcpy(groups_[g]->slabs[s].get(), slab, kSlabBytes);
+    }
+  }
+}
+
+uint64_t BlockDevice::NoteWriteSubmission(uint64_t offset, uint64_t len) {
+  if (injector_ == nullptr) return 0;
+  return injector_->RecordWrite(this, offset, len);
+}
+
+void BlockDevice::NoteWriteServiced(uint64_t tag) {
+  if (tag != 0 && injector_ != nullptr) injector_->MarkServiced(tag);
+}
 
 BlockDevice::BlockDevice(DiskParams params, DataMode mode)
     : model_(params), mode_(mode) {
@@ -164,10 +225,12 @@ Status BlockDevice::Write(uint64_t offset, uint64_t len,
     return Status::InvalidArgument("data size does not match request length");
   }
   if (len == 0) return Status::OK();  // No bytes: no charge, no head move.
+  const uint64_t tag = NoteWriteSubmission(offset, len);
   if (AsyncActive()) {
-    scheduler_->EnqueueRequest(/*write=*/true, offset, len, nullptr);
+    scheduler_->EnqueueRequest(/*write=*/true, offset, len, nullptr, tag);
   } else {
     ChargePositioning(offset, len);
+    NoteWriteServiced(tag);
   }
   ++stats_.writes;
   stats_.bytes_written += len;
@@ -230,10 +293,13 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
   bool charged = false;
   for (const IoSlice& s : slices) {
     if (s.length == 0) continue;
+    const uint64_t tag = NoteWriteSubmission(s.offset, s.length);
     if (AsyncActive()) {
-      scheduler_->EnqueueRequest(/*write=*/true, s.offset, s.length, nullptr);
+      scheduler_->EnqueueRequest(/*write=*/true, s.offset, s.length, nullptr,
+                                 tag);
     } else {
       ChargePositioning(s.offset, s.length);
+      NoteWriteServiced(tag);
     }
     ++stats_.writes;
     stats_.bytes_written += s.length;
@@ -252,11 +318,14 @@ Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
     return Status::OK();
   }
   const bool async = AsyncActive();
+  const uint64_t tag =
+      req.write ? NoteWriteSubmission(req.offset, req.length) : 0;
   if (async) {
     scheduler_->EnqueueRequest(req.write, req.offset, req.length,
-                               std::move(done));
+                               std::move(done), tag);
   } else {
     ChargePositioning(req.offset, req.length);
+    NoteWriteServiced(tag);
   }
   if (req.write) {
     ++stats_.writes;
@@ -294,12 +363,15 @@ Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
   for (size_t i = 0; i < reqs.size(); ++i) {
     const IoRequest& r = reqs[i];
     if (r.length == 0) continue;
+    const uint64_t tag =
+        r.write ? NoteWriteSubmission(r.offset, r.length) : 0;
     if (async) {
       scheduler_->EnqueueRequest(
           r.write, r.offset, r.length,
-          i == last_nonzero ? std::move(done) : IoCompletion());
+          i == last_nonzero ? std::move(done) : IoCompletion(), tag);
     } else {
       ChargePositioning(r.offset, r.length);
+      NoteWriteServiced(tag);
     }
     if (r.write) {
       ++stats_.writes;

@@ -74,6 +74,24 @@
 namespace lor {
 namespace sim {
 
+class FaultInjector;
+
+/// Opaque deep copy of a device's retained arena (see
+/// BlockDevice::SnapshotArena). Movable, not copyable; destroying it
+/// frees the copied slabs.
+class ArenaSnapshot {
+ public:
+  ArenaSnapshot();
+  ~ArenaSnapshot();
+  ArenaSnapshot(ArenaSnapshot&&) noexcept;
+  ArenaSnapshot& operator=(ArenaSnapshot&&) noexcept;
+
+ private:
+  friend class BlockDevice;
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+};
+
 /// Whether the device retains payload bytes.
 enum class DataMode {
   kMetadataOnly,  ///< Timing and layout only; reads return zeros.
@@ -212,6 +230,29 @@ class BlockDevice {
   void AttachScheduler(IoScheduler* scheduler) { scheduler_ = scheduler; }
   IoScheduler* scheduler() { return scheduler_; }
 
+  /// Wires up (or detaches, with null) a power-cut fault injector.
+  /// While the injector is armed, every write submission is recorded
+  /// (with its arena pre-image in kRetain mode) and tagged for
+  /// serviced-at-the-cut classification; unarmed, the hooks cost one
+  /// null check and charge nothing, so clean-path figures are
+  /// bit-identical with or without an injector attached.
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  /// Models the restart after a power cut: the head position is
+  /// unknown, so the next request never counts as sequential.
+  void NotePowerCycle() { head_valid_ = false; }
+
+  /// Deep copy of the retained arena (allocated slabs only); empty in
+  /// kMetadataOnly mode. The PR 5 slab layout makes this a group-table
+  /// walk plus one memcpy per written slab.
+  ArenaSnapshot SnapshotArena() const;
+
+  /// Restores the arena to a snapshot taken from this device. Slabs
+  /// written since the snapshot but absent from it revert to zeros.
+  void RestoreArena(const ArenaSnapshot& snapshot);
+
   /// Positioning cost (seek only; zero when sequential) a request at
   /// `offset` would pay right now — the SPTF scheduling key.
   double PeekPositioningCost(uint64_t offset) const;
@@ -224,9 +265,18 @@ class BlockDevice {
   static constexpr uint64_t kSlabBytes = 1024 * 1024;
 
  private:
-  friend class IoScheduler;  // Drives ServiceRequest / ServiceFlush.
+  friend class IoScheduler;    // Drives ServiceRequest / ServiceFlush.
+  friend class FaultInjector;  // Reads/writes arena bytes at the cut.
+  friend class ArenaSnapshot;  // Its Rep holds copied SlabGroups.
 
   struct SlabGroup;
+
+  /// Injector intake for one write submission; returns the completion
+  /// tag (0 when no armed injector).
+  uint64_t NoteWriteSubmission(uint64_t offset, uint64_t len);
+  /// Marks a tagged write serviced (sync path inline; async path from
+  /// the scheduler at service time).
+  void NoteWriteServiced(uint64_t tag);
 
   Status CheckRange(uint64_t offset, uint64_t len) const;
   /// Service-side core: decides sequentiality against the current head,
@@ -264,6 +314,7 @@ class BlockDevice {
   SimClock clock_;
   IoStats stats_;
   IoScheduler* scheduler_ = nullptr;
+  FaultInjector* injector_ = nullptr;
   double window_t0_ = 0.0;  ///< Synchronous stream-window start.
   uint64_t head_ = 0;
   bool head_valid_ = false;

@@ -1,0 +1,141 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "sim/block_device.h"
+
+namespace lor {
+namespace sim {
+
+void FaultInjector::Arm(const CrashSpec& spec) {
+  spec_ = spec;
+  state_ = State::kArmed;
+  tripped_ = false;
+  trip_seq_ = 0;
+  records_.clear();
+}
+
+void FaultInjector::Disarm() {
+  state_ = State::kIdle;
+  tripped_ = false;
+  trip_seq_ = 0;
+  records_.clear();
+  records_.shrink_to_fit();
+}
+
+uint64_t FaultInjector::RecordWrite(BlockDevice* device, uint64_t offset,
+                                    uint64_t len) {
+  if (state_ != State::kArmed) return 0;
+  WriteRecord rec;
+  rec.device = device;
+  rec.offset = offset;
+  rec.len = len;
+  if (device->data_mode() == DataMode::kRetain) {
+    rec.pre_image.resize(len);
+    device->LoadBytesInto(offset, rec.pre_image.data(), len);
+  }
+  records_.push_back(std::move(rec));
+  const uint64_t seq = records_.size();
+  if (!tripped_) {
+    const bool by_count =
+        spec_.crash_after_writes > 0 && seq >= spec_.crash_after_writes;
+    const bool by_time = spec_.crash_after_writes == 0 &&
+                         device->clock().now() >= spec_.deadline_s;
+    if (by_count || by_time) {
+      tripped_ = true;
+      trip_seq_ = seq;
+    }
+  }
+  return seq;
+}
+
+void FaultInjector::MarkServiced(uint64_t seq) {
+  if (seq == 0 || seq > records_.size()) return;
+  records_[seq - 1].serviced = true;
+}
+
+uint64_t FaultInjector::TearRecord(WriteRecord* rec, Rng* rng) {
+  const uint64_t sector =
+      std::max<uint64_t>(1, rec->device->model().params().sector_bytes);
+  const uint64_t sectors = (rec->len + sector - 1) / sector;
+  // Tearing verdict: 0 = keep a strict prefix, 1 = drop everything,
+  // 2 = keep a strict prefix and garbage the boundary sector (the one
+  // the head was inside when power died). A torn write never survives
+  // whole — a completed write would have been serviced.
+  const uint64_t mode = rng->Uniform(3);
+  uint64_t keep = 0;
+  if (mode != 1 && sectors > 0) keep = rng->Uniform(sectors) * sector;
+  keep = std::min(keep, rec->len);
+  const uint64_t discarded = rec->len - keep;
+  if (!rec->pre_image.empty()) {
+    rec->device->StoreBytes(rec->offset + keep, rec->pre_image.data() + keep,
+                            discarded);
+    if (mode == 2 && discarded > 0) {
+      // Garbage lands strictly inside the torn write's own range, so it
+      // can only damage data that recovery must roll back anyway.
+      std::vector<uint8_t> junk(std::min(sector, discarded));
+      for (uint8_t& b : junk) b = static_cast<uint8_t>(rng->Next());
+      rec->device->StoreBytes(rec->offset + keep, junk.data(), junk.size());
+    }
+  }
+  return discarded;
+}
+
+CrashReport FaultInjector::MaterializeCrash() {
+  CrashReport report;
+  report.writes_recorded = records_.size();
+  // A materialization without a tripped crash point models the power
+  // dying right now: nothing tears, queued writes are simply lost.
+  const uint64_t trip =
+      tripped_ ? trip_seq_ : records_.size() + 1;
+  report.trip_seq = tripped_ ? trip_seq_ : 0;
+  for (uint64_t seq = 1; seq <= records_.size(); ++seq) {
+    WriteRecord& rec = records_[seq - 1];
+    if (seq < trip) {
+      rec.fate = rec.serviced ? WriteFate::kDurable : WriteFate::kLost;
+    } else if (seq == trip) {
+      rec.fate = WriteFate::kTorn;
+    } else {
+      rec.fate = WriteFate::kLost;
+    }
+  }
+  // Undo in reverse submission order: each restore returns its range to
+  // the state before that write, so after the sweep every byte shows
+  // the newest surviving write that touched it.
+  Rng rng(spec_.seed);
+  for (size_t i = records_.size(); i-- > 0;) {
+    WriteRecord& rec = records_[i];
+    switch (rec.fate) {
+      case WriteFate::kDurable:
+        ++report.durable_writes;
+        break;
+      case WriteFate::kLost:
+        ++report.lost_writes;
+        report.lost_bytes += rec.len;
+        if (!rec.pre_image.empty()) {
+          rec.device->StoreBytes(rec.offset, rec.pre_image.data(), rec.len);
+        }
+        break;
+      case WriteFate::kTorn:
+        ++report.torn_writes;
+        report.lost_bytes += TearRecord(&rec, &rng);
+        break;
+      case WriteFate::kPending:
+        break;
+    }
+    // The pre-image has served its purpose; free it eagerly so a large
+    // armed window does not hold two copies of the written bytes.
+    rec.pre_image.clear();
+    rec.pre_image.shrink_to_fit();
+  }
+  state_ = State::kCrashed;
+  return report;
+}
+
+WriteFate FaultInjector::Fate(uint64_t seq) const {
+  if (seq == 0 || seq > records_.size()) return WriteFate::kPending;
+  return records_[seq - 1].fate;
+}
+
+}  // namespace sim
+}  // namespace lor

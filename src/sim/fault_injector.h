@@ -1,0 +1,161 @@
+// FaultInjector: power-cut fault injection for the simulated device
+// plane.
+//
+// A torture harness arms the injector with a crash point — "power dies
+// at the Nth write submission" or "power dies at the first write at or
+// after a charged-time deadline" — and runs a write workload. While
+// armed, every device write submission is recorded (with its arena
+// pre-image under DataMode::kRetain) and assigned a monotonically
+// increasing sequence number; storage back ends stamp their host-side
+// recovery intents with these sequence numbers so mount-time recovery
+// can ask which of its writes actually reached the platter.
+//
+// At the cut, MaterializeCrash() rewrites the arena into the post-crash
+// image honoring the IoScheduler's completion state:
+//
+//   * writes serviced before the cut are durable (kept);
+//   * the write in flight at the cut is torn at sector granularity —
+//     keep-prefix, drop, or garbage-fill of the boundary sector, drawn
+//     from a seeded RNG;
+//   * writes submitted but never serviced (still queued behind the
+//     scheduler at the cut) are lost, regardless of submission order —
+//     under SPTF the durable set follows actual service order.
+//
+// Restoration applies pre-images in reverse submission order, so
+// overlapping writes (recycled MFT slots, rotating journal wrap)
+// resolve exactly as the platter would: each surviving byte shows the
+// newest durable write that touched it.
+//
+// One injector may be attached to several devices (a BlobStore's data
+// and log volumes share the same power supply); the sequence counter
+// and the cut are global across all of them.
+//
+// The injector charges nothing and allocates nothing unless armed, so
+// clean-path runs (every figure bench) are bit-identical with or
+// without one attached.
+
+#ifndef LOREPO_SIM_FAULT_INJECTOR_H_
+#define LOREPO_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lor {
+namespace sim {
+
+class BlockDevice;
+
+/// Post-crash classification of one recorded write.
+enum class WriteFate : uint8_t {
+  kPending,  ///< Not yet classified (no crash materialized).
+  kDurable,  ///< Serviced before the cut; bytes survive.
+  kTorn,     ///< In flight at the cut; partially applied.
+  kLost,     ///< Queued but unserviced (or submitted after the cut).
+};
+
+/// Where and how the power dies.
+struct CrashSpec {
+  /// Trip on the Nth recorded write submission (1-based). 0 selects the
+  /// deadline trigger instead.
+  uint64_t crash_after_writes = 0;
+  /// With crash_after_writes == 0: trip on the first write submitted at
+  /// or after this simulated time.
+  double deadline_s = 0.0;
+  /// Seeds the tearing RNG (torn mode, kept sector count, garbage).
+  uint64_t seed = 1;
+};
+
+/// What MaterializeCrash did to the recorded window.
+struct CrashReport {
+  uint64_t writes_recorded = 0;
+  uint64_t durable_writes = 0;
+  uint64_t torn_writes = 0;
+  uint64_t lost_writes = 0;
+  uint64_t lost_bytes = 0;  ///< Bytes of lost + torn-discarded ranges.
+  uint64_t trip_seq = 0;    ///< Sequence number of the tearing write.
+};
+
+/// Records armed-window writes and materializes the post-crash image.
+class FaultInjector {
+ public:
+  /// Begins an armed window. Requires every attached device's scheduler
+  /// to be quiescent (drained): writes submitted before the window are
+  /// durable by definition, so arming over a non-empty queue would
+  /// silently promote doomed writes. Clears any previous window.
+  void Arm(const CrashSpec& spec);
+
+  /// Ends the window without a crash and frees all recorded state.
+  void Disarm();
+
+  /// True while recording (between Arm and MaterializeCrash/Disarm).
+  bool armed() const { return state_ == State::kArmed; }
+  /// True once the crash point has been reached.
+  bool tripped() const { return tripped_; }
+  /// Sequence number of the most recent recorded write; 0 when none.
+  uint64_t last_seq() const { return records_.size(); }
+
+  // -- Device hooks ----------------------------------------------------
+
+  /// Records one write submission; returns its sequence number (the
+  /// device's completion tag), or 0 when not armed.
+  uint64_t RecordWrite(BlockDevice* device, uint64_t offset, uint64_t len);
+
+  /// Marks a recorded write as serviced (reached the platter).
+  void MarkServiced(uint64_t seq);
+
+  // -- Crash -----------------------------------------------------------
+
+  /// Classifies every recorded write and rewrites the attached arenas
+  /// into the post-crash image. After this the injector is no longer
+  /// armed; Fate() answers durability queries until the next Arm().
+  CrashReport MaterializeCrash();
+
+  /// Post-crash fate of a recorded write. Sequence 0 — "no device write
+  /// backs this intent" (metadata charging disabled) — is durable by
+  /// definition, so vacuous commit points never block recovery.
+  WriteFate Fate(uint64_t seq) const;
+  bool IsDurable(uint64_t seq) const {
+    return seq == 0 || Fate(seq) == WriteFate::kDurable;
+  }
+  /// True when every write in [lo, hi] is durable; lo == 0 means "no
+  /// writes" and is vacuously true.
+  bool RangeDurable(uint64_t lo, uint64_t hi) const {
+    if (lo == 0) return true;
+    for (uint64_t s = lo; s <= hi; ++s) {
+      if (!IsDurable(s)) return false;
+    }
+    return true;
+  }
+
+ private:
+  enum class State : uint8_t { kIdle, kArmed, kCrashed };
+
+  struct WriteRecord {
+    BlockDevice* device = nullptr;
+    uint64_t offset = 0;
+    uint64_t len = 0;
+    bool serviced = false;
+    WriteFate fate = WriteFate::kPending;
+    /// Arena bytes the write replaced (empty in kMetadataOnly mode).
+    std::vector<uint8_t> pre_image;
+  };
+
+  /// Applies the tearing verdict to one record: restores the discarded
+  /// suffix and optionally garbages the boundary sector. Returns the
+  /// number of discarded bytes.
+  uint64_t TearRecord(WriteRecord* rec, Rng* rng);
+
+  State state_ = State::kIdle;
+  CrashSpec spec_;
+  bool tripped_ = false;
+  uint64_t trip_seq_ = 0;
+  /// records_[seq - 1] is the write with sequence number seq.
+  std::vector<WriteRecord> records_;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_FAULT_INJECTOR_H_

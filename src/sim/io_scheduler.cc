@@ -60,6 +60,22 @@ void IoScheduler::Drain() {
   free_slots_ = {};
 }
 
+void IoScheduler::Abandon() {
+  assert(op_depth_ == 0 && "Abandon inside an op scope");
+  building_open_ = false;
+  building_ = Op{};
+  pending_.clear();
+  allocated_slots_ = 0;
+  free_slots_ = {};
+  engaged_ = false;
+  queue_depth_ = 1;
+  // The abandoned timeline never happened; post-crash work charges
+  // synchronously from the clock as it stands.
+  const double now = device_->clock().now();
+  device_free_ = now;
+  horizon_ = now;
+}
+
 uint32_t IoScheduler::inflight_ops() const {
   const uint32_t queued =
       static_cast<uint32_t>(pending_.size()) + (building_open_ ? 1u : 0u);
@@ -120,7 +136,7 @@ void IoScheduler::SealCurrentOp() {
 }
 
 void IoScheduler::EnqueueRequest(bool write, uint64_t offset, uint64_t len,
-                                 IoCompletion done) {
+                                 IoCompletion done, uint64_t tag) {
   assert(building_open_ && "device charge outside an op scope");
   Request r;
   r.kind = Request::Kind::kIo;
@@ -128,6 +144,7 @@ void IoScheduler::EnqueueRequest(bool write, uint64_t offset, uint64_t len,
   r.offset = offset;
   r.len = len;
   r.seq = next_seq_++;
+  r.tag = tag;
   r.done = std::move(done);
   building_.chain.push_back(std::move(r));
 }
@@ -264,6 +281,7 @@ bool IoScheduler::ServiceOne() {
   pick->ready = completion;
   pick->busy += service;
   ++serviced_requests_;
+  if (front.tag != 0) device_->NoteWriteServiced(front.tag);
   if (front.done) front.done(completion);
 
   SettleFront(&*pick);

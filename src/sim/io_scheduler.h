@@ -86,6 +86,14 @@ class IoScheduler {
   /// completion horizon. Callable only between ops.
   void Drain();
 
+  /// Discards every queued request without servicing or charging it and
+  /// returns to the synchronous path — the power just died. Queued
+  /// completions never fire and tagged writes are never reported
+  /// serviced (the FaultInjector classifies them as lost). Callable
+  /// only between ops; the crash harness invokes it after
+  /// FaultInjector::MaterializeCrash and before mount-time recovery.
+  void Abandon();
+
   bool engaged() const { return engaged_; }
   uint32_t queue_depth() const { return queue_depth_; }
   SchedPolicy policy() const { return policy_; }
@@ -108,8 +116,10 @@ class IoScheduler {
 
   // -- Charge intake from the device (async mode only) -----------------
 
+  /// `tag` is the FaultInjector completion tag (0 = untracked); it is
+  /// reported back to the device when the request is serviced.
   void EnqueueRequest(bool write, uint64_t offset, uint64_t len,
-                      IoCompletion done);
+                      IoCompletion done, uint64_t tag = 0);
   void EnqueueFlush();
   void EnqueueCpu(double seconds);
   void EnqueueWindowBegin();
@@ -132,6 +142,7 @@ class IoScheduler {
     double cpu_s = 0.0;   // kCpu
     double cap = 0.0;     // kWinEnd: bandwidth cap (bytes/s)
     uint64_t seq = 0;     // global submission order (FIFO + tie-break)
+    uint64_t tag = 0;     // fault-injector tag (0 = untracked)
     IoCompletion done;    // fires at service completion
   };
 

@@ -1,0 +1,35 @@
+// FNV-1a 64-bit hashing for payload integrity checks. Streamable: a
+// hash folded chunk by chunk equals the hash of the concatenation, so
+// the stores can maintain an object's payload hash across streamed
+// appends without buffering.
+
+#ifndef LOREPO_UTIL_FNV_H_
+#define LOREPO_UTIL_FNV_H_
+
+#include <cstdint>
+#include <span>
+
+#include "util/config.h"  // C++20 floor guard (std::span above)
+
+namespace lor {
+
+inline constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Folds `data` into a running FNV-1a state.
+inline uint64_t FnvUpdate(uint64_t state, std::span<const uint8_t> data) {
+  for (uint8_t b : data) {
+    state ^= b;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// One-shot hash of a buffer.
+inline uint64_t Fnv(std::span<const uint8_t> data) {
+  return FnvUpdate(kFnvBasis, data);
+}
+
+}  // namespace lor
+
+#endif  // LOREPO_UTIL_FNV_H_

@@ -1,0 +1,175 @@
+// CrashTortureRunner: power-cut torture for the crash-consistency
+// subsystem. Each cut cycle arms the sim::FaultInjector with a random
+// crash point, drives acked safe-write/delete/get traffic until the
+// power dies mid-workload, materializes the post-crash volume image,
+// remounts (journal/log replay), runs the repository fsck, and checks
+// the surviving state against a deterministic host-side oracle:
+//
+//   * an object whose commit record reached the platter is never lost;
+//   * every surviving payload is byte-identical to SOME version the
+//     client was acked (stable pre-window, or acked during the window)
+//     — torn writes must be rolled back, never surfaced;
+//   * acked-but-rolled-back operations are counted, not failed: they
+//     are the data-loss window the recovery-mode ablation measures.
+//
+// Works over both back ends, any queue depth, batched or per-op journal
+// charging (filesystem) and bulk-logged or fully-logged commits
+// (database). Deterministic from the seed.
+
+#ifndef LOREPO_WORKLOAD_CRASH_TORTURE_H_
+#define LOREPO_WORKLOAD_CRASH_TORTURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/db_repository.h"
+#include "core/fs_repository.h"
+#include "core/object_repository.h"
+#include "sim/fault_injector.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lor {
+namespace workload {
+
+/// Which back end the torture drives.
+enum class CrashBackend { kFilesystem, kDatabase };
+
+/// Torture configuration.
+struct CrashTortureOptions {
+  CrashBackend backend = CrashBackend::kFilesystem;
+  /// Data volume size (the database adds a log volume of 1/8 this).
+  uint64_t volume_bytes = 256 * kMiB;
+  /// Mean object size; per-version sizes vary deterministically around
+  /// half to all of this.
+  uint64_t object_bytes = 256 * kKiB;
+  /// Live objects bulk-loaded before the first cut.
+  uint64_t objects = 48;
+  /// Crash cycles to run.
+  uint64_t cuts = 25;
+  /// Safe-write replacements per object applied (unarmed) before the
+  /// cut phase — the volume-age axis of the recovery benchmark.
+  uint64_t aging_rounds = 0;
+  /// Submission queue depth for the data volume (1 = synchronous).
+  uint32_t queue_depth = 1;
+  /// Filesystem: NTFS-like lazy-commit journal batching.
+  bool batch_journal_charges = true;
+  /// Database: bulk-logged (the paper's mode) vs fully logged commits.
+  bool bulk_logged = true;
+  /// kRetain verifies payload bytes; kMetadataOnly verifies existence
+  /// and per-version sizes only (cheap enough for big sweeps).
+  sim::DataMode data_mode = sim::DataMode::kRetain;
+  /// Operations issued per armed window before giving up on the trip.
+  uint64_t max_ops_per_window = 48;
+  uint64_t seed = 1;
+};
+
+/// Outcome of one cut cycle.
+struct CrashCutResult {
+  /// False when the window closed cleanly before the crash point.
+  bool tripped = false;
+  sim::CrashReport crash;
+  core::MountReport mount;
+  bool fsck_clean = true;
+  uint64_t fsck_issues = 0;
+  /// Objects live at the last quiescent point that recovery lost.
+  uint64_t committed_lost = 0;
+  /// Surviving payloads matching no acked version (torn bytes served).
+  uint64_t torn_surfaced = 0;
+  /// Window-acked operations whose effect did not survive (the
+  /// data-loss window).
+  uint64_t acked_rolled_back = 0;
+};
+
+/// Aggregates over a whole torture run.
+struct CrashTortureSummary {
+  uint64_t cuts_executed = 0;
+  uint64_t windows_untripped = 0;
+  uint64_t committed_lost = 0;
+  uint64_t torn_surfaced = 0;
+  uint64_t acked_rolled_back = 0;
+  uint64_t fsck_dirty_cuts = 0;
+  uint64_t entries_replayed = 0;
+  uint64_t ops_rolled_back = 0;
+  uint64_t data_loss_bytes = 0;
+  double total_recovery_seconds = 0.0;
+  double max_recovery_seconds = 0.0;
+};
+
+/// Drives one repository through seeded power-cut cycles.
+class CrashTortureRunner {
+ public:
+  explicit CrashTortureRunner(CrashTortureOptions options);
+  ~CrashTortureRunner();
+
+  /// Builds the repository, attaches the injector, bulk-loads the
+  /// object population, and applies the configured unarmed aging.
+  Status Setup();
+
+  /// One arm → workload → cut → mount → fsck → oracle cycle. A window
+  /// that never trips is closed cleanly (tripped = false) and does not
+  /// count against `cuts`.
+  Result<CrashCutResult> RunCut();
+
+  /// Setup + `cuts` tripped cycles (untripped windows retried).
+  Result<CrashTortureSummary> Run();
+
+  core::ObjectRepository* repository() { return repo_; }
+  sim::FaultInjector* injector() { return &injector_; }
+
+ private:
+  /// Host-side truth for one key. `version` / `size` / `hash` describe
+  /// the newest state known durable at the last quiescent point.
+  struct KeyState {
+    bool live = false;
+    uint64_t version = 0;
+    uint64_t size = 0;
+    uint64_t hash = 0;
+    uint64_t versions_issued = 0;
+  };
+  /// One acked mutation inside the current armed window.
+  struct WindowOp {
+    bool deleted = false;
+    uint64_t version = 0;
+    uint64_t size = 0;
+    uint64_t hash = 0;
+  };
+
+  std::string KeyName(uint64_t idx) const;
+  /// Deterministic per-(key, version) size and payload.
+  uint64_t SizeFor(uint64_t idx, uint64_t version) const;
+  std::vector<uint8_t> PayloadFor(uint64_t idx, uint64_t version) const;
+
+  /// Issues one random acked operation; records it in `window` when
+  /// non-null (armed) or folds it into the stable oracle (aging).
+  Status IssueOp(std::unordered_map<uint64_t, std::vector<WindowOp>>* window);
+
+  /// Releases rollback holds after a window that never tripped.
+  void EndCrashWindowOnStore();
+  /// Folds the acked window into the stable oracle (clean close: a
+  /// drained queue makes every acked op durable).
+  void FoldWindowIntoStable();
+  /// Compares post-recovery state against the oracle for every key
+  /// touched in the window, then adopts the observed state.
+  Status VerifyAfterCrash(CrashCutResult* cut);
+
+  CrashTortureOptions options_;
+  Rng rng_;
+  sim::FaultInjector injector_;
+  std::unique_ptr<core::FsRepository> fs_;
+  std::unique_ptr<core::DbRepository> db_;
+  core::ObjectRepository* repo_ = nullptr;
+  std::vector<KeyState> keys_;
+  std::unordered_map<uint64_t, std::vector<WindowOp>> window_;
+  /// Upper bound fed to the crash-point draw (writes per window).
+  uint64_t writes_horizon_ = 64;
+};
+
+}  // namespace workload
+}  // namespace lor
+
+#endif  // LOREPO_WORKLOAD_CRASH_TORTURE_H_

@@ -98,6 +98,19 @@ class RecordingRepository : public core::ObjectRepository {
   Status CheckConsistency() const override {
     return inner_->CheckConsistency();
   }
+  Status SetQueueDepth(
+      uint32_t depth,
+      sim::SchedPolicy policy = sim::SchedPolicy::kSptf) override {
+    return inner_->SetQueueDepth(depth, policy);
+  }
+  Status DrainIo() override { return inner_->DrainIo(); }
+  const sim::LatencyRecorder* latency_recorder() const override {
+    return inner_->latency_recorder();
+  }
+  /// Recovery and verification are observations, not workload ops — they
+  /// forward without being traced.
+  Result<core::MountReport> Mount() override { return inner_->Mount(); }
+  Result<core::FsckReport> Fsck() override { return inner_->Fsck(); }
   std::string name() const override { return inner_->name() + "+recorded"; }
 
  private:
