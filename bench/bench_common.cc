@@ -34,6 +34,8 @@ Options Options::FromArgs(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--sync") == 0) {
       opts.queue_depth = 1;
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      opts.cache_mb = std::strtoull(arg + 11, nullptr, 10);
     } else if (std::strncmp(arg, "--shards=", 9) == 0 ||
                std::strncmp(arg, "--threads=", 10) == 0) {
       const char* value = arg + (arg[2] == 's' ? 9 : 10);
@@ -63,22 +65,27 @@ uint64_t Options::ScaleBytes(uint64_t paper_bytes) const {
 }
 
 std::unique_ptr<core::RepositoryFactory> MakeRepositoryFactory(
-    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes) {
+    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes,
+    uint64_t cache_bytes) {
   if (backend == Backend::kFilesystem) {
     core::FsRepositoryConfig config;
     config.volume_bytes = volume_bytes;
     config.write_request_bytes = write_request_bytes;
+    config.cache.capacity_bytes = cache_bytes;
     return std::make_unique<core::FsRepositoryFactory>(config);
   }
   core::DbRepositoryConfig config;
   config.volume_bytes = volume_bytes;
   config.store.write_request_bytes = write_request_bytes;
+  config.cache.capacity_bytes = cache_bytes;
   return std::make_unique<core::DbRepositoryFactory>(config);
 }
 
 std::unique_ptr<core::ObjectRepository> MakeRepository(
-    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes) {
-  return MakeRepositoryFactory(backend, volume_bytes, write_request_bytes)
+    Backend backend, uint64_t volume_bytes, uint64_t write_request_bytes,
+    uint64_t cache_bytes) {
+  return MakeRepositoryFactory(backend, volume_bytes, write_request_bytes,
+                               cache_bytes)
       ->Create(0, 1);
 }
 

@@ -46,9 +46,14 @@ struct Options {
   /// N > 1 engages the back ends' submission queues, so latency
   /// percentiles include queueing delay.
   uint32_t queue_depth = 1;
+  /// Buffer-pool capacity per back end in MiB (`--cache-mb=N`), split
+  /// across shards by the factories. 0 (the default) disables the pool
+  /// entirely — the paper's cold-cache regime, bit-identical to the
+  /// pre-cache figures.
+  uint64_t cache_mb = 0;
 
   /// Parses --scale=small|paper|<float>, --seed=N, --csv,
-  /// --shards=N/--threads=N, --name-path, --qd=N, --sync.
+  /// --shards=N/--threads=N, --name-path, --qd=N, --sync, --cache-mb=N.
   static Options FromArgs(int argc, char** argv);
 
   uint64_t ScaleBytes(uint64_t paper_bytes) const;
@@ -68,17 +73,20 @@ struct Options {
 enum class Backend { kFilesystem, kDatabase };
 
 /// Repository factory with the paper's defaults (out-of-the-box
-/// configuration, 64 KB write requests unless overridden).
+/// configuration, 64 KB write requests unless overridden). A nonzero
+/// `cache_bytes` sizes a buffer pool in front of the data volume; 0
+/// keeps the pool disabled (the paper's configuration).
 std::unique_ptr<core::ObjectRepository> MakeRepository(
     Backend backend, uint64_t volume_bytes,
-    uint64_t write_request_bytes = 64 * kKiB);
+    uint64_t write_request_bytes = 64 * kKiB, uint64_t cache_bytes = 0);
 
 /// Per-shard repository factory with the same defaults: `volume_bytes`
 /// is the whole deployment's capacity, split evenly across shards by
 /// the factory (Create(0, 1) is exactly MakeRepository's result).
+/// `cache_bytes` is likewise the whole deployment's cache budget.
 std::unique_ptr<core::RepositoryFactory> MakeRepositoryFactory(
     Backend backend, uint64_t volume_bytes,
-    uint64_t write_request_bytes = 64 * kKiB);
+    uint64_t write_request_bytes = 64 * kKiB, uint64_t cache_bytes = 0);
 
 /// One measurement row of an aging experiment.
 struct AgingCheckpoint {

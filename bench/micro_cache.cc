@@ -1,0 +1,226 @@
+// Micro-benchmark: the buffer-pool request paths themselves — miss
+// (device fill), clean hit, and pinned hit — in both data modes. Every
+// cached read the storage layers issue lands on one of these paths, so
+// their host cost bounds how much a warm cache can actually return at
+// bench scale.
+//
+// The region is written once, then read in the 64 KiB requests the
+// stores issue. The miss phase invalidates the region before each pass
+// (every request fills through ReadV into a recycled frame — the
+// steady-state miss, not the cold-allocation one); the hit phase
+// re-reads resident frames; the pinned phase does the same under
+// PinRange (the open-handle window). Simulated MB/s is deterministic
+// and gated: the miss path must charge exactly the device's sequential
+// read rate, and hit and pinned-hit must charge identically (the pin
+// is bookkeeping, not a toll) at the pool's copy bandwidth — so the
+// table doubles as a charge-parity cross-check. Wall ns/op is
+// host-dependent and printed as indented prose.
+//
+// Retain-mode passes verify every payload byte against the written
+// pattern; any mismatch (stale frame, recycled-buffer leak) exits
+// nonzero and fails the run_all REQUIRED gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/block_device.h"
+#include "sim/buffer_pool.h"
+#include "util/table_writer.h"
+
+namespace lor {
+namespace bench {
+namespace {
+
+constexpr uint64_t kRegion = 8 * kMiB;
+constexpr uint64_t kRequestBytes = 64 * kKiB;
+constexpr uint64_t kRequests = kRegion / kRequestBytes;
+constexpr uint64_t kPoolBytes = 16 * kMiB;  ///< Holds the region whole.
+/// Passes per phase (min-of-N wall estimator, as in micro_device).
+constexpr uint64_t kPasses = 64;
+
+struct PhaseResult {
+  uint64_t bytes = 0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< Fastest pass.
+
+  double sim_mb_per_s() const {
+    return sim_seconds > 0.0
+               ? static_cast<double>(bytes) / (1024.0 * 1024.0) / sim_seconds
+               : 0.0;
+  }
+  double wall_mb_per_s() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(kRegion) / (1024.0 * 1024.0) /
+                     wall_seconds
+               : 0.0;
+  }
+  double wall_ns_per_op() const {
+    return wall_seconds * 1e9 / static_cast<double>(kRequests);
+  }
+};
+
+uint8_t PatternByte(uint64_t offset) {
+  return static_cast<uint8_t>(offset * 167 + 13);
+}
+
+enum class Path { kMiss, kHit, kPinnedHit };
+
+/// One phase: `passes` full sweeps of the region through the pool.
+/// Returns false on any status error or retain-mode payload mismatch.
+bool RunPath(sim::BlockDevice* dev, sim::BufferPool* pool, Path path,
+             bool retain, PhaseResult* result) {
+  std::vector<uint8_t> back(kRequestBytes);
+  std::vector<sim::CacheSlice> slice(1);
+  if (path == Path::kHit || path == Path::kPinnedHit) {
+    // Populate once; the measured passes must never touch the device.
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      const uint64_t off = i * kRequestBytes;
+      slice[0] = {off, kRequestBytes, nullptr, nullptr, off, kRequestBytes};
+      if (!pool->ReadThrough(slice).ok()) return false;
+    }
+  }
+  if (path == Path::kPinnedHit) {
+    if (pool->PinRange(0, kRegion) != kRequests) return false;
+  }
+
+  const double sim0 = dev->clock().now();
+  double min_pass = 0.0;
+  for (uint64_t pass = 0; pass < kPasses; ++pass) {
+    if (path == Path::kMiss) {
+      // Drop the frames (buffers recycle into the free lists) so every
+      // request below is a steady-state fill, never a hit.
+      pool->Invalidate(0, kRegion);
+    }
+    const auto pass0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      const uint64_t off = i * kRequestBytes;
+      slice[0] = {off, kRequestBytes, nullptr, back.data(), off,
+                  kRequestBytes};
+      if (!pool->ReadThrough(slice).ok()) return false;
+    }
+    const double pass_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - pass0)
+                              .count();
+    if (pass == 0 || pass_s < min_pass) min_pass = pass_s;
+    if (retain) {
+      // `back` holds the last request of the sweep.
+      for (uint64_t b = 0; b < kRequestBytes; ++b) {
+        if (back[b] != PatternByte(kRegion - kRequestBytes + b)) {
+          std::fprintf(stderr, "payload mismatch at byte %llu\n",
+                       static_cast<unsigned long long>(b));
+          return false;
+        }
+      }
+    }
+  }
+  result->bytes = kPasses * kRegion;
+  result->sim_seconds = dev->clock().now() - sim0;
+  result->wall_seconds = min_pass;
+  if (path == Path::kPinnedHit) pool->UnpinRange(0, kRegion);
+  return true;
+}
+
+const char* PathName(Path path) {
+  switch (path) {
+    case Path::kMiss:
+      return "miss";
+    case Path::kHit:
+      return "hit";
+    case Path::kPinnedHit:
+      return "pinned hit";
+  }
+  return "?";
+}
+
+int Run(const Options& options) {
+  PrintBanner("Micro: buffer-pool paths (miss vs hit vs pinned hit)",
+              "host-cost substrate for the cache ablation", options);
+
+  TableWriter table({"mode", "path", "sim read MB/s"});
+  bool ok = true;
+  PhaseResult wall[2][3];
+
+  for (int retain = 0; retain < 2; ++retain) {
+    const sim::DataMode mode =
+        retain != 0 ? sim::DataMode::kRetain : sim::DataMode::kMetadataOnly;
+    for (Path path : {Path::kMiss, Path::kHit, Path::kPinnedHit}) {
+      sim::BlockDevice dev(
+          sim::DiskParams::St3400832as().WithCapacity(kRegion), mode);
+      sim::BufferPoolOptions pool_options;
+      pool_options.capacity_bytes = kPoolBytes;
+      sim::BufferPool pool(&dev, pool_options);
+      dev.AttachBufferPool(&pool);
+      // Seed the platter so miss fills carry real bytes in retain mode.
+      std::vector<uint8_t> pattern(kRegion);
+      for (uint64_t b = 0; b < kRegion; ++b) pattern[b] = PatternByte(b);
+      if (!dev.Write(0, kRegion,
+                     retain != 0 ? std::span<const uint8_t>(pattern)
+                                 : std::span<const uint8_t>())
+               .ok()) {
+        ok = false;
+        continue;
+      }
+
+      PhaseResult result;
+      if (!RunPath(&dev, &pool, path, retain != 0, &result)) {
+        std::fprintf(stderr, "%s %s phase failed\n",
+                     retain != 0 ? "retain" : "metadata", PathName(path));
+        ok = false;
+        continue;
+      }
+      // The counters must say what the phase claims it measured.
+      const sim::BufferPoolStats& stats = pool.stats();
+      if ((path == Path::kMiss && stats.misses < kPasses * kRequests) ||
+          (path != Path::kMiss && stats.hits < kPasses * kRequests) ||
+          (path == Path::kPinnedHit && stats.pinned_hits == 0)) {
+        std::fprintf(stderr, "%s %s phase took the wrong cache path\n",
+                     retain != 0 ? "retain" : "metadata", PathName(path));
+        ok = false;
+        continue;
+      }
+      wall[retain][static_cast<int>(path)] = result;
+      table.Row()
+          .Cell(retain != 0 ? "retain" : "metadata")
+          .Cell(PathName(path))
+          .Cell(result.sim_mb_per_s());
+    }
+  }
+
+  if (options.csv) {
+    table.PrintCsv();
+  } else {
+    table.PrintText();
+  }
+  std::printf("\n");
+
+  for (int retain = 0; retain < 2; ++retain) {
+    for (int path = 0; path < 3; ++path) {
+      const PhaseResult& r = wall[retain][path];
+      std::printf("  wall %s %-10s: %7.0f MB/s (%6.0f ns/op)\n",
+                  retain != 0 ? "retain  " : "metadata",
+                  path == 0 ? "miss" : path == 1 ? "hit" : "pinned hit",
+                  r.wall_mb_per_s(), r.wall_ns_per_op());
+    }
+  }
+  std::printf(
+      "\nExpectation: the miss rows charge the device's sequential read\n"
+      "rate; hit and pinned-hit rows charge identically (the pin is\n"
+      "bookkeeping, not a toll) at the pool's simulated copy bandwidth,\n"
+      "in both data modes.\n");
+  if (!ok) {
+    std::fprintf(stderr, "cache path error or payload mismatch — see above\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lor
+
+int main(int argc, char** argv) {
+  return lor::bench::Run(lor::bench::Options::FromArgs(argc, argv));
+}

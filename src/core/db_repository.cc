@@ -10,6 +10,8 @@ DbRepository::DbRepository(DbRepositoryConfig config)
     : config_(std::move(config)) {
   data_device_ = std::make_unique<sim::BlockDevice>(
       config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  pool_ = std::make_unique<sim::BufferPool>(data_device_.get(), config_.cache);
+  data_device_->AttachBufferPool(pool_.get());
   if (config_.log_volume_bytes > 0) {
     log_device_ = std::make_unique<sim::BlockDevice>(
         config_.disk.WithCapacity(config_.log_volume_bytes),
@@ -31,6 +33,9 @@ Status DbRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
 }
 
 Status DbRepository::DrainIo() {
+  // Dirty cached frames count as in-flight work: flush them onto the
+  // queue before draining it (see FsRepository::DrainIo).
+  LOR_RETURN_IF_ERROR(pool_->FlushAll());
   scheduler_->Drain();
   return Status::OK();
 }
@@ -220,7 +225,13 @@ Result<MountReport> DbRepository::Mount() {
     scheduler_->Abandon();
     data_device_->NotePowerCycle();
     if (log_device_ != nullptr) log_device_->NotePowerCycle();
+  } else {
+    // Clean remount: dirty frames reach the platter before the cache
+    // forgets them. After a crash they are (correctly) just lost.
+    LOR_RETURN_IF_ERROR(pool_->FlushAll());
   }
+  // DRAM died with the power: mount starts cold.
+  pool_->Reset();
   LOR_ASSIGN_OR_RETURN(db::BlobRecoveryStats rs, store_->Recover());
   MountReport report;
   report.entries_scanned = rs.entries_scanned;

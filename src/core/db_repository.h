@@ -20,6 +20,7 @@
 #include "core/object_repository.h"
 #include "db/blob_store.h"
 #include "sim/block_device.h"
+#include "sim/buffer_pool.h"
 
 namespace lor {
 namespace core {
@@ -34,6 +35,10 @@ struct DbRepositoryConfig {
   /// Drive model; capacity is overridden per volume.
   sim::DiskParams disk = sim::DiskParams::St3400832as();
   sim::DataMode data_mode = sim::DataMode::kMetadataOnly;
+  /// Buffer pool fronting the data volume (the log stays uncached — a
+  /// strictly-ordered append stream gains nothing from one). Capacity 0
+  /// (the default) disables the pool — the paper's cold-cache regime.
+  sim::BufferPoolOptions cache;
   /// Engine tuning (write request size, bulk-logged mode, costs...).
   db::BlobStoreOptions store;
 };
@@ -80,6 +85,10 @@ class DbRepository : public ObjectRepository {
   uint64_t free_bytes() const override;
   double now() const override;
   sim::IoStats device_stats() const override;
+  sim::BufferPoolStats cache_stats() const override {
+    return pool_->stats();
+  }
+  Status FlushCache() override { return pool_->FlushAll(); }
   Status CheckConsistency() const override;
   std::string name() const override { return "database"; }
 
@@ -114,6 +123,7 @@ class DbRepository : public ObjectRepository {
   /// Null when the configuration disables the dedicated log volume.
   sim::BlockDevice* log_device() { return log_device_.get(); }
   sim::IoScheduler* io_scheduler() { return scheduler_.get(); }
+  sim::BufferPool* buffer_pool() { return pool_.get(); }
   const DbRepositoryConfig& config() const { return config_; }
 
  private:
@@ -122,6 +132,9 @@ class DbRepository : public ObjectRepository {
 
   DbRepositoryConfig config_;
   std::unique_ptr<sim::BlockDevice> data_device_;
+  /// Cache tier fronting data_device_ only. Always constructed
+  /// (possibly disabled).
+  std::unique_ptr<sim::BufferPool> pool_;
   std::unique_ptr<sim::BlockDevice> log_device_;
   std::unique_ptr<db::BlobStore> store_;
   sim::LatencyRecorder latency_;

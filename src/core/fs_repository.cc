@@ -31,6 +31,8 @@ FsRepository::FsRepository(FsRepositoryConfig config,
     : config_(std::move(config)) {
   device_ = std::make_unique<sim::BlockDevice>(
       config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  pool_ = std::make_unique<sim::BufferPool>(device_.get(), config_.cache);
+  device_->AttachBufferPool(pool_.get());
   store_ = std::make_unique<fs::FileStore>(device_.get(), config_.store,
                                            std::move(allocator));
   scheduler_ = std::make_unique<sim::IoScheduler>(device_.get(), &latency_);
@@ -46,6 +48,11 @@ Status FsRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
 }
 
 Status FsRepository::DrainIo() {
+  // Dirty cached frames are in-flight work too: push them onto the
+  // queue, then drain it. CrashTortureRunner drains before arming the
+  // injector, so the loss window never silently includes lazy
+  // write-back state.
+  LOR_RETURN_IF_ERROR(pool_->FlushAll());
   scheduler_->Drain();
   return Status::OK();
 }
@@ -259,7 +266,13 @@ Result<MountReport> FsRepository::Mount() {
     // never happened, and the head position is unknown after restart.
     scheduler_->Abandon();
     device_->NotePowerCycle();
+  } else {
+    // Clean remount: dirty frames reach the platter before the cache
+    // forgets them. After a crash they are (correctly) just lost.
+    LOR_RETURN_IF_ERROR(pool_->FlushAll());
   }
+  // DRAM died with the power too: mount starts cold.
+  pool_->Reset();
   LOR_ASSIGN_OR_RETURN(fs::RecoveryStats rs, store_->Recover(IsTempName));
   MountReport report;
   report.entries_scanned = rs.entries_scanned;

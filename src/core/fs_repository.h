@@ -27,6 +27,7 @@
 #include "core/object_repository.h"
 #include "fs/file_store.h"
 #include "sim/block_device.h"
+#include "sim/buffer_pool.h"
 
 namespace lor {
 namespace core {
@@ -41,6 +42,9 @@ struct FsRepositoryConfig {
   sim::DataMode data_mode = sim::DataMode::kMetadataOnly;
   /// Size of the application's append requests (64 KB in the paper).
   uint64_t write_request_bytes = 64 * kKiB;
+  /// Buffer pool fronting the data volume. Capacity 0 (the default)
+  /// disables the pool entirely — the paper's cold-cache regime.
+  sim::BufferPoolOptions cache;
   /// File store tuning.
   fs::FileStoreOptions store;
   /// When true, SafeWrite preallocates the temp file to its final size
@@ -94,6 +98,10 @@ class FsRepository : public ObjectRepository {
   uint64_t free_bytes() const override;
   double now() const override;
   sim::IoStats device_stats() const override;
+  sim::BufferPoolStats cache_stats() const override {
+    return pool_->stats();
+  }
+  Status FlushCache() override { return pool_->FlushAll(); }
   Status CheckConsistency() const override;
   std::string name() const override { return "filesystem"; }
 
@@ -125,6 +133,7 @@ class FsRepository : public ObjectRepository {
   fs::FileStore* store() { return store_.get(); }
   sim::BlockDevice* device() { return device_.get(); }
   sim::IoScheduler* io_scheduler() { return scheduler_.get(); }
+  sim::BufferPool* buffer_pool() { return pool_.get(); }
   const FsRepositoryConfig& config() const { return config_; }
 
  private:
@@ -151,6 +160,9 @@ class FsRepository : public ObjectRepository {
 
   FsRepositoryConfig config_;
   std::unique_ptr<sim::BlockDevice> device_;
+  /// Cache tier fronting device_; attached before the store is built so
+  /// every store path sees it. Always constructed (possibly disabled).
+  std::unique_ptr<sim::BufferPool> pool_;
   std::unique_ptr<fs::FileStore> store_;
   sim::LatencyRecorder latency_;
   /// Owns the data volume's submission queue; attached to device_ for

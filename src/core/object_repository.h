@@ -26,6 +26,7 @@
 
 #include "alloc/extent.h"
 #include "core/object_handle.h"
+#include "sim/buffer_pool.h"
 #include "sim/io_stats.h"
 #include "sim/latency_recorder.h"
 #include "util/result.h"
@@ -178,6 +179,16 @@ class ObjectRepository {
   /// snapshot this so aggregate device figures merge exactly
   /// (sim::Sum); back ends without a device model return zeros.
   virtual sim::IoStats device_stats() const { return {}; }
+
+  /// Cumulative buffer-pool counters for the data volume's cache tier
+  /// (hits, misses, fills, evictions, writebacks, hit-rate). All-zeros
+  /// when the back end has no pool or the pool is disabled — the
+  /// plumbing twin of device_stats().
+  virtual sim::BufferPoolStats cache_stats() const { return {}; }
+
+  /// Writes back every dirty cached frame to the data volume. A no-op
+  /// without a pool; DrainIo implies it.
+  virtual Status FlushCache() { return Status::OK(); }
 
   // -- Submission/completion pipeline -----------------------------------
 

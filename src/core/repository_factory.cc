@@ -22,6 +22,10 @@ std::unique_ptr<ObjectRepository> FsRepositoryFactory::Create(
   (void)shard;
   FsRepositoryConfig config = base_;
   config.volume_bytes = SplitVolume(base_.volume_bytes, shard_count);
+  // Each shard's pool gets its slice of the configured cache, like the
+  // volume: total DRAM is a host-level budget.
+  config.cache.capacity_bytes =
+      SplitVolume(base_.cache.capacity_bytes, shard_count);
   return std::make_unique<FsRepository>(std::move(config));
 }
 
@@ -35,6 +39,8 @@ std::unique_ptr<ObjectRepository> DbRepositoryFactory::Create(
   DbRepositoryConfig config = base_;
   config.volume_bytes = SplitVolume(base_.volume_bytes, shard_count);
   config.log_volume_bytes = SplitVolume(base_.log_volume_bytes, shard_count);
+  config.cache.capacity_bytes =
+      SplitVolume(base_.cache.capacity_bytes, shard_count);
   return std::make_unique<DbRepository>(std::move(config));
 }
 

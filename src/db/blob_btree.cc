@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/buffer_pool.h"
+
 namespace lor {
 namespace db {
 
@@ -129,30 +131,53 @@ Result<BlobLayout> BlobBtree::Write(PageFile* file, LobAllocationUnit* unit,
   // straight from the caller's buffer into the arena via WriteView —
   // no per-page image staging.
   if (retain) {
+    sim::BufferPool* pool = file->device()->buffer_pool();
+    const bool pooled = pool != nullptr && pool->enabled();
     const std::vector<uint64_t> pages = EnumeratePages(layout.data_runs);
-    std::vector<sim::IoSlice> rewrite;
-    rewrite.reserve(pages.size());
-    for (uint64_t page : pages) {
-      rewrite.push_back({file->PageOffset(page), page_bytes, nullptr,
-                         nullptr});
-    }
     // Timing-only per-page writes (zeros stored, headers included)...
-    Status s = file->device()->WriteV(rewrite);
+    Status s;
+    if (pooled) {
+      // The streamed submissions above installed frames for these
+      // pages, so the rewrite must run against the pool too — a raw
+      // device write here would be clobbered by a later dirty flush.
+      std::vector<sim::CacheSlice> rewrite;
+      rewrite.reserve(pages.size());
+      for (uint64_t page : pages) {
+        const uint64_t off = file->PageOffset(page);
+        rewrite.push_back({off, page_bytes, nullptr, nullptr, off,
+                           page_bytes});
+      }
+      s = pool->WriteThrough(rewrite);
+    } else {
+      std::vector<sim::IoSlice> rewrite;
+      rewrite.reserve(pages.size());
+      for (uint64_t page : pages) {
+        rewrite.push_back({file->PageOffset(page), page_bytes, nullptr,
+                           nullptr});
+      }
+      s = file->device()->WriteV(rewrite);
+    }
     if (!s.ok()) {
       free_partial();
       return s;
     }
-    // ...then the payload lands zero-copy behind the page headers.
+    // ...then the payload lands zero-copy behind the page headers —
+    // into the resident frames when cached, straight into the arena
+    // otherwise.
     for (uint64_t i = 0; i < pages.size(); ++i) {
       const uint64_t off = i * payload;
       const uint64_t chunk = std::min(payload, nbytes - off);
       const uint8_t* src = data.data() + off;
-      file->device()->WriteView(
-          file->PageOffset(pages[i]) + kPageHeaderBytes, chunk,
-          [&src](std::span<uint8_t> dst) {
-            std::memcpy(dst.data(), src, dst.size());
-            src += dst.size();
-          });
+      auto fill = [&src](std::span<uint8_t> dst) {
+        std::memcpy(dst.data(), src, dst.size());
+        src += dst.size();
+      };
+      const uint64_t dst_off = file->PageOffset(pages[i]) + kPageHeaderBytes;
+      if (pooled) {
+        pool->WriteViewThrough(dst_off, chunk, fill);
+      } else {
+        file->device()->WriteView(dst_off, chunk, fill);
+      }
     }
   }
 
@@ -335,7 +360,14 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
   if (out != nullptr) {
     // Payload moves straight from the arena into `out` via ReadView —
     // no page-image staging buffer. Unwritten pages (and metadata-only
-    // devices) view as zeros, preserving the historical bytes.
+    // devices) view as zeros, preserving the historical bytes. With a
+    // buffer pool active the view goes through the pool instead, so
+    // dirty write-back frames are served their cached bytes.
+    sim::BufferPool* pool = file->device()->buffer_pool();
+    const bool pooled = pool != nullptr && pool->enabled();
+    const auto sink = [out](std::span<const uint8_t> src) {
+      out->insert(out->end(), src.begin(), src.end());
+    };
     uint64_t logical = first_page;
     for (const PageFile::PageRun& b : batches) {
       for (uint64_t i = 0; i < b.count; ++i) {
@@ -344,12 +376,13 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
         const uint64_t lo = std::max(pstart, offset);
         const uint64_t hi = std::min(pend, offset + length);
         if (hi <= lo) continue;
-        file->device()->ReadView(
-            file->PageOffset(b.first_page + i) + kPageHeaderBytes +
-                (lo - pstart),
-            hi - lo, [out](std::span<const uint8_t> src) {
-              out->insert(out->end(), src.begin(), src.end());
-            });
+        const uint64_t src_off = file->PageOffset(b.first_page + i) +
+                                 kPageHeaderBytes + (lo - pstart);
+        if (pooled) {
+          pool->View(src_off, hi - lo, sink);
+        } else {
+          file->device()->ReadView(src_off, hi - lo, sink);
+        }
       }
       logical += b.count;
     }
@@ -398,9 +431,9 @@ Status BlobBtree::VerifyTree(PageFile* file, const BlobLayout& layout) {
     std::vector<uint64_t> next;
     for (uint64_t page : frontier) {
       std::vector<uint8_t> image;
-      LOR_RETURN_IF_ERROR(
-          file->device()->Read(file->PageOffset(page), file->page_bytes(),
-                               &image));
+      // Through the page file, not the raw device: a pooled node write
+      // may still be parked in a dirty frame.
+      LOR_RETURN_IF_ERROR(file->ReadPages(page, 1, &image));
       const uint64_t children = GetU64(image.data());
       for (uint64_t c = 0; c < children; ++c) {
         next.push_back(GetU64(image.data() + kPageHeaderBytes + c * 8));

@@ -105,6 +105,9 @@ Status LobAllocationUnit::FreePage(uint64_t page_id) {
     return Status::InvalidArgument("double free of page");
   }
   bitmap = static_cast<uint16_t>(bitmap | (1u << bit));
+  // The page changes owner even while its extent stays with the unit —
+  // any cached frame must die before the next AllocatePage hands it out.
+  file_->InvalidatePages(page_id, 1);
   ++reserved_free_;
   --allocated_pages_;
   if (bitmap == all_free_) {
@@ -135,6 +138,7 @@ Status LobAllocationUnit::FreePages(const alloc::Extent& run) {
       return Status::InvalidArgument("double free of page");
     }
     bitmap = static_cast<uint16_t>(bitmap | mask);
+    file_->InvalidatePages(page, in_extent);
     reserved_free_ += in_extent;
     allocated_pages_ -= in_extent;
     if (bitmap == all_free_) {

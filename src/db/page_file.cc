@@ -24,6 +24,18 @@ PageFile::PageFile(sim::BlockDevice* device, PageFileOptions options)
   (void)s;
 }
 
+sim::BufferPool* PageFile::ActivePool() const {
+  sim::BufferPool* pool = device_->buffer_pool();
+  return (pool != nullptr && pool->enabled()) ? pool : nullptr;
+}
+
+void PageFile::InvalidatePages(uint64_t first_page, uint64_t count) {
+  if (count == 0) return;
+  if (sim::BufferPool* pool = ActivePool()) {
+    pool->Invalidate(PageOffset(first_page), count * options_.page_bytes);
+  }
+}
+
 Status PageFile::Grow() {
   if (file_extents_ >= capacity_extents_) {
     return Status::NoSpace("data file at capacity");
@@ -116,6 +128,10 @@ Status PageFile::FreeExtents(uint64_t first, uint64_t count) {
   if (first + count > file_extents_) {
     return Status::InvalidArgument("free beyond end of file");
   }
+  // The extents leave their owner whether the release is immediate or
+  // deferred — cached frames must die now, so a dirty frame can never
+  // flush over the next owner's pages.
+  InvalidatePages(ExtentFirstPage(first), count * options_.pages_per_extent);
   stats_.extents_freed += count;
   if (options_.deferred_free_allocations == 0) {
     return gam_.Release(first, count);
@@ -134,8 +150,16 @@ Status PageFile::ReadPages(uint64_t first_page, uint64_t count,
   if (end_extent >= file_extents_) {
     return Status::InvalidArgument("page read beyond end of file");
   }
-  return device_->Read(PageOffset(first_page), count * options_.page_bytes,
-                       out);
+  const uint64_t offset = PageOffset(first_page);
+  const uint64_t length = count * options_.page_bytes;
+  if (sim::BufferPool* pool = ActivePool()) {
+    if (out != nullptr) out->resize(length);
+    cache_slices_.assign(
+        1, {offset, length, nullptr, out != nullptr ? out->data() : nullptr,
+            offset, length});
+    return pool->ReadThrough(cache_slices_);
+  }
+  return device_->Read(offset, length, out);
 }
 
 Status PageFile::WritePages(uint64_t first_page, uint64_t count,
@@ -146,8 +170,15 @@ Status PageFile::WritePages(uint64_t first_page, uint64_t count,
   if (end_extent >= file_extents_) {
     return Status::InvalidArgument("page write beyond end of file");
   }
-  return device_->Write(PageOffset(first_page), count * options_.page_bytes,
-                        data);
+  const uint64_t offset = PageOffset(first_page);
+  const uint64_t length = count * options_.page_bytes;
+  if (sim::BufferPool* pool = ActivePool()) {
+    cache_slices_.assign(
+        1, {offset, length, data.empty() ? nullptr : data.data(), nullptr,
+            offset, length});
+    return pool->WriteThrough(cache_slices_);
+  }
+  return device_->Write(offset, length, data);
 }
 
 Status PageFile::CollectSlices(std::span<const PageRun> runs, bool write) {
@@ -174,12 +205,30 @@ Status PageFile::CollectSlices(std::span<const PageRun> runs, bool write) {
 Status PageFile::ReadPagesV(std::span<const PageRun> runs) {
   LOR_RETURN_IF_ERROR(CollectSlices(runs, /*write=*/false));
   if (io_slices_.empty()) return Status::OK();
+  if (sim::BufferPool* pool = ActivePool()) {
+    // Each run fills as one frame: the caller's batch plan (extent runs,
+    // capped read-ahead) is exactly the granularity the pool caches at.
+    cache_slices_.clear();
+    for (const sim::IoSlice& s : io_slices_) {
+      cache_slices_.push_back(
+          {s.offset, s.length, nullptr, s.dst, s.offset, s.length});
+    }
+    return pool->ReadThrough(cache_slices_);
+  }
   return device_->ReadV(io_slices_);
 }
 
 Status PageFile::WritePagesV(std::span<const PageRun> runs) {
   LOR_RETURN_IF_ERROR(CollectSlices(runs, /*write=*/true));
   if (io_slices_.empty()) return Status::OK();
+  if (sim::BufferPool* pool = ActivePool()) {
+    cache_slices_.clear();
+    for (const sim::IoSlice& s : io_slices_) {
+      cache_slices_.push_back(
+          {s.offset, s.length, s.src, nullptr, s.offset, s.length});
+    }
+    return pool->WriteThrough(cache_slices_);
+  }
   return device_->WriteV(io_slices_);
 }
 

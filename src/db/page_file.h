@@ -16,6 +16,7 @@
 
 #include "db/gam.h"
 #include "sim/block_device.h"
+#include "sim/buffer_pool.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -141,6 +142,12 @@ class PageFile {
   /// WritePagesV twin of ReadPagesV.
   Status WritePagesV(std::span<const PageRun> runs);
 
+  /// Drops any cached frames covering `count` pages from `first_page` —
+  /// called by every free path before pages change owner, so a stale
+  /// (or dirty) frame can never be served to, or flushed over, the next
+  /// allocation. No-op without an active buffer pool.
+  void InvalidatePages(uint64_t first_page, uint64_t count);
+
   /// Reusable scratch for callers composing PageRun batch plans
   /// (BlobBtree's write slices and read-ahead). Contents are call-local
   /// — cleared by the borrower, never read across PageFile calls
@@ -155,6 +162,10 @@ class PageFile {
   uint64_t file_bytes() const { return file_extents_ * extent_bytes(); }
 
  private:
+  /// The device's buffer pool when one is attached and enabled, else
+  /// null — the single check that keeps cache-size-0 a true no-op
+  /// (disabled pools leave every call on its historical device path).
+  sim::BufferPool* ActivePool() const;
   /// Grows the file by the autogrow increment; NoSpace at the cap.
   Status Grow();
   /// Validates `runs` and lowers them into `io_slices_`.
@@ -180,6 +191,8 @@ class PageFile {
   uint64_t scan_cursor_ = 0;  ///< GAM scan hint (last allocation end).
   /// Scratch for the vectored submissions (reused across calls).
   std::vector<sim::IoSlice> io_slices_;
+  /// Scratch for pool-routed submissions.
+  std::vector<sim::CacheSlice> cache_slices_;
   /// Batch-plan scratch loaned out via plan_scratch().
   std::vector<PageRun> plan_scratch_;
 };

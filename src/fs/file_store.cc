@@ -67,6 +67,9 @@ Result<FileHandle> FileStore::OpenRead(const std::string& name) {
   // the MFT record read. Reads through the handle skip both.
   device_->ChargeCpu(options_.costs.fs_open_s);
   ChargeMftAccess(file->id, /*write=*/false);
+  // Open handle = pin window: whatever the opener found cached stays
+  // resident until Close (advisory — invalidation still wins).
+  PinFileFrames(*file);
   return handles_.Register(name, {file, /*read_session=*/true});
 }
 
@@ -84,6 +87,9 @@ Status FileStore::Close(FileHandle handle) {
   if (slot == nullptr) return Status::InvalidArgument("stale file handle");
   if (slot->entry.read_session) {
     device_->ChargeCpu(options_.costs.fs_close_s);
+    // End of the read session's pin window (frames dropped or replaced
+    // meanwhile are skipped; pins never go below zero).
+    if (slot->entry.file != nullptr) UnpinFileFrames(*slot->entry.file);
   }
   handles_.Release(handle.slot);
   return Status::OK();
@@ -140,6 +146,9 @@ Status FileStore::Fsync(FileHandle handle) {
   if (slot->entry.file == nullptr) {
     return Status::NotFound("no such file: " + slot->name);
   }
+  // Fsync's contract: the file's data is on the platter before the
+  // journal flush commits — write-back frames go down first.
+  LOR_RETURN_IF_ERROR(FlushFileFrames(*slot->entry.file));
   ChargeJournal(/*flush=*/true);
   return Status::OK();
 }
@@ -321,7 +330,54 @@ Result<FileInfo*> FileStore::CreateImpl(const std::string& name) {
   return &it->second;
 }
 
+sim::BufferPool* FileStore::ActivePool() const {
+  sim::BufferPool* pool = device_->buffer_pool();
+  return pool != nullptr && pool->enabled() ? pool : nullptr;
+}
+
+void FileStore::InvalidateExtents(const alloc::ExtentList& extents) {
+  sim::BufferPool* pool = ActivePool();
+  if (pool == nullptr) return;
+  for (const alloc::Extent& e : extents) {
+    pool->Invalidate(e.start * options_.cluster_bytes,
+                     e.length * options_.cluster_bytes);
+  }
+}
+
+Status FileStore::FlushFileFrames(const FileInfo& file) {
+  sim::BufferPool* pool = ActivePool();
+  if (pool == nullptr) return Status::OK();
+  for (const alloc::Extent& e : file.extents) {
+    LOR_RETURN_IF_ERROR(pool->FlushRange(e.start * options_.cluster_bytes,
+                                         e.length * options_.cluster_bytes));
+  }
+  return Status::OK();
+}
+
+void FileStore::PinFileFrames(const FileInfo& file) {
+  sim::BufferPool* pool = ActivePool();
+  if (pool == nullptr) return;
+  for (const alloc::Extent& e : file.extents) {
+    pool->PinRange(e.start * options_.cluster_bytes,
+                   e.length * options_.cluster_bytes);
+  }
+}
+
+void FileStore::UnpinFileFrames(const FileInfo& file) {
+  sim::BufferPool* pool = ActivePool();
+  if (pool == nullptr) return;
+  for (const alloc::Extent& e : file.extents) {
+    pool->UnpinRange(e.start * options_.cluster_bytes,
+                     e.length * options_.cluster_bytes);
+  }
+}
+
 Status FileStore::FreeFileClusters(const FileInfo& file) {
+  // The clusters are leaving this owner either way (even when a crash
+  // window holds them for rollback, rollback reinstates layouts from
+  // the device, not from DRAM): cached frames — dirty ones included —
+  // die with it, and can never flush over a future owner.
+  InvalidateExtents(file.extents);
   if (CrashArmed()) {
     // Rollback window: the clusters stay unallocatable until the window
     // closes (EndCrashWindow frees them; Recover rebuilds wholesale),
@@ -539,6 +595,7 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
   }
 
   device_->BeginStreamWindow();
+  sim::BufferPool* pool = ActivePool();
   // Fast path: the appended range lies entirely inside the tail extent
   // (sequential extension), so it maps to one physical run.
   const alloc::Extent& tail = file->extents.back();
@@ -547,21 +604,40 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
   if (tail_logical <= file->size_bytes) {
     const uint64_t phys = tail.start * options_.cluster_bytes +
                           (file->size_bytes - tail_logical);
-    LOR_RETURN_IF_ERROR(device_->Write(phys, length, data));
+    if (pool != nullptr) {
+      cache_slices_.assign(
+          1, {phys, length, data.empty() ? nullptr : data.data(), nullptr,
+              phys, length});
+      LOR_RETURN_IF_ERROR(pool->WriteThrough(cache_slices_));
+    } else {
+      LOR_RETURN_IF_ERROR(device_->Write(phys, length, data));
+    }
   } else {
     // Fragmented append: the whole run list goes down as one vectored
     // submission (charge-identical to the historical write-per-run
     // loop), payload sliced straight out of the caller's buffer.
     MapRangeInto(*file, file->size_bytes, length, &append_runs_);
-    io_slices_.clear();
-    uint64_t consumed = 0;
-    for (const auto& [phys, len] : append_runs_) {
-      io_slices_.push_back(
-          {phys, len, data.empty() ? nullptr : data.data() + consumed,
-           nullptr});
-      consumed += len;
+    if (pool != nullptr) {
+      cache_slices_.clear();
+      uint64_t consumed = 0;
+      for (const auto& [phys, len] : append_runs_) {
+        cache_slices_.push_back(
+            {phys, len, data.empty() ? nullptr : data.data() + consumed,
+             nullptr, phys, len});
+        consumed += len;
+      }
+      LOR_RETURN_IF_ERROR(pool->WriteThrough(cache_slices_));
+    } else {
+      io_slices_.clear();
+      uint64_t consumed = 0;
+      for (const auto& [phys, len] : append_runs_) {
+        io_slices_.push_back(
+            {phys, len, data.empty() ? nullptr : data.data() + consumed,
+             nullptr});
+        consumed += len;
+      }
+      LOR_RETURN_IF_ERROR(device_->WriteV(io_slices_));
     }
-    LOR_RETURN_IF_ERROR(device_->WriteV(io_slices_));
   }
   device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
 
@@ -605,15 +681,31 @@ Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
   // staging vector), reusing whatever capacity it already holds.
   MapRangeInto(*file, offset, length, &read_runs_);
   if (out != nullptr) out->resize(length);
-  io_slices_.clear();
-  uint64_t consumed = 0;
-  for (const auto& [phys, len] : read_runs_) {
-    io_slices_.push_back(
-        {phys, len, nullptr,
-         out != nullptr ? out->data() + consumed : nullptr});
-    consumed += len;
+  sim::BufferPool* pool = ActivePool();
+  if (pool != nullptr) {
+    // Cache-routed read: each physical run is one cache request whose
+    // fill range is the whole run (extent-run read-ahead granularity);
+    // hits never touch the device, misses batch into one ReadV.
+    cache_slices_.clear();
+    uint64_t consumed = 0;
+    for (const auto& [phys, len] : read_runs_) {
+      cache_slices_.push_back(
+          {phys, len, nullptr,
+           out != nullptr ? out->data() + consumed : nullptr, phys, len});
+      consumed += len;
+    }
+    LOR_RETURN_IF_ERROR(pool->ReadThrough(cache_slices_));
+  } else {
+    io_slices_.clear();
+    uint64_t consumed = 0;
+    for (const auto& [phys, len] : read_runs_) {
+      io_slices_.push_back(
+          {phys, len, nullptr,
+           out != nullptr ? out->data() + consumed : nullptr});
+      consumed += len;
+    }
+    LOR_RETURN_IF_ERROR(device_->ReadV(io_slices_));
   }
-  LOR_RETURN_IF_ERROR(device_->ReadV(io_slices_));
   device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
   ++stats_.reads;
   ++file->read_count;
@@ -656,6 +748,7 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
   while (have > keep && !file->extents.empty()) {
     alloc::Extent& tail = file->extents.back();
     const uint64_t drop = std::min(tail.length, have - keep);
+    InvalidateExtents({{tail.end() - drop, drop}});
     LOR_RETURN_IF_ERROR(
         allocator_->Free({tail.end() - drop, drop}));
     tail.length -= drop;
@@ -680,11 +773,18 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
 Status FileStore::Fsync(const std::string& name) {
   const FileInfo* file = Find(name);
   if (file == nullptr) return Status::NotFound("no such file: " + name);
+  LOR_RETURN_IF_ERROR(FlushFileFrames(*file));
   ChargeJournal(/*flush=*/true);
   return Status::OK();
 }
 
 Status FileStore::MoveFileData(FileInfo* file, alloc::ExtentList fresh) {
+  // The mover reads the old layout straight off the device, so any
+  // dirty cached frames must reach the platter first; the old frames
+  // are then dropped once the clusters change owner. The new location
+  // has no frames (freed ranges are always invalidated), so the direct
+  // write below cannot go stale against the cache.
+  LOR_RETURN_IF_ERROR(FlushFileFrames(*file));
   // Read the old layout, write the new one (payload preserved in
   // retain mode) — one vectored submission per direction, staged
   // through a single flat buffer instead of per-run chunk vectors.
@@ -712,6 +812,7 @@ Status FileStore::MoveFileData(FileInfo* file, alloc::ExtentList fresh) {
   }
   LOR_RETURN_IF_ERROR(device_->WriteV(io_slices_));
 
+  InvalidateExtents(file->extents);
   for (const alloc::Extent& e : file->extents) {
     LOR_RETURN_IF_ERROR(allocator_->Free(e));
   }

@@ -47,6 +47,7 @@
 #include "core/fragmentation_tracker.h"
 #include "core/handle_table.h"
 #include "sim/block_device.h"
+#include "sim/buffer_pool.h"
 #include "sim/op_cost_model.h"
 #include "util/fnv.h"
 #include "util/result.h"
@@ -469,6 +470,18 @@ class FileStore {
                     std::vector<std::pair<uint64_t, uint64_t>>* runs) const;
   /// Frees all clusters of `file` through the allocator.
   Status FreeFileClusters(const FileInfo& file);
+  /// The device's buffer pool when one is attached and enabled, else
+  /// null — the single check that keeps cache-size-0 a true no-op.
+  sim::BufferPool* ActivePool() const;
+  /// Drops every cached frame of `extents` (delete/replace/truncate/
+  /// defrag-move: the owner is gone, dirty content dies with it).
+  void InvalidateExtents(const alloc::ExtentList& extents);
+  /// Writes back `file`'s dirty cached frames (the fsync contract:
+  /// data on the platter before the journal commit).
+  Status FlushFileFrames(const FileInfo& file);
+  /// Pins/unpins `file`'s resident frames (open handle = pin window).
+  void PinFileFrames(const FileInfo& file);
+  void UnpinFileFrames(const FileInfo& file);
   /// Copies `file`'s contents into the already-allocated `fresh` layout,
   /// frees the old clusters, and installs the new extents. Charges all
   /// the move I/O plus the metadata update.
@@ -499,6 +512,9 @@ class FileStore {
   /// payload moves directly between caller buffers and the device, so
   /// there is no per-run staging vector anywhere on the data paths.
   std::vector<sim::IoSlice> io_slices_;
+  /// Scratch for the buffer-pool twin of io_slices_ (cache-routed
+  /// reads/appends when a pool is enabled).
+  std::vector<sim::CacheSlice> cache_slices_;
   /// Open-handle table (slot/generation tickets + name index).
   core::HandleTable<OpenFilePayload, FileHandle> handles_;
   /// MFT record ids freed by deletes/replacements, reused by creates.

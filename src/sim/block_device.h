@@ -74,6 +74,7 @@
 namespace lor {
 namespace sim {
 
+class BufferPool;
 class FaultInjector;
 
 /// Opaque deep copy of a device's retained arena (see
@@ -240,6 +241,17 @@ class BlockDevice {
   FaultInjector* fault_injector() { return injector_; }
   const FaultInjector* fault_injector() const { return injector_; }
 
+  /// Wires up (or detaches, with null) the buffer pool fronting this
+  /// device. The device never calls into the pool — the pointer is a
+  /// rendezvous so storage layers sharing the device (FileStore /
+  /// BlobStore plus the repository that owns both ends of an op) find
+  /// the same cache without extra plumbing. Null (the default) and a
+  /// disabled pool both mean every caller takes its historical direct
+  /// path.
+  void AttachBufferPool(BufferPool* pool) { buffer_pool_ = pool; }
+  BufferPool* buffer_pool() { return buffer_pool_; }
+  const BufferPool* buffer_pool() const { return buffer_pool_; }
+
   /// Models the restart after a power cut: the head position is
   /// unknown, so the next request never counts as sequential.
   void NotePowerCycle() { head_valid_ = false; }
@@ -315,6 +327,7 @@ class BlockDevice {
   IoStats stats_;
   IoScheduler* scheduler_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  BufferPool* buffer_pool_ = nullptr;
   double window_t0_ = 0.0;  ///< Synchronous stream-window start.
   uint64_t head_ = 0;
   bool head_valid_ = false;

@@ -1,0 +1,541 @@
+#include "sim/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "sim/fault_injector.h"
+
+namespace lor {
+namespace sim {
+
+namespace {
+
+// Power-of-two buffer class helpers for the recycling free lists: a
+// buffer recycled into class c has capacity >= 2^c (floor log2), so a
+// taker asking ceil-log2(len) is guaranteed a large-enough buffer.
+size_t TakeClass(uint64_t len) {
+  return len <= 1 ? 0 : static_cast<size_t>(std::bit_width(len - 1));
+}
+size_t RecycleClass(uint64_t capacity) {
+  return capacity <= 1 ? 0 : static_cast<size_t>(std::bit_width(capacity) - 1);
+}
+
+}  // namespace
+
+BufferPool::BufferPool(BlockDevice* device, BufferPoolOptions options)
+    : device_(device), options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.resize(options_.shards);
+}
+
+bool BufferPool::WriteBackActive() const {
+  if (!options_.write_back) return false;
+  const FaultInjector* injector = device_->fault_injector();
+  return injector == nullptr || !injector->armed();
+}
+
+std::map<uint64_t, BufferPool::Frame>::iterator BufferPool::FirstOverlap(
+    uint64_t offset, uint64_t len) {
+  auto it = frames_.lower_bound(offset);
+  if (it != frames_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end() > offset) it = prev;
+  }
+  if (it == frames_.end() || it->first >= offset + len) return frames_.end();
+  return it;
+}
+
+BufferPool::Frame* BufferPool::FrameAt(uint64_t offset) {
+  return const_cast<Frame*>(
+      static_cast<const BufferPool*>(this)->FrameAt(offset));
+}
+
+const BufferPool::Frame* BufferPool::FrameAt(uint64_t offset) const {
+  auto it = frames_.upper_bound(offset);
+  if (it == frames_.begin()) return nullptr;
+  const Frame& f = std::prev(it)->second;
+  return f.end() > offset ? &f : nullptr;
+}
+
+bool BufferPool::Covered(uint64_t offset, uint64_t len) const {
+  uint64_t pos = offset;
+  const uint64_t end = offset + len;
+  while (pos < end) {
+    const Frame* f = FrameAt(pos);
+    if (f == nullptr) return false;
+    pos = f->end();
+  }
+  return true;
+}
+
+void BufferPool::Touch(Frame* frame) {
+  frame->referenced = true;
+  if (!options_.strict_lru) return;
+  Shard& sh = shards_[frame->shard];
+  sh.lru_index.erase(frame->lru_seq);
+  frame->lru_seq = ++lru_clock_;
+  sh.lru_index.emplace(frame->lru_seq, frame->offset);
+}
+
+Status BufferPool::InstallFrame(uint64_t offset, uint64_t len, Frame** out) {
+  // Dirty overlaps hold bytes newer than the device: write them back
+  // before they are dropped (a read fill would otherwise resurrect
+  // stale device content; a partially-overlapping write would lose the
+  // non-overlapped dirty bytes).
+  LOR_RETURN_IF_ERROR(FlushOverlapping(offset, len));
+  uint32_t inherited_pin = 0;
+  for (auto it = FirstOverlap(offset, len);
+       it != frames_.end() && it->first < offset + len;) {
+    inherited_pin = std::max(inherited_pin, it->second.pin);
+    it = DropFrame(it);
+  }
+  const uint32_t shard = ShardOf(offset);
+  LOR_RETURN_IF_ERROR(EvictFor(shard, len));
+  Frame frame;
+  frame.offset = offset;
+  frame.length = len;
+  // Replacing a pinned frame keeps its pin (the granularity changed,
+  // the protection window did not); UnpinRange guards at zero.
+  frame.pin = inherited_pin;
+  frame.shard = shard;
+  frame.lru_seq = ++lru_clock_;
+  frame.referenced = true;
+  if (RetainData()) frame.data = TakeBuffer(len);
+  auto [it, inserted] = frames_.emplace(offset, std::move(frame));
+  Shard& sh = shards_[shard];
+  sh.used_bytes += len;
+  cached_bytes_ += len;
+  if (options_.strict_lru) {
+    sh.lru_index.emplace(it->second.lru_seq, offset);
+  } else {
+    sh.clock_ring.emplace_back(offset, it->second.lru_seq);
+  }
+  *out = &it->second;
+  return Status::OK();
+}
+
+Status BufferPool::EvictFor(uint32_t shard, uint64_t incoming) {
+  Shard& sh = shards_[shard];
+  const uint64_t cap = ShardCapacity();
+  while (sh.used_bytes + incoming > cap) {
+    bool evicted = false;
+    LOR_RETURN_IF_ERROR(EvictOne(shard, &evicted));
+    if (!evicted) {
+      // Nothing evictable (everything pinned, or the run is simply
+      // larger than the domain): grow past the slice rather than fail.
+      ++stats_.eviction_refusals;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne(uint32_t shard, bool* evicted) {
+  *evicted = false;
+  Shard& sh = shards_[shard];
+  if (options_.strict_lru) {
+    for (auto it = sh.lru_index.begin(); it != sh.lru_index.end(); ++it) {
+      auto fit = frames_.find(it->second);
+      if (fit == frames_.end() || fit->second.lru_seq != it->first) continue;
+      Frame& f = fit->second;
+      if (f.pin > 0) continue;
+      if (f.dirty) LOR_RETURN_IF_ERROR(WriteBackFrame(&f));
+      DropFrame(fit);
+      ++stats_.evictions;
+      *evicted = true;
+      return Status::OK();
+    }
+    return Status::OK();
+  }
+  // CLOCK: sweep the ring, clearing reference bits; pinned frames are
+  // skipped, stale entries (generation mismatch) removed in passing.
+  // Two full sweeps bound the scan when every frame is referenced.
+  size_t scanned = 0;
+  const size_t limit = sh.clock_ring.size() * 2 + 2;
+  while (!sh.clock_ring.empty() && scanned < limit) {
+    if (sh.hand >= sh.clock_ring.size()) sh.hand = 0;
+    const auto [off, seq] = sh.clock_ring[sh.hand];
+    auto fit = frames_.find(off);
+    if (fit == frames_.end() || fit->second.lru_seq != seq) {
+      sh.clock_ring[sh.hand] = sh.clock_ring.back();
+      sh.clock_ring.pop_back();
+      continue;
+    }
+    Frame& f = fit->second;
+    if (f.pin > 0) {
+      ++sh.hand;
+      ++scanned;
+      continue;
+    }
+    if (f.referenced) {
+      f.referenced = false;
+      ++sh.hand;
+      ++scanned;
+      continue;
+    }
+    if (f.dirty) LOR_RETURN_IF_ERROR(WriteBackFrame(&f));
+    DropFrame(fit);
+    sh.clock_ring[sh.hand] = sh.clock_ring.back();
+    sh.clock_ring.pop_back();
+    ++stats_.evictions;
+    *evicted = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+std::map<uint64_t, BufferPool::Frame>::iterator BufferPool::DropFrame(
+    std::map<uint64_t, Frame>::iterator it) {
+  Frame& f = it->second;
+  Shard& sh = shards_[f.shard];
+  sh.used_bytes -= f.length;
+  cached_bytes_ -= f.length;
+  if (f.dirty) dirty_bytes_ -= f.length;
+  if (options_.strict_lru) sh.lru_index.erase(f.lru_seq);
+  if (!f.data.empty()) RecycleBuffer(std::move(f.data));
+  return frames_.erase(it);
+}
+
+Status BufferPool::WriteBackFrame(Frame* frame) {
+  IoRequest req;
+  req.write = true;
+  req.offset = frame->offset;
+  req.length = frame->length;
+  req.src = frame->data.empty() ? nullptr : frame->data.data();
+  LOR_RETURN_IF_ERROR(device_->Submit(req));
+  frame->dirty = false;
+  dirty_bytes_ -= frame->length;
+  ++stats_.writebacks;
+  stats_.writeback_bytes += frame->length;
+  return Status::OK();
+}
+
+Status BufferPool::FlushOverlapping(uint64_t offset, uint64_t len) {
+  if (dirty_bytes_ == 0) return Status::OK();
+  flush_requests_.clear();
+  flush_frames_.clear();
+  for (auto it = FirstOverlap(offset, len);
+       it != frames_.end() && it->first < offset + len; ++it) {
+    Frame& f = it->second;
+    if (!f.dirty) continue;
+    IoRequest req;
+    req.write = true;
+    req.offset = f.offset;
+    req.length = f.length;
+    req.src = f.data.empty() ? nullptr : f.data.data();
+    flush_requests_.push_back(req);
+    flush_frames_.push_back(&f);
+  }
+  if (flush_requests_.empty()) return Status::OK();
+  // One offset-ordered vectored submission (map order is offset order):
+  // the batch rides the IoScheduler and charges like the equivalent
+  // scalar sequence, so a big flush pays one positioning per
+  // contiguous dirty range.
+  LOR_RETURN_IF_ERROR(device_->SubmitV(flush_requests_));
+  for (Frame* f : flush_frames_) {
+    f->dirty = false;
+    dirty_bytes_ -= f->length;
+    ++stats_.writebacks;
+    stats_.writeback_bytes += f->length;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushRange(uint64_t offset, uint64_t len) {
+  if (!enabled() || len == 0) return Status::OK();
+  return FlushOverlapping(offset, len);
+}
+
+Status BufferPool::FlushAll() {
+  if (!enabled() || dirty_bytes_ == 0) return Status::OK();
+  return FlushOverlapping(0, device_->capacity());
+}
+
+std::vector<uint8_t> BufferPool::TakeBuffer(uint64_t len) {
+  const size_t cls = TakeClass(len);
+  if (cls < free_lists_.size() && !free_lists_[cls].empty()) {
+    std::vector<uint8_t> buffer = std::move(free_lists_[cls].back());
+    free_lists_[cls].pop_back();
+    free_list_bytes_ -= buffer.capacity();
+    buffer.resize(len);  // Zero-fills within the retained capacity.
+    ++stats_.frame_recycles;
+    return buffer;
+  }
+  std::vector<uint8_t> buffer(len);
+  ++stats_.frame_allocs;
+  return buffer;
+}
+
+void BufferPool::RecycleBuffer(std::vector<uint8_t>&& buffer) {
+  const uint64_t cap = buffer.capacity();
+  if (cap == 0) return;
+  // Bound the idle-buffer memory at a quarter of the pool (with a
+  // 1 MiB floor so tiny pools still recycle at all).
+  constexpr uint64_t kFreeListFloor = 1ull << 20;
+  if (free_list_bytes_ + cap > options_.capacity_bytes / 4 + kFreeListFloor) {
+    return;
+  }
+  const size_t cls = RecycleClass(cap);
+  if (cls >= free_lists_.size()) free_lists_.resize(cls + 1);
+  buffer.clear();
+  free_list_bytes_ += cap;
+  free_lists_[cls].push_back(std::move(buffer));
+}
+
+Status BufferPool::ReadThrough(std::span<const CacheSlice> slices,
+                               uint64_t* device_bytes) {
+  if (!enabled()) {
+    // Pass-through: the disabled pool issues the identical vectored
+    // read the caller's historical path would have.
+    fill_slices_.clear();
+    uint64_t total = 0;
+    for (const CacheSlice& s : slices) {
+      fill_slices_.push_back({s.offset, s.length, nullptr, s.dst});
+      total += s.length;
+    }
+    if (device_bytes != nullptr) *device_bytes = total;
+    return device_->ReadV(fill_slices_);
+  }
+  fill_slices_.clear();
+  copy_jobs_.clear();
+  uint64_t filled = 0;
+  for (const CacheSlice& s : slices) {
+    if (s.length == 0) continue;
+    if (s.offset + s.length > device_->capacity() ||
+        s.offset + s.length < s.offset) {
+      return Status::InvalidArgument("cache read out of range");
+    }
+    if (Covered(s.offset, s.length)) {
+      ++stats_.hits;
+      stats_.hit_bytes += s.length;
+      bool pinned_before = false;
+      uint64_t pos = s.offset;
+      const uint64_t end = s.offset + s.length;
+      while (pos < end) {
+        Frame* f = FrameAt(pos);
+        if (f->pin > 0) pinned_before = true;
+        Touch(f);
+        const uint64_t chunk = std::min(f->end(), end) - pos;
+        CopyJob job;
+        job.frame = f;
+        job.offset_in_frame = pos - f->offset;
+        job.dst = s.dst == nullptr ? nullptr : s.dst + (pos - s.offset);
+        job.length = chunk;
+        copy_jobs_.push_back(job);
+        ++f->pin;  // Transient: protects the frame until the copy runs.
+        pos += chunk;
+      }
+      if (pinned_before) ++stats_.pinned_hits;
+      // A hit never touches the device: charge only the host-side
+      // lookup + copy. ChargeCpu rides the open op scope, so cache
+      // hits still appear in the per-op latency percentiles.
+      device_->ChargeCpu(options_.hit_cpu_s +
+                         static_cast<double>(s.length) /
+                             options_.copy_bandwidth);
+      continue;
+    }
+    ++stats_.misses;
+    stats_.miss_bytes += s.length;
+    // Fill range: the caller's extent-run read-ahead range when
+    // enabled, otherwise exactly the request.
+    uint64_t fo = s.offset;
+    uint64_t fl = s.length;
+    if (options_.read_ahead && s.fill_length > 0) {
+      fo = s.fill_offset;
+      fl = s.fill_length;
+      if (fo > s.offset || fo + fl < s.offset + s.length ||
+          fo + fl > device_->capacity()) {
+        return Status::InvalidArgument("cache fill does not cover request");
+      }
+    }
+    Frame* frame = nullptr;
+    LOR_RETURN_IF_ERROR(InstallFrame(fo, fl, &frame));
+    ++stats_.fills;
+    stats_.fill_bytes += fl;
+    filled += fl;
+    fill_slices_.push_back(
+        {fo, fl, nullptr,
+         frame->data.empty() ? nullptr : frame->data.data()});
+    CopyJob job;
+    job.frame = frame;
+    job.offset_in_frame = s.offset - fo;
+    job.dst = s.dst;
+    job.length = s.length;
+    copy_jobs_.push_back(job);
+    ++frame->pin;
+  }
+  // One vectored device read fills every missed range (charged exactly
+  // like the scalar sequence in this order), then the deferred copies
+  // run — hit copies included, so a slice served by an earlier slice's
+  // fill never reads an unfilled frame.
+  Status fill_status;
+  if (!fill_slices_.empty()) fill_status = device_->ReadV(fill_slices_);
+  for (const CopyJob& job : copy_jobs_) {
+    if (fill_status.ok() && job.dst != nullptr) {
+      if (job.frame->data.empty()) {
+        std::memset(job.dst, 0, job.length);
+      } else {
+        std::memcpy(job.dst, job.frame->data.data() + job.offset_in_frame,
+                    job.length);
+      }
+    }
+    if (job.frame->pin > 0) --job.frame->pin;
+  }
+  if (device_bytes != nullptr) *device_bytes = filled;
+  return fill_status;
+}
+
+Status BufferPool::WriteThrough(std::span<const CacheSlice> slices,
+                                uint64_t* device_bytes) {
+  if (!enabled()) {
+    fill_slices_.clear();
+    uint64_t total = 0;
+    for (const CacheSlice& s : slices) {
+      fill_slices_.push_back({s.offset, s.length, s.src, nullptr});
+      total += s.length;
+    }
+    if (device_bytes != nullptr) *device_bytes = total;
+    return device_->WriteV(fill_slices_);
+  }
+  const bool through = !WriteBackActive();
+  fill_slices_.clear();
+  uint64_t through_bytes = 0;
+  uint64_t through_count = 0;
+  for (const CacheSlice& s : slices) {
+    if (s.length == 0) continue;
+    if (s.offset + s.length > device_->capacity() ||
+        s.offset + s.length < s.offset) {
+      return Status::InvalidArgument("cache write out of range");
+    }
+    Frame* f = FrameAt(s.offset);
+    if (f != nullptr && f->end() >= s.offset + s.length) {
+      // In-place update within one resident frame.
+      if (!f->data.empty()) {
+        uint8_t* p = f->data.data() + (s.offset - f->offset);
+        if (s.src != nullptr) {
+          std::memcpy(p, s.src, s.length);
+        } else {
+          // Timing-only writes store zeros on the device; mirror that.
+          std::memset(p, 0, s.length);
+        }
+      }
+      Touch(f);
+    } else {
+      LOR_RETURN_IF_ERROR(InstallFrame(s.offset, s.length, &f));
+      if (!f->data.empty() && s.src != nullptr) {
+        std::memcpy(f->data.data(), s.src, s.length);
+      }
+    }
+    ++stats_.write_installs;
+    if (through) {
+      fill_slices_.push_back({s.offset, s.length, s.src, nullptr});
+      through_bytes += s.length;
+      ++through_count;
+      // The frame's other bytes keep whatever dirtiness they had; the
+      // slice itself is now coherent with the device either way.
+    } else {
+      if (!f->dirty) {
+        f->dirty = true;
+        dirty_bytes_ += f->length;
+      }
+      device_->ChargeCpu(options_.hit_cpu_s +
+                         static_cast<double>(s.length) /
+                             options_.copy_bandwidth);
+    }
+  }
+  if (through && !fill_slices_.empty()) {
+    LOR_RETURN_IF_ERROR(device_->WriteV(fill_slices_));
+    if (options_.write_back) stats_.forced_write_through += through_count;
+  }
+  if (device_bytes != nullptr) *device_bytes = through_bytes;
+  if (!through &&
+      static_cast<double>(dirty_bytes_) >
+          options_.dirty_ratio * static_cast<double>(options_.capacity_bytes)) {
+    // Lazy-writer threshold: one batched, offset-ordered writeback.
+    LOR_RETURN_IF_ERROR(FlushAll());
+  }
+  return Status::OK();
+}
+
+void BufferPool::Invalidate(uint64_t offset, uint64_t len) {
+  if (!enabled() || len == 0) return;
+  for (auto it = FirstOverlap(offset, len);
+       it != frames_.end() && it->first < offset + len;) {
+    ++stats_.invalidations;
+    it = DropFrame(it);  // Dirty content dies with the owner.
+  }
+}
+
+uint64_t BufferPool::PinRange(uint64_t offset, uint64_t len) {
+  if (!enabled() || len == 0) return 0;
+  uint64_t pinned = 0;
+  for (auto it = FirstOverlap(offset, len);
+       it != frames_.end() && it->first < offset + len; ++it) {
+    ++it->second.pin;
+    ++pinned;
+  }
+  return pinned;
+}
+
+void BufferPool::UnpinRange(uint64_t offset, uint64_t len) {
+  if (!enabled() || len == 0) return;
+  for (auto it = FirstOverlap(offset, len);
+       it != frames_.end() && it->first < offset + len; ++it) {
+    if (it->second.pin > 0) --it->second.pin;
+  }
+}
+
+void BufferPool::Reset() {
+  frames_.clear();
+  shards_.assign(options_.shards, Shard{});
+  free_lists_.clear();
+  free_list_bytes_ = 0;
+  cached_bytes_ = 0;
+  dirty_bytes_ = 0;
+}
+
+const uint8_t* BufferPool::ViewChunk(uint64_t offset, uint64_t len,
+                                     uint64_t* chunk) const {
+  const Frame* f = FrameAt(offset);
+  if (f != nullptr) {
+    *chunk = std::min(f->end(), offset + len) - offset;
+    if (f->data.empty()) return nullptr;  // Bookkeeping frame: device view.
+    return f->data.data() + (offset - f->offset);
+  }
+  auto it = frames_.upper_bound(offset);
+  const uint64_t gap_end =
+      it == frames_.end() ? offset + len : std::min(it->first, offset + len);
+  *chunk = gap_end - offset;
+  return nullptr;
+}
+
+uint8_t* BufferPool::MutableViewChunk(uint64_t offset, uint64_t len,
+                                      uint64_t* chunk, bool through) {
+  Frame* f = FrameAt(offset);
+  if (f != nullptr) {
+    *chunk = std::min(f->end(), offset + len) - offset;
+    if (f->data.empty()) return nullptr;  // Device drops payload anyway.
+    if (!through && !f->dirty) {
+      f->dirty = true;
+      dirty_bytes_ += f->length;
+    }
+    return f->data.data() + (offset - f->offset);
+  }
+  auto it = frames_.upper_bound(offset);
+  const uint64_t gap_end =
+      it == frames_.end() ? offset + len : std::min(it->first, offset + len);
+  *chunk = gap_end - offset;
+  return nullptr;
+}
+
+void BufferPool::CopyFrameToDevice(uint64_t offset, const uint8_t* src,
+                                   uint64_t len) {
+  device_->WriteView(offset, len, [&src](std::span<uint8_t> d) {
+    std::memcpy(d.data(), src, d.size());
+    src += d.size();
+  });
+}
+
+}  // namespace sim
+}  // namespace lor

@@ -49,6 +49,7 @@ Status CrashTortureRunner::Setup() {
     core::FsRepositoryConfig cfg;
     cfg.volume_bytes = options_.volume_bytes;
     cfg.data_mode = options_.data_mode;
+    cfg.cache.capacity_bytes = options_.cache_bytes;
     cfg.store.batch_journal_charges = options_.batch_journal_charges;
     fs_ = std::make_unique<core::FsRepository>(cfg);
     fs_->device()->AttachFaultInjector(&injector_);
@@ -58,6 +59,7 @@ Status CrashTortureRunner::Setup() {
     cfg.volume_bytes = options_.volume_bytes;
     cfg.log_volume_bytes = options_.volume_bytes / 8;
     cfg.data_mode = options_.data_mode;
+    cfg.cache.capacity_bytes = options_.cache_bytes;
     cfg.store.bulk_logged = options_.bulk_logged;
     db_ = std::make_unique<core::DbRepository>(cfg);
     // Data and log volumes share one power supply: one injector, one

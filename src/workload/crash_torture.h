@@ -66,6 +66,11 @@ struct CrashTortureOptions {
   /// Operations issued per armed window before giving up on the trip.
   uint64_t max_ops_per_window = 48;
   uint64_t seed = 1;
+  /// Buffer-pool capacity on the data volume. 0 (the default) runs the
+  /// historical uncached torture; nonzero exercises the write-back
+  /// cache against power cuts (the pool forces write-through while the
+  /// injector is armed, so the oracle's durability rules are unchanged).
+  uint64_t cache_bytes = 0;
 };
 
 /// Outcome of one cut cycle.

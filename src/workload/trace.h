@@ -95,6 +95,10 @@ class RecordingRepository : public core::ObjectRepository {
   sim::IoStats device_stats() const override {
     return inner_->device_stats();
   }
+  sim::BufferPoolStats cache_stats() const override {
+    return inner_->cache_stats();
+  }
+  Status FlushCache() override { return inner_->FlushCache(); }
   Status CheckConsistency() const override {
     return inner_->CheckConsistency();
   }
