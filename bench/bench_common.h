@@ -51,20 +51,40 @@ struct Options {
   /// entirely — the paper's cold-cache regime, bit-identical to the
   /// pre-cache figures.
   uint64_t cache_mb = 0;
+  /// Disables cross-shard overlap (`--no-overlap`): checkpoints age
+  /// and measure as separate barrier-synchronized dispatches, and
+  /// shared-spindle shards drain after every operation. The A/B
+  /// baseline for the host-wall overlap win; simulated results are
+  /// unchanged either way.
+  bool no_overlap = false;
+  /// Extra timed read passes per checkpoint (`--wall-repeats=N`): the
+  /// reported read wall seconds is the min over the N passes (the
+  /// noise-robust estimator), the simulated sample comes from the
+  /// first. N > 1 draws extra probe victims from the workload stream,
+  /// so it is opt-in — the default 1 reproduces historical streams
+  /// exactly.
+  uint32_t wall_repeats = 1;
+  /// Shards per shared spindle for contention benches (`--owners=N`);
+  /// 0 (default) lets the bench run its own 1/2/4 sweep.
+  uint32_t owners_per_spindle = 0;
+  /// Service the shared head FIFO instead of SPTF (`--fifo`).
+  bool fifo = false;
 
   /// Parses --scale=small|paper|<float>, --seed=N, --csv,
-  /// --shards=N/--threads=N, --name-path, --qd=N, --sync, --cache-mb=N.
+  /// --shards=N/--threads=N, --name-path, --qd=N, --sync, --cache-mb=N,
+  /// --no-overlap, --wall-repeats=N, --owners=N, --fifo.
   static Options FromArgs(int argc, char** argv);
 
   uint64_t ScaleBytes(uint64_t paper_bytes) const;
 
   /// Workload config seeded from these options (seed + access path +
-  /// queue depth).
+  /// queue depth + overlap).
   workload::WorkloadConfig MakeWorkloadConfig() const {
     workload::WorkloadConfig config;
     config.seed = seed;
     config.use_handles = !name_path;
     config.queue_depth = queue_depth;
+    config.overlap = !no_overlap;
     return config;
   }
 };
@@ -105,14 +125,25 @@ struct AgingCheckpoint {
   /// (merged across shards). Subtract the previous checkpoint's to
   /// isolate one interval (sim::LatencyRecorder::operator-).
   sim::LatencyRecorder latency;
+  /// Aggregate buffer-pool hit rate at this checkpoint and its spread
+  /// across shards (per-client fairness of a global cache budget). All
+  /// zero with pools disabled. Host wall seconds per phase live in the
+  /// samples themselves (ThroughputSample::host_seconds).
+  double cache_hit = 0.0;
+  double cache_hit_min = 0.0;
+  double cache_hit_max = 0.0;
 };
 
 /// Bulk loads, then visits each storage age in order, measuring write
 /// throughput per interval and probing reads + fragmentation at each
 /// checkpoint. `ages` must be increasing and start implicitly at 0.
+/// Each aged checkpoint runs age-then-probe as one fused dispatch
+/// (identical simulated results, overlapped host work); `wall_repeats`
+/// > 1 re-runs the timed probe and keeps the min host wall.
 Result<std::vector<AgingCheckpoint>> RunAging(
     core::ObjectRepository* repo, const workload::WorkloadConfig& config,
-    const std::vector<double>& ages, bool probe_reads = true);
+    const std::vector<double>& ages, bool probe_reads = true,
+    uint32_t wall_repeats = 1);
 
 /// Sharded variant of RunAging: drives `shards` per-shard repositories
 /// concurrently (workload::ShardedRunner) and records merged samples
@@ -121,7 +152,7 @@ Result<std::vector<AgingCheckpoint>> RunAging(
 Result<std::vector<AgingCheckpoint>> RunShardedAging(
     const core::RepositoryFactory& factory, uint32_t shards,
     const workload::WorkloadConfig& config, const std::vector<double>& ages,
-    bool probe_reads = true);
+    bool probe_reads = true, uint32_t wall_repeats = 1);
 
 /// Prints the standard bench banner with the paper reference.
 void PrintBanner(const std::string& title, const std::string& paper_ref,

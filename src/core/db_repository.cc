@@ -1,5 +1,7 @@
 #include "core/db_repository.h"
 
+#include <cassert>
+
 #include "sim/fault_injector.h"
 #include "util/fnv.h"
 
@@ -8,8 +10,18 @@ namespace core {
 
 DbRepository::DbRepository(DbRepositoryConfig config)
     : config_(std::move(config)) {
-  data_device_ = std::make_unique<sim::BlockDevice>(
-      config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  if (config_.spindle != nullptr) {
+    // Shared spindle for the data volume; the log device below stays
+    // dedicated (see the config comment). Format charges run
+    // synchronously on the hub clock — construction is serial, before
+    // any plane traffic — and the scheduler is ported afterwards.
+    data_device_ = config_.spindle->CreateOwnerDevice(config_.spindle_owner);
+    assert(data_device_->capacity() == config_.volume_bytes &&
+           "plane region must match volume_bytes");
+  } else {
+    data_device_ = std::make_unique<sim::BlockDevice>(
+        config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  }
   pool_ = std::make_unique<sim::BufferPool>(data_device_.get(), config_.cache);
   data_device_->AttachBufferPool(pool_.get());
   if (config_.log_volume_bytes > 0) {
@@ -22,6 +34,9 @@ DbRepository::DbRepository(DbRepositoryConfig config)
   scheduler_ =
       std::make_unique<sim::IoScheduler>(data_device_.get(), &latency_);
   data_device_->AttachScheduler(scheduler_.get());
+  if (config_.spindle != nullptr) {
+    scheduler_->AttachSpindle(config_.spindle.get(), config_.spindle_owner);
+  }
 }
 
 Status DbRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
@@ -34,10 +49,32 @@ Status DbRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
 
 Status DbRepository::DrainIo() {
   // Dirty cached frames count as in-flight work: flush them onto the
-  // queue before draining it (see FsRepository::DrainIo).
-  LOR_RETURN_IF_ERROR(pool_->FlushAll());
+  // queue before draining it (see FsRepository::DrainIo, including the
+  // shared-spindle op-scope rationale).
+  {
+    sim::OpScope scope(scheduler_->port_mode() ? scheduler_.get() : nullptr,
+                       sim::OpClass::kControl);
+    LOR_RETURN_IF_ERROR(pool_->FlushAll());
+  }
   scheduler_->Drain();
   return Status::OK();
+}
+
+Status DbRepository::SettleIo() {
+  // See FsRepository::SettleIo — no drain and no cache flush on a
+  // dedicated spindle, a phase fence (and nothing else) on a shared
+  // one.
+  if (!scheduler_->port_mode()) return Status::OK();
+  scheduler_->SettlePhase();
+  return Status::OK();
+}
+
+bool DbRepository::shared_spindle() const { return scheduler_->port_mode(); }
+
+Status DbRepository::FlushCache() {
+  sim::OpScope scope(scheduler_->port_mode() ? scheduler_.get() : nullptr,
+                     sim::OpClass::kControl);
+  return pool_->FlushAll();
 }
 
 // -- Handle surface ----------------------------------------------------
@@ -204,7 +241,7 @@ uint64_t DbRepository::free_bytes() const {
          (data_device_->capacity() - store_->page_file().file_bytes());
 }
 
-double DbRepository::now() const { return data_device_->clock().now(); }
+double DbRepository::now() const { return scheduler_->Now(); }
 
 sim::IoStats DbRepository::device_stats() const {
   return data_device_->stats();
@@ -217,6 +254,11 @@ Status DbRepository::CheckConsistency() const {
 // -- Crash recovery & verification -------------------------------------
 
 Result<MountReport> DbRepository::Mount() {
+  if (scheduler_->port_mode()) {
+    return Status::NotSupported(
+        "crash simulation is per-spindle: Mount is unavailable in "
+        "shared-spindle mode");
+  }
   const double t0 = data_device_->clock().now();
   sim::FaultInjector* injector = data_device_->fault_injector();
   if (injector != nullptr && injector->tripped()) {

@@ -21,6 +21,7 @@
 #include "db/blob_store.h"
 #include "sim/block_device.h"
 #include "sim/buffer_pool.h"
+#include "sim/spindle_plane.h"
 
 namespace lor {
 namespace core {
@@ -41,6 +42,13 @@ struct DbRepositoryConfig {
   sim::BufferPoolOptions cache;
   /// Engine tuning (write request size, bulk-logged mode, costs...).
   db::BlobStoreOptions store;
+  /// Shared-spindle binding for the *data* volume (see
+  /// FsRepositoryConfig::spindle). The dedicated log device, when
+  /// enabled, stays private to this shard — its own spindle, its own
+  /// clock — matching the paper's log-on-a-separate-drive setup. Crash
+  /// simulation is unavailable in shared mode.
+  std::shared_ptr<sim::SpindlePlane> spindle;
+  uint32_t spindle_owner = 0;
 };
 
 /// Database-backed ObjectRepository.
@@ -88,7 +96,7 @@ class DbRepository : public ObjectRepository {
   sim::BufferPoolStats cache_stats() const override {
     return pool_->stats();
   }
-  Status FlushCache() override { return pool_->FlushAll(); }
+  Status FlushCache() override;
   Status CheckConsistency() const override;
   std::string name() const override { return "database"; }
 
@@ -114,6 +122,8 @@ class DbRepository : public ObjectRepository {
       uint32_t depth,
       sim::SchedPolicy policy = sim::SchedPolicy::kSptf) override;
   Status DrainIo() override;
+  Status SettleIo() override;
+  bool shared_spindle() const override;
   const sim::LatencyRecorder* latency_recorder() const override {
     return &latency_;
   }

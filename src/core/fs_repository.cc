@@ -1,6 +1,7 @@
 #include "core/fs_repository.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "sim/fault_injector.h"
 #include "util/fnv.h"
@@ -29,14 +30,27 @@ FsRepository::FsRepository(FsRepositoryConfig config)
 FsRepository::FsRepository(FsRepositoryConfig config,
                            std::unique_ptr<alloc::ExtentAllocator> allocator)
     : config_(std::move(config)) {
-  device_ = std::make_unique<sim::BlockDevice>(
-      config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  if (config_.spindle != nullptr) {
+    // Shared spindle: the data volume is this owner's region of the
+    // plane's hub disk. Format below still charges synchronously on
+    // the hub clock — repositories construct serially, before any
+    // plane traffic — and the scheduler is ported only afterwards.
+    device_ = config_.spindle->CreateOwnerDevice(config_.spindle_owner);
+    assert(device_->capacity() == config_.volume_bytes &&
+           "plane region must match volume_bytes");
+  } else {
+    device_ = std::make_unique<sim::BlockDevice>(
+        config_.disk.WithCapacity(config_.volume_bytes), config_.data_mode);
+  }
   pool_ = std::make_unique<sim::BufferPool>(device_.get(), config_.cache);
   device_->AttachBufferPool(pool_.get());
   store_ = std::make_unique<fs::FileStore>(device_.get(), config_.store,
                                            std::move(allocator));
   scheduler_ = std::make_unique<sim::IoScheduler>(device_.get(), &latency_);
   device_->AttachScheduler(scheduler_.get());
+  if (config_.spindle != nullptr) {
+    scheduler_->AttachSpindle(config_.spindle.get(), config_.spindle_owner);
+  }
 }
 
 Status FsRepository::SetQueueDepth(uint32_t depth, sim::SchedPolicy policy) {
@@ -51,10 +65,34 @@ Status FsRepository::DrainIo() {
   // Dirty cached frames are in-flight work too: push them onto the
   // queue, then drain it. CrashTortureRunner drains before arming the
   // injector, so the loss window never silently includes lazy
-  // write-back state.
-  LOR_RETURN_IF_ERROR(pool_->FlushAll());
+  // write-back state. In shared-spindle mode the flush must ride an op
+  // scope so its charges queue on the plane instead of racing the hub
+  // clock (Drain itself fences outside the scope).
+  {
+    sim::OpScope scope(scheduler_->port_mode() ? scheduler_.get() : nullptr,
+                       sim::OpClass::kControl);
+    LOR_RETURN_IF_ERROR(pool_->FlushAll());
+  }
   scheduler_->Drain();
   return Status::OK();
+}
+
+Status FsRepository::SettleIo() {
+  // Dedicated spindle: a phase that engaged the queue already drained
+  // through SetQueueDepth(1), and a synchronous phase has nothing
+  // outstanding — nothing to settle, and deliberately no cache flush
+  // (phase boundaries never flushed historically).
+  if (!scheduler_->port_mode()) return Status::OK();
+  scheduler_->SettlePhase();
+  return Status::OK();
+}
+
+bool FsRepository::shared_spindle() const { return scheduler_->port_mode(); }
+
+Status FsRepository::FlushCache() {
+  sim::OpScope scope(scheduler_->port_mode() ? scheduler_.get() : nullptr,
+                     sim::OpClass::kControl);
+  return pool_->FlushAll();
 }
 
 std::string FsRepository::NextTempName(const std::string& key) {
@@ -250,7 +288,7 @@ uint64_t FsRepository::volume_bytes() const { return device_->capacity(); }
 
 uint64_t FsRepository::free_bytes() const { return store_->FreeBytes(); }
 
-double FsRepository::now() const { return device_->clock().now(); }
+double FsRepository::now() const { return scheduler_->Now(); }
 
 sim::IoStats FsRepository::device_stats() const { return device_->stats(); }
 
@@ -259,6 +297,11 @@ Status FsRepository::CheckConsistency() const {
 }
 
 Result<MountReport> FsRepository::Mount() {
+  if (scheduler_->port_mode()) {
+    return Status::NotSupported(
+        "crash simulation is per-spindle: Mount is unavailable in "
+        "shared-spindle mode");
+  }
   const double t0 = device_->clock().now();
   const sim::FaultInjector* injector = device_->fault_injector();
   if (injector != nullptr && injector->tripped()) {

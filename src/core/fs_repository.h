@@ -28,6 +28,7 @@
 #include "fs/file_store.h"
 #include "sim/block_device.h"
 #include "sim/buffer_pool.h"
+#include "sim/spindle_plane.h"
 
 namespace lor {
 namespace core {
@@ -50,6 +51,15 @@ struct FsRepositoryConfig {
   /// When true, SafeWrite preallocates the temp file to its final size
   /// before streaming — the paper's proposed interface extension.
   bool preallocate_on_safe_write = false;
+  /// Shared-spindle binding. Non-null: the data volume is owner
+  /// `spindle_owner`'s region of this plane (the plane's region size
+  /// must equal volume_bytes) and the scheduler is ported onto it —
+  /// `disk` and `data_mode` above are then ignored for the data volume,
+  /// which shares the plane's hub disk. Null (default): dedicated
+  /// spindle, bit-identical historical behavior. Crash simulation
+  /// (Mount/recovery) is unavailable in shared mode.
+  std::shared_ptr<sim::SpindlePlane> spindle;
+  uint32_t spindle_owner = 0;
 };
 
 /// Filesystem-backed ObjectRepository.
@@ -101,7 +111,7 @@ class FsRepository : public ObjectRepository {
   sim::BufferPoolStats cache_stats() const override {
     return pool_->stats();
   }
-  Status FlushCache() override { return pool_->FlushAll(); }
+  Status FlushCache() override;
   Status CheckConsistency() const override;
   std::string name() const override { return "filesystem"; }
 
@@ -126,6 +136,8 @@ class FsRepository : public ObjectRepository {
       uint32_t depth,
       sim::SchedPolicy policy = sim::SchedPolicy::kSptf) override;
   Status DrainIo() override;
+  Status SettleIo() override;
+  bool shared_spindle() const override;
   const sim::LatencyRecorder* latency_recorder() const override {
     return &latency_;
   }

@@ -208,6 +208,26 @@ class ObjectRepository {
   /// completion horizon. A no-op at depth 1.
   virtual Status DrainIo();
 
+  /// Phase-boundary settle for shared-spindle back ends: drains this
+  /// repository's outstanding submissions and parks its spindle owner
+  /// at a phase fence so the plane can re-align every owner's closed
+  /// loop once all of them arrive (sim::SpindlePlane). Workload
+  /// runners call this on every shard at the end of each phase, before
+  /// reading phase-end clocks or stats. Contract: a barrier must
+  /// separate it from the shard's next operations. Deliberately does
+  /// NOT flush the cache — dedicated-spindle phases never flush at
+  /// their boundaries, and a shared single-owner run must charge the
+  /// same I/O. The default (and the dedicated-spindle behavior) is a
+  /// no-op: a synchronous or drained-by-Exit phase end has nothing to
+  /// settle.
+  virtual Status SettleIo() { return Status::OK(); }
+
+  /// True when this repository's data volume is an owner view on a
+  /// shared sim::SpindlePlane (its clock, stats, and drains then
+  /// follow the plane's round protocol). Workload runners use this to
+  /// gate shared-spindle-only behavior.
+  virtual bool shared_spindle() const { return false; }
+
   /// Per-op-class submit-to-completion latency histograms, or null when
   /// the back end does not record them. Populated on both the
   /// synchronous and the queued path.

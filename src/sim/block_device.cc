@@ -100,13 +100,39 @@ BlockDevice::BlockDevice(DiskParams params, DataMode mode)
 
 BlockDevice::~BlockDevice() = default;
 
+std::unique_ptr<BlockDevice> BlockDevice::CreateOwnerView(
+    int32_t owner, uint64_t base, uint64_t region_bytes) {
+  DiskParams region_params = model_.params();
+  region_params.capacity_bytes = region_bytes;
+  auto view =
+      std::unique_ptr<BlockDevice>(new BlockDevice(region_params, mode_));
+  view->groups_.clear();  // Retained bytes live in the hub's arena.
+  view->spindle_ = this;
+  view->spindle_base_ = base;
+  view->spindle_owner_ = owner;
+  return view;
+}
+
+void BlockDevice::PreallocateArenaGroups() {
+  if (mode_ != DataMode::kRetain) return;
+  for (auto& group : groups_) {
+    if (group == nullptr) group = std::make_unique<SlabGroup>();
+  }
+}
+
 uint8_t* BlockDevice::SlabAt(uint64_t slab_index) const {
+  if (spindle_ != nullptr) {
+    return spindle_->SlabAt(slab_index + spindle_base_ / kSlabBytes);
+  }
   const uint64_t group = slab_index / kSlabsPerGroup;
   if (group >= groups_.size() || groups_[group] == nullptr) return nullptr;
   return groups_[group]->slabs[slab_index % kSlabsPerGroup].get();
 }
 
 uint8_t* BlockDevice::EnsureSlab(uint64_t slab_index) {
+  if (spindle_ != nullptr) {
+    return spindle_->EnsureSlab(slab_index + spindle_base_ / kSlabBytes);
+  }
   const uint64_t group = slab_index / kSlabsPerGroup;
   if (group >= groups_.size()) return nullptr;  // Beyond capacity: dropped.
   if (groups_[group] == nullptr) {
@@ -144,35 +170,52 @@ Status BlockDevice::CheckRange(uint64_t offset, uint64_t len) const {
 
 double BlockDevice::ServiceRequest(bool /*write*/, uint64_t offset,
                                    uint64_t len) {
-  double t = model_.params().per_request_overhead_s;
-  if (head_valid_ && offset == head_) {
+  // An owner view services against the hub's head, seek curve, and
+  // physical zone layout; dedicated devices resolve hub == this and the
+  // arithmetic below is the historical sequence unchanged.
+  BlockDevice* hub = spindle_ != nullptr ? spindle_ : this;
+  const uint64_t phys = spindle_base_ + offset;
+  double t = hub->model_.params().per_request_overhead_s;
+  if (hub->head_valid_ && phys == hub->head_) {
     ++stats_.sequential_hits;
   } else {
-    const double seek = model_.SeekTime(head_valid_ ? head_ : 0, offset);
-    const double rot = model_.RotationalLatency();
+    const double seek =
+        hub->model_.SeekTime(hub->head_valid_ ? hub->head_ : 0, phys);
+    const double rot = hub->model_.RotationalLatency();
     stats_.seek_time_s += seek;
     stats_.rotational_time_s += rot;
     t += seek + rot;
     ++stats_.seeks;
+    if (spindle_ != nullptr && hub->last_owner_ >= 0 &&
+        hub->last_owner_ != spindle_owner_) {
+      // The head was left elsewhere by another owner: this seek is
+      // contention, not something a dedicated spindle would charge.
+      ++stats_.interference_seeks;
+      stats_.interference_seek_time_s += seek + rot;
+    }
   }
-  const double transfer = model_.TransferTime(offset, len);
+  const double transfer = hub->model_.TransferTime(phys, len);
   stats_.transfer_time_s += transfer;
   t += transfer;
   stats_.busy_time_s += t;
-  head_ = offset + len;
-  head_valid_ = true;
+  hub->head_ = phys + len;
+  hub->head_valid_ = true;
+  if (spindle_ != nullptr) hub->last_owner_ = spindle_owner_;
   return t;
 }
 
 double BlockDevice::ServiceFlush() {
-  head_valid_ = false;
+  BlockDevice* hub = spindle_ != nullptr ? spindle_ : this;
+  hub->head_valid_ = false;
   stats_.busy_time_s += kFlushCost;
   return kFlushCost;
 }
 
 double BlockDevice::PeekPositioningCost(uint64_t offset) const {
-  if (head_valid_ && offset == head_) return 0.0;
-  return model_.SeekTime(head_valid_ ? head_ : 0, offset);
+  const BlockDevice* hub = spindle_ != nullptr ? spindle_ : this;
+  const uint64_t phys = spindle_base_ + offset;
+  if (hub->head_valid_ && phys == hub->head_) return 0.0;
+  return hub->model_.SeekTime(hub->head_valid_ ? hub->head_ : 0, phys);
 }
 
 bool BlockDevice::AsyncActive() const {
@@ -180,7 +223,7 @@ bool BlockDevice::AsyncActive() const {
 }
 
 void BlockDevice::ChargePositioning(uint64_t offset, uint64_t len) {
-  clock_.Advance(ServiceRequest(false, offset, len));
+  clock().Advance(ServiceRequest(false, offset, len));
 }
 
 void BlockDevice::StoreBytes(uint64_t offset, const uint8_t* src,
@@ -314,7 +357,7 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
 Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
   LOR_RETURN_IF_ERROR(CheckRange(req.offset, req.length));
   if (req.length == 0) {
-    if (done) done(clock_.now());
+    if (done) done(clock().now());
     return Status::OK();
   }
   const bool async = AsyncActive();
@@ -338,7 +381,7 @@ Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
     stats_.bytes_read += req.length;
     if (req.dst != nullptr) LoadBytesInto(req.offset, req.dst, req.length);
   }
-  if (!async && done) done(clock_.now());
+  if (!async && done) done(clock().now());
   return Status::OK();
 }
 
@@ -386,7 +429,7 @@ Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
     charged = true;
   }
   if (charged) ++stats_.vectored_requests;
-  if (done && (!async || last_nonzero == reqs.size())) done(clock_.now());
+  if (done && (!async || last_nonzero == reqs.size())) done(clock().now());
   return Status::OK();
 }
 
@@ -395,7 +438,7 @@ void BlockDevice::Flush() {
     scheduler_->EnqueueFlush();
     return;
   }
-  clock_.Advance(ServiceFlush());
+  clock().Advance(ServiceFlush());
 }
 
 void BlockDevice::ChargeCpu(double seconds) {
@@ -403,7 +446,7 @@ void BlockDevice::ChargeCpu(double seconds) {
     scheduler_->EnqueueCpu(seconds);
     return;
   }
-  clock_.Advance(seconds);
+  clock().Advance(seconds);
 }
 
 void BlockDevice::BeginStreamWindow() {
@@ -411,7 +454,7 @@ void BlockDevice::BeginStreamWindow() {
     scheduler_->EnqueueWindowBegin();
     return;
   }
-  window_t0_ = clock_.now();
+  window_t0_ = clock().now();
 }
 
 void BlockDevice::EndStreamWindow(uint64_t len,
@@ -421,7 +464,7 @@ void BlockDevice::EndStreamWindow(uint64_t len,
     return;
   }
   ChargeCpu(OpCostModel::StreamPenalty(len, bandwidth_cap_bytes_per_s,
-                                       clock_.now() - window_t0_));
+                                       clock().now() - window_t0_));
 }
 
 }  // namespace sim

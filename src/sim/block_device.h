@@ -55,6 +55,19 @@
 // globals, so per-shard devices on per-shard threads need no locking.
 // Cross-shard aggregation works on IoStats snapshots (sim::Sum) after
 // the driving threads have been joined or barrier-synchronized.
+//
+// Shared-spindle views: `CreateOwnerView` produces a device whose
+// address space [0, region) aliases a disjoint, slab-aligned region of
+// a *hub* device — several owners' volumes on one spindle, one head,
+// one clock, one arena. A view keeps its own IoStats (per-owner
+// attribution) but delegates head state, seek/transfer arithmetic
+// (against the hub's full-capacity seek curve and physical zone
+// layout), and retained bytes to the hub. Seeks charged because the
+// previously serviced request belonged to a *different* owner are
+// additionally counted as interference. Views are serviced one at a
+// time under the SpindlePlane's lock (sim/spindle_plane.h); the hub's
+// slab groups are pre-allocated so concurrent payload movement into
+// disjoint owner regions never mutates shared arena structure.
 
 #ifndef LOREPO_SIM_BLOCK_DEVICE_H_
 #define LOREPO_SIM_BLOCK_DEVICE_H_
@@ -132,8 +145,11 @@ class BlockDevice {
 
   uint64_t capacity() const { return model_.params().capacity_bytes; }
   const DiskModel& model() const { return model_; }
-  SimClock& clock() { return clock_; }
-  const SimClock& clock() const { return clock_; }
+  /// Views share the hub's clock: one spindle, one timeline.
+  SimClock& clock() { return spindle_ != nullptr ? spindle_->clock_ : clock_; }
+  const SimClock& clock() const {
+    return spindle_ != nullptr ? spindle_->clock_ : clock_;
+  }
   const IoStats& stats() const { return stats_; }
   DataMode data_mode() const { return mode_; }
 
@@ -256,6 +272,26 @@ class BlockDevice {
   /// unknown, so the next request never counts as sequential.
   void NotePowerCycle() { head_valid_ = false; }
 
+  /// Creates an owner view onto this device (the hub): a device whose
+  /// [0, region_bytes) range aliases [base, base+region_bytes) here,
+  /// sharing this head, clock, and arena. `base` must be a multiple of
+  /// kSlabBytes and the region must fit within capacity, so distinct
+  /// owners' retained bytes land in disjoint slab sets. The view must
+  /// not outlive the hub.
+  std::unique_ptr<BlockDevice> CreateOwnerView(int32_t owner, uint64_t base,
+                                               uint64_t region_bytes);
+
+  /// Pre-allocates every slab-group directory entry (kRetain hubs only;
+  /// a no-op otherwise). Owner views filling slabs concurrently then
+  /// mutate only their own (disjoint) slab slots, never the shared
+  /// group table. ~2 KB of pointers per 256 MiB of capacity.
+  void PreallocateArenaGroups();
+
+  /// Non-null when this device is an owner view of a shared spindle.
+  BlockDevice* spindle_hub() { return spindle_; }
+  const BlockDevice* spindle_hub() const { return spindle_; }
+  int32_t spindle_owner() const { return spindle_owner_; }
+
   /// Deep copy of the retained arena (allocated slabs only); empty in
   /// kMetadataOnly mode. The PR 5 slab layout makes this a group-table
   /// walk plus one memcpy per written slab.
@@ -270,7 +306,10 @@ class BlockDevice {
   double PeekPositioningCost(uint64_t offset) const;
 
   /// Byte offset one past the end of the last request (head position).
-  uint64_t head_position() const { return head_; }
+  /// For an owner view this is the hub's physical head position.
+  uint64_t head_position() const {
+    return spindle_ != nullptr ? spindle_->head_ : head_;
+  }
 
   /// Contiguous arena extent size (tests size their straddling cases
   /// off this).
@@ -280,6 +319,7 @@ class BlockDevice {
   friend class IoScheduler;    // Drives ServiceRequest / ServiceFlush.
   friend class FaultInjector;  // Reads/writes arena bytes at the cut.
   friend class ArenaSnapshot;  // Its Rep holds copied SlabGroups.
+  friend class SpindlePlane;   // Services owner views, stamps queue waits.
 
   struct SlabGroup;
 
@@ -331,6 +371,14 @@ class BlockDevice {
   double window_t0_ = 0.0;  ///< Synchronous stream-window start.
   uint64_t head_ = 0;
   bool head_valid_ = false;
+  /// Owner-view wiring: non-null `spindle_` makes this device an alias
+  /// of [spindle_base_, spindle_base_ + capacity()) on the hub.
+  BlockDevice* spindle_ = nullptr;
+  uint64_t spindle_base_ = 0;
+  int32_t spindle_owner_ = -1;
+  /// Hub-side: owner of the most recently serviced request (-1 before
+  /// the first); the interference attribution cursor.
+  int32_t last_owner_ = -1;
   /// Level-1 directory of the arena; entries are allocated on first
   /// write into their 256-slab address range.
   std::vector<std::unique_ptr<SlabGroup>> groups_;

@@ -7,6 +7,7 @@
 
 #include "sim/block_device.h"
 #include "sim/op_cost_model.h"
+#include "sim/spindle_plane.h"
 
 namespace lor {
 namespace sim {
@@ -15,6 +16,13 @@ IoScheduler::IoScheduler(BlockDevice* device, LatencyRecorder* recorder)
     : device_(device), recorder_(recorder) {}
 
 IoScheduler::~IoScheduler() {
+  if (plane_ != nullptr) {
+    // Retirement delivers any leftover ops and excludes this owner from
+    // future rounds; the plane services stragglers in its endgame once
+    // every owner has retired (repositories are destroyed serially).
+    if (op_depth_ == 0) plane_->Retire(port_owner_, std::move(batch_));
+    return;
+  }
   // Never leave queued work uncharged: a scheduler destroyed mid-flight
   // still settles its timeline against the device clock.
   if (op_depth_ == 0) Drain();
@@ -26,6 +34,20 @@ Status IoScheduler::Engage(uint32_t queue_depth, SchedPolicy policy) {
   }
   if (op_depth_ > 0) {
     return Status::NotSupported("cannot change queue depth inside an op");
+  }
+  if (plane_ != nullptr) {
+    // Port mode: depth changes the batch/closed-loop width; the service
+    // policy is a property of the shared head, fixed at plane
+    // construction for every owner.
+    if (policy != plane_->policy()) {
+      return Status::NotSupported(
+          "scheduling policy is fixed per shared spindle");
+    }
+    Settle();
+    queue_depth_ = queue_depth;
+    policy_ = policy;
+    plane_->SetOwnerDepth(port_owner_, queue_depth);
+    return Status::OK();
   }
   Drain();
   engaged_ = true;
@@ -41,13 +63,56 @@ Status IoScheduler::Disengage() {
   if (op_depth_ > 0) {
     return Status::NotSupported("cannot change queue depth inside an op");
   }
+  if (plane_ != nullptr) {
+    Settle();
+    queue_depth_ = 1;
+    plane_->SetOwnerDepth(port_owner_, 1);
+    return Status::OK();
+  }
   Drain();
   engaged_ = false;
   queue_depth_ = 1;
   return Status::OK();
 }
 
+void IoScheduler::AttachSpindle(SpindlePlane* plane, uint32_t owner) {
+  assert(plane_ == nullptr && "already ported");
+  assert(op_depth_ == 0 && !engaged_ && !building_open_);
+  plane_ = plane;
+  port_owner_ = owner;
+  plane_->BindOwner(owner, this);
+}
+
+double IoScheduler::Now() const {
+  if (plane_ != nullptr) return plane_->OwnerNow(port_owner_);
+  return device_->clock().now();
+}
+
+void IoScheduler::DeliverBatch() {
+  if (batch_.empty()) return;
+  plane_->Deliver(port_owner_, std::move(batch_));
+  batch_.clear();
+}
+
+void IoScheduler::Settle() {
+  if (plane_ == nullptr) return;
+  assert(op_depth_ == 0 && "Settle inside an op scope");
+  DeliverBatch();
+  plane_->Fence(port_owner_, /*phase_end=*/false);
+}
+
+void IoScheduler::SettlePhase() {
+  if (plane_ == nullptr) return;
+  assert(op_depth_ == 0 && "SettlePhase inside an op scope");
+  DeliverBatch();
+  plane_->Fence(port_owner_, /*phase_end=*/true);
+}
+
 void IoScheduler::Drain() {
+  if (plane_ != nullptr) {
+    Settle();
+    return;
+  }
   assert(op_depth_ == 0 && "Drain inside an op scope");
   assert(!building_open_);
   while (ServiceOne()) {
@@ -61,6 +126,8 @@ void IoScheduler::Drain() {
 }
 
 void IoScheduler::Abandon() {
+  assert(plane_ == nullptr && "crash simulation is per-spindle: shared-"
+         "spindle owners do not support Abandon");
   assert(op_depth_ == 0 && "Abandon inside an op scope");
   building_open_ = false;
   building_ = Op{};
@@ -77,6 +144,9 @@ void IoScheduler::Abandon() {
 }
 
 uint32_t IoScheduler::inflight_ops() const {
+  if (plane_ != nullptr) {
+    return static_cast<uint32_t>(batch_.size()) + (building_open_ ? 1u : 0u);
+  }
   const uint32_t queued =
       static_cast<uint32_t>(pending_.size()) + (building_open_ ? 1u : 0u);
   return queued;
@@ -84,6 +154,15 @@ uint32_t IoScheduler::inflight_ops() const {
 
 void IoScheduler::BeginOp(OpClass cls) {
   if (op_depth_++ > 0) return;  // Nested scopes attach to the outer op.
+  if (plane_ != nullptr) {
+    // Port mode: just open the chain. Admission (closed-loop arrival
+    // assignment) happens on the plane when the op's batch joins a
+    // service round.
+    building_ = Op{};
+    building_.cls = cls;
+    building_open_ = true;
+    return;
+  }
   if (!engaged_) {
     sync_class_ = cls;
     sync_t0_ = device_->clock().now();
@@ -114,6 +193,13 @@ void IoScheduler::BeginOp(OpClass cls) {
 void IoScheduler::EndOp() {
   assert(op_depth_ > 0 && "EndOp without BeginOp");
   if (--op_depth_ > 0) return;
+  if (plane_ != nullptr) {
+    building_open_ = false;
+    batch_.push_back(std::move(building_));
+    building_ = Op{};
+    if (batch_.size() >= queue_depth_) DeliverBatch();
+    return;
+  }
   if (!engaged_) {
     if (recorder_ != nullptr && sync_class_ != OpClass::kControl) {
       recorder_->Record(sync_class_, device_->clock().now() - sync_t0_);

@@ -41,6 +41,20 @@
 // Threading: an IoScheduler is confined to its device's thread, like
 // the device itself. Cross-shard latency aggregation merges
 // LatencyRecorder snapshots after the phase barrier.
+//
+// Port mode (shared spindles): `AttachSpindle` re-homes the scheduler
+// onto a device-owned sim::SpindlePlane as owner `owner`. Ops are then
+// ALWAYS queued (even at depth 1): each sealed op chain joins a local
+// batch, batches of `queue_depth` ops are delivered to the plane, and
+// the plane services interleaved rounds — one batch per owner — against
+// the shared head with a deterministic (seed, round) interleave. The
+// thread-confinement contract relaxes to: submission stays on the
+// owner's thread; servicing happens under the plane's lock on whichever
+// owner thread drives it. `Settle`/`SettlePhase` are the port-mode
+// drain: deliver the partial batch, fence, and wait until the plane has
+// serviced everything this owner submitted. Single-owner planes replay
+// chains with the synchronous charging arithmetic in submission order,
+// so a dedicated spindle at depth 1 is bit-identical through a plane.
 
 #ifndef LOREPO_SIM_IO_SCHEDULER_H_
 #define LOREPO_SIM_IO_SCHEDULER_H_
@@ -59,6 +73,7 @@ namespace lor {
 namespace sim {
 
 class BlockDevice;
+class SpindlePlane;
 
 /// Completion callback for the Submit/SubmitV device API: receives the
 /// simulated time at which the submission completed.
@@ -79,8 +94,39 @@ class IoScheduler {
   /// Drains any previous state first; fails inside an op scope.
   Status Engage(uint32_t queue_depth, SchedPolicy policy = SchedPolicy::kSptf);
 
-  /// Drains and returns to the synchronous path.
+  /// Drains and returns to the synchronous path. In port mode the
+  /// scheduler never truly runs synchronously — depth 1 just means one
+  /// op per delivered batch — but the sync/async figure semantics are
+  /// preserved because a single-owner plane replays chains with the
+  /// synchronous arithmetic.
   Status Disengage();
+
+  // -- Port mode (shared spindles) -------------------------------------
+
+  /// Re-homes this scheduler onto `plane` as `owner`. The device must
+  /// be an owner view of the plane's hub. Callable once, outside any op
+  /// scope, before any async engagement. The plane must outlive the
+  /// scheduler.
+  void AttachSpindle(SpindlePlane* plane, uint32_t owner);
+
+  bool port_mode() const { return plane_ != nullptr; }
+
+  /// Current simulated time from this owner's perspective: the device
+  /// clock in dedicated mode, the owner's closed-loop completion
+  /// frontier in port mode.
+  double Now() const;
+
+  /// Port mode: delivers the partial batch and fences — returns once
+  /// the plane has serviced everything this owner submitted. A no-op
+  /// in dedicated mode. Callable only between ops.
+  void Settle();
+
+  /// Like Settle but marks a phase boundary: the owner parks at the
+  /// fence, and when every live owner has parked the plane resets its
+  /// closed-loop epoch so the next phase starts aligned. Workload
+  /// runners call this via ObjectRepository::SettleIo before reading
+  /// phase-end clocks.
+  void SettlePhase();
 
   /// Services every queued request and advances the device clock to the
   /// completion horizon. Callable only between ops.
@@ -111,8 +157,10 @@ class IoScheduler {
   void EndOp();
 
   /// True when the device should queue charges instead of applying
-  /// them: engaged and inside an op scope.
-  bool ShouldQueue() const { return engaged_ && op_depth_ > 0; }
+  /// them: engaged (or ported) and inside an op scope.
+  bool ShouldQueue() const {
+    return (engaged_ || plane_ != nullptr) && op_depth_ > 0;
+  }
 
   // -- Charge intake from the device (async mode only) -----------------
 
@@ -132,7 +180,8 @@ class IoScheduler {
   /// Ops admitted and not yet completed.
   uint32_t inflight_ops() const;
 
- private:
+  // -- Wire types (shared with SpindlePlane) ---------------------------
+
   struct Request {
     enum class Kind : uint8_t { kIo, kFlush, kCpu, kWinBegin, kWinEnd };
     Kind kind = Kind::kIo;
@@ -155,6 +204,13 @@ class IoScheduler {
     double window_base = 0.0;  // `busy` at the open stream window's start
     std::deque<Request> chain;
   };
+
+ private:
+  friend class SpindlePlane;  // Publishes completion counters at service.
+
+  /// Port mode: hands the accumulated batch to the plane (no-op when
+  /// empty).
+  void DeliverBatch();
 
   /// Consumes any non-device entries at the chain front (CPU, window
   /// markers): they extend the op without occupying the device.
@@ -196,6 +252,11 @@ class IoScheduler {
   uint64_t next_seq_ = 0;
   uint64_t completed_ops_ = 0;
   uint64_t serviced_requests_ = 0;
+
+  // Port-mode state.
+  SpindlePlane* plane_ = nullptr;
+  uint32_t port_owner_ = 0;
+  std::vector<Op> batch_;  // sealed ops awaiting delivery to the plane
 };
 
 /// RAII op-boundary marker for repository operations. Constructing with

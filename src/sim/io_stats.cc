@@ -21,6 +21,10 @@ IoStats IoStats::operator-(const IoStats& other) const {
   d.rotational_time_s = rotational_time_s - other.rotational_time_s;
   d.transfer_time_s = transfer_time_s - other.transfer_time_s;
   d.busy_time_s = busy_time_s - other.busy_time_s;
+  d.interference_seeks = interference_seeks - other.interference_seeks;
+  d.interference_seek_time_s =
+      interference_seek_time_s - other.interference_seek_time_s;
+  d.queue_wait_s = queue_wait_s - other.queue_wait_s;
   return d;
 }
 
@@ -37,6 +41,9 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   rotational_time_s += other.rotational_time_s;
   transfer_time_s += other.transfer_time_s;
   busy_time_s += other.busy_time_s;
+  interference_seeks += other.interference_seeks;
+  interference_seek_time_s += other.interference_seek_time_s;
+  queue_wait_s += other.queue_wait_s;
   return *this;
 }
 
@@ -57,7 +64,7 @@ std::string IoStats::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "reads=%llu (%s) writes=%llu (%s) seeks=%llu seq=%llu vec=%llu "
-      "runs=%llu busy=%s",
+      "runs=%llu busy=%s interf=%llu qwait=%s",
       static_cast<unsigned long long>(reads), FormatBytes(bytes_read).c_str(),
       static_cast<unsigned long long>(writes),
       FormatBytes(bytes_written).c_str(),
@@ -65,7 +72,9 @@ std::string IoStats::ToString() const {
       static_cast<unsigned long long>(sequential_hits),
       static_cast<unsigned long long>(vectored_requests),
       static_cast<unsigned long long>(coalesced_runs),
-      FormatSeconds(busy_time_s).c_str());
+      FormatSeconds(busy_time_s).c_str(),
+      static_cast<unsigned long long>(interference_seeks),
+      FormatSeconds(queue_wait_s).c_str());
   return buf;
 }
 

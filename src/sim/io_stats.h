@@ -31,6 +31,17 @@ struct IoStats {
   double rotational_time_s = 0.0;
   double transfer_time_s = 0.0;
   double busy_time_s = 0.0;      ///< Total device time including overheads.
+  /// Shared-spindle contention accounting. When several owners' volumes
+  /// share one head (SpindlePlane), a seek charged because the *previous*
+  /// request on the spindle belonged to a different owner is interference:
+  /// it would not have been paid on a dedicated spindle. Zero in dedicated
+  /// mode by construction.
+  uint64_t interference_seeks = 0;
+  double interference_seek_time_s = 0.0;  ///< Seek+rotational part of those.
+  /// Simulated seconds ops spent queued before the head started serving
+  /// them (completion - arrival - chain busy time). Accumulated by the
+  /// scheduler/plane, not by the device proper.
+  double queue_wait_s = 0.0;
 
   IoStats operator-(const IoStats& other) const;
   IoStats& operator+=(const IoStats& other);

@@ -39,6 +39,12 @@ class GetPutRunner {
     return engine_.MeasureReadThroughput();
   }
 
+  /// Fused age-then-measure checkpoint — same interface as
+  /// ShardedRunner (single shard: a plain composition).
+  Result<AgeMeasureSample> AgeAndMeasure(double target_age) {
+    return engine_.AgeAndMeasure(target_age);
+  }
+
   /// Current fragmentation across all objects.
   core::FragmentationReport Fragmentation() const {
     return engine_.Fragmentation();
@@ -50,6 +56,11 @@ class GetPutRunner {
   /// the bench harness drives either through one template).
   sim::IoStats device_stats() const {
     return engine_.repository()->device_stats();
+  }
+  /// Per-shard buffer-pool counters — same interface as ShardedRunner
+  /// (a single entry here).
+  std::vector<sim::BufferPoolStats> shard_cache_stats() const {
+    return {engine_.repository()->cache_stats()};
   }
   /// Cumulative per-op-class latency histograms (empty when the back
   /// end records none) — same interface as ShardedRunner.

@@ -1,5 +1,7 @@
 #include "workload/shard_engine.h"
 
+#include <chrono>
+
 namespace lor {
 namespace workload {
 
@@ -38,6 +40,40 @@ class QueueDepthWindow {
   core::ObjectRepository* repo_;
   bool engaged_ = false;
 };
+
+/// Parks the shard at its phase fence exactly once per phase, on every
+/// exit path. A shard that errors mid-phase must still arrive at the
+/// fence: its shared-spindle peers only re-base their closed loops
+/// once every owner has parked. On a dedicated spindle SettleIo is a
+/// no-op and the guard costs one virtual call.
+class PhaseSettle {
+ public:
+  explicit PhaseSettle(core::ObjectRepository* repo) : repo_(repo) {}
+
+  /// Explicit close so the phase observes the settled clock (and any
+  /// settle error) before computing its elapsed interval.
+  Status Close() {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    return repo_->SettleIo();
+  }
+
+  ~PhaseSettle() {
+    if (!closed_) {
+      Status s = repo_->SettleIo();
+      (void)s;
+    }
+  }
+
+ private:
+  core::ObjectRepository* repo_;
+  bool closed_ = false;
+};
+
+double HostSecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
@@ -93,6 +129,9 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
   if (config_.use_handles) handles_.reserve(expected);
 
   ThroughputSample sample;
+  const auto host_t0 = std::chrono::steady_clock::now();
+  PhaseSettle settle(repo_);
+  const bool lockstep = !config_.overlap && repo_->shared_spindle();
   const double t0 = repo_->now();
   uint64_t live = 0;
   while (true) {
@@ -113,6 +152,7 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
     } else {
       LOR_RETURN_IF_ERROR(repo_->Put(key, size));
     }
+    if (lockstep) LOR_RETURN_IF_ERROR(repo_->DrainIo());
     keys_.push_back(key);
     sizes_.push_back(size);
     live += size;
@@ -120,7 +160,9 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
     sample.bytes += size;
     ++sample.operations;
   }
+  LOR_RETURN_IF_ERROR(settle.Close());
   sample.seconds = repo_->now() - t0;
+  sample.host_seconds = HostSecondsSince(host_t0);
   age_.MarkBulkLoadComplete();
   loaded_ = true;
   if (keys_.empty()) {
@@ -133,6 +175,11 @@ Result<ThroughputSample> ShardEngine::BulkLoad() {
 Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
   if (!loaded_) return Status::InvalidArgument("bulk load first");
   ThroughputSample sample;
+  const auto host_t0 = std::chrono::steady_clock::now();
+  // Declared before the window so an error path exits the window
+  // (draining queued work) before parking at the phase fence.
+  PhaseSettle settle(repo_);
+  const bool lockstep = !config_.overlap && repo_->shared_spindle();
   const double t0 = repo_->now();
   QueueDepthWindow window(repo_);
   LOR_RETURN_IF_ERROR(window.Enter(config_.queue_depth, config_.queue_policy));
@@ -145,19 +192,25 @@ Result<ThroughputSample> ShardEngine::AgeTo(double target_age) {
     } else {
       LOR_RETURN_IF_ERROR(repo_->SafeWrite(keys_[victim], new_size));
     }
+    if (lockstep) LOR_RETURN_IF_ERROR(repo_->DrainIo());
     sizes_[victim] = new_size;
     age_.RecordReplacement(old_size, new_size);
     sample.bytes += new_size;
     ++sample.operations;
   }
   LOR_RETURN_IF_ERROR(window.Exit());  // Drain before reading the clock.
+  LOR_RETURN_IF_ERROR(settle.Close());
   sample.seconds = repo_->now() - t0;
+  sample.host_seconds = HostSecondsSince(host_t0);
   return sample;
 }
 
 Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
   if (!loaded_) return Status::InvalidArgument("bulk load first");
   ThroughputSample sample;
+  const auto host_t0 = std::chrono::steady_clock::now();
+  PhaseSettle settle(repo_);
+  const bool lockstep = !config_.overlap && repo_->shared_spindle();
   const uint64_t probes =
       std::min<uint64_t>(config_.read_probe_samples, keys_.size());
   // One scratch buffer for the whole phase (when payloads are wanted
@@ -179,6 +232,7 @@ Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
       } else {
         LOR_RETURN_IF_ERROR(repo_->Get(keys_[victim], out));
       }
+      if (lockstep) LOR_RETURN_IF_ERROR(repo_->DrainIo());
     }
     return Status::OK();
   };
@@ -197,8 +251,20 @@ Result<ThroughputSample> ShardEngine::MeasureReadThroughput() {
     ++sample.operations;
   }
   LOR_RETURN_IF_ERROR(window.Exit());  // Drain before reading the clock.
+  LOR_RETURN_IF_ERROR(settle.Close());
   sample.seconds = repo_->now() - t0;
+  sample.host_seconds = HostSecondsSince(host_t0);
   return sample;
+}
+
+Result<AgeMeasureSample> ShardEngine::AgeAndMeasure(double target_age) {
+  AgeMeasureSample out;
+  // Each sub-phase settles at its own fence, so the simulated results
+  // are exactly those of the two separate calls; fusing them removes
+  // only the runner's host-side barrier in between.
+  LOR_ASSIGN_OR_RETURN(out.aged, AgeTo(target_age));
+  LOR_ASSIGN_OR_RETURN(out.read, MeasureReadThroughput());
+  return out;
 }
 
 core::FragmentationReport ShardEngine::Fragmentation() const {

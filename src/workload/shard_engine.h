@@ -64,6 +64,19 @@ struct WorkloadConfig {
   /// default) keeps the paper's cold-probe regime, operation-for-
   /// operation identical to the historical path.
   bool warm_reads = false;
+  /// Shared-spindle submission style. On (the default) the engine
+  /// leaves submitted operations outstanding on the plane, so this
+  /// shard's host-side work (key selection, payload staging) overlaps
+  /// other shards' service rounds. Off forces a drain after every
+  /// operation — the lockstep A/B baseline that makes the overlap win
+  /// measurable in host wall seconds. Ignored on dedicated spindles,
+  /// where the synchronous path never waits on a peer. The total work
+  /// (operations, bytes) is identical either way, but the per-op
+  /// drains fence the plane after every operation, so the simulated
+  /// interleave (and with it queue waits and seek interference)
+  /// differs from the batched run-ahead submission — compare wall
+  /// columns across the A/B, not simulated ones.
+  bool overlap = true;
 };
 
 /// Throughput measured over an interval of simulated time.
@@ -71,6 +84,12 @@ struct ThroughputSample {
   uint64_t bytes = 0;
   uint64_t operations = 0;
   double seconds = 0.0;
+  /// Real (host) wall seconds the phase took to execute, measured
+  /// around the phase body with std::chrono::steady_clock. Orthogonal
+  /// to `seconds`, which is simulated disk time: host wall is how long
+  /// the harness itself ran, the number the submission-overlap work
+  /// optimizes.
+  double host_seconds = 0.0;
 
   double mb_per_s() const {
     return seconds > 0.0
@@ -79,13 +98,22 @@ struct ThroughputSample {
   }
 
   /// Folds in a sample measured on a concurrently running shard:
-  /// bytes/operations sum, elapsed is the max (the shards' clocks run
-  /// in parallel, so the slowest shard bounds the interval).
+  /// bytes/operations sum, elapsed (simulated and host) is the max
+  /// (the shards run in parallel, so the slowest shard bounds the
+  /// interval).
   void MergeParallel(const ThroughputSample& other) {
     bytes += other.bytes;
     operations += other.operations;
     seconds = std::max(seconds, other.seconds);
+    host_seconds = std::max(host_seconds, other.host_seconds);
   }
+};
+
+/// Result of a fused age-then-measure checkpoint (one dispatch, no
+/// host-side barrier between the two phases).
+struct AgeMeasureSample {
+  ThroughputSample aged;
+  ThroughputSample read;
 };
 
 /// Drives one shard's repository through the paper's workload phases.
@@ -110,6 +138,14 @@ class ShardEngine {
   /// read throughput. Does not change the store's state (but does
   /// advance its clock).
   Result<ThroughputSample> MeasureReadThroughput();
+
+  /// AgeTo followed by MeasureReadThroughput as ONE phase dispatch.
+  /// Simulated results are identical to the two separate calls (each
+  /// sub-phase still settles at its own fence); the point is the host
+  /// side: under ShardedRunner a shard that finishes aging early moves
+  /// straight into staging its read probes while slower shards are
+  /// still aging, instead of idling at a cross-shard barrier.
+  Result<AgeMeasureSample> AgeAndMeasure(double target_age);
 
   /// Current fragmentation across this shard's objects.
   core::FragmentationReport Fragmentation() const;

@@ -7,7 +7,7 @@ namespace workload {
 
 ShardedRunner::ShardedRunner(const core::RepositoryFactory& factory,
                              WorkloadConfig config, uint32_t shards)
-    : router_(shards == 0 ? 1 : shards) {
+    : router_(shards == 0 ? 1 : shards), config_(config) {
   const uint32_t n = router_.shard_count();
   // A single shard skips routing entirely (null router): the engine
   // then owns every key without hashing, reproducing GetPutRunner.
@@ -48,7 +48,7 @@ void ShardedRunner::WorkerLoop(uint32_t shard) {
     const auto fn = phase_fn_;  // Copy under the lock; stable all phase.
     lock.unlock();
 
-    Result<ThroughputSample> result = fn(shards_[shard].engine.get());
+    Result<AgeMeasureSample> result = fn(shards_[shard].engine.get());
 
     lock.lock();
     phase_results_[shard].emplace(std::move(result));
@@ -56,8 +56,8 @@ void ShardedRunner::WorkerLoop(uint32_t shard) {
   }
 }
 
-Result<ThroughputSample> ShardedRunner::RunPhase(
-    const std::function<Result<ThroughputSample>(ShardEngine*)>& fn) {
+Result<AgeMeasureSample> ShardedRunner::RunPhase(
+    const std::function<Result<AgeMeasureSample>(ShardEngine*)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     phase_fn_ = fn;
@@ -72,27 +72,60 @@ Result<ThroughputSample> ShardedRunner::RunPhase(
   }
   // The barrier has passed: every slot is filled and the workers are
   // idle again, so the results can be read without the lock.
-  ThroughputSample merged;
+  AgeMeasureSample merged;
   for (const auto& slot : phase_results_) {
     if (!slot->ok()) return slot->status();
-    merged.MergeParallel(**slot);
+    merged.aged.MergeParallel((*slot)->aged);
+    merged.read.MergeParallel((*slot)->read);
   }
   return merged;
 }
 
 Result<ThroughputSample> ShardedRunner::BulkLoad() {
-  return RunPhase([](ShardEngine* engine) { return engine->BulkLoad(); });
+  LOR_ASSIGN_OR_RETURN(
+      AgeMeasureSample merged,
+      RunPhase([](ShardEngine* engine) -> Result<AgeMeasureSample> {
+        AgeMeasureSample out;
+        LOR_ASSIGN_OR_RETURN(out.aged, engine->BulkLoad());
+        return out;
+      }));
+  return merged.aged;
 }
 
 Result<ThroughputSample> ShardedRunner::AgeTo(double target_age) {
-  return RunPhase([target_age](ShardEngine* engine) {
-    return engine->AgeTo(target_age);
-  });
+  LOR_ASSIGN_OR_RETURN(
+      AgeMeasureSample merged,
+      RunPhase([target_age](ShardEngine* engine) -> Result<AgeMeasureSample> {
+        AgeMeasureSample out;
+        LOR_ASSIGN_OR_RETURN(out.aged, engine->AgeTo(target_age));
+        return out;
+      }));
+  return merged.aged;
 }
 
 Result<ThroughputSample> ShardedRunner::MeasureReadThroughput() {
-  return RunPhase(
-      [](ShardEngine* engine) { return engine->MeasureReadThroughput(); });
+  LOR_ASSIGN_OR_RETURN(
+      AgeMeasureSample merged,
+      RunPhase([](ShardEngine* engine) -> Result<AgeMeasureSample> {
+        AgeMeasureSample out;
+        LOR_ASSIGN_OR_RETURN(out.read, engine->MeasureReadThroughput());
+        return out;
+      }));
+  return merged.read;
+}
+
+Result<AgeMeasureSample> ShardedRunner::AgeAndMeasure(double target_age) {
+  if (!config_.overlap) {
+    // A/B baseline: two barrier-separated dispatches, so no shard's
+    // host work runs ahead of the slowest ager.
+    AgeMeasureSample out;
+    LOR_ASSIGN_OR_RETURN(out.aged, AgeTo(target_age));
+    LOR_ASSIGN_OR_RETURN(out.read, MeasureReadThroughput());
+    return out;
+  }
+  return RunPhase([target_age](ShardEngine* engine) {
+    return engine->AgeAndMeasure(target_age);
+  });
 }
 
 core::FragmentationReport ShardedRunner::Fragmentation() const {
@@ -121,6 +154,15 @@ sim::IoStats ShardedRunner::device_stats() const {
     parts.push_back(shard.repo->device_stats());
   }
   return sim::Sum(parts);
+}
+
+std::vector<sim::BufferPoolStats> ShardedRunner::shard_cache_stats() const {
+  std::vector<sim::BufferPoolStats> parts;
+  parts.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    parts.push_back(shard.repo->cache_stats());
+  }
+  return parts;
 }
 
 sim::LatencyRecorder ShardedRunner::latency() const {

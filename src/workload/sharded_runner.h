@@ -60,12 +60,26 @@ class ShardedRunner {
   /// Read probe on every shard; merged sample.
   Result<ThroughputSample> MeasureReadThroughput();
 
+  /// Age-then-measure as ONE dispatch per shard: a shard that finishes
+  /// aging early moves straight into its read probes instead of idling
+  /// at a host-side barrier until the slowest shard has aged, so the
+  /// checkpoint's host wall time is max(age_i + measure_i) rather than
+  /// max(age_i) + max(measure_i). Simulated results are identical to
+  /// the separate calls. When the workload config disables overlap,
+  /// falls back to exactly those two barrier-separated dispatches (the
+  /// A/B baseline).
+  Result<AgeMeasureSample> AgeAndMeasure(double target_age);
+
   /// Volume-wide fragmentation: per-shard trackers merged exactly
   /// (falls back to a layout walk for back ends without a tracker).
   core::FragmentationReport Fragmentation() const;
 
   /// Aggregate data-volume device activity across all shards.
   sim::IoStats device_stats() const;
+
+  /// Per-shard buffer-pool counters (index = shard) for per-client
+  /// hit-rate columns; all-zeros entries when pools are disabled.
+  std::vector<sim::BufferPoolStats> shard_cache_stats() const;
 
   /// Aggregate per-op-class latency histograms: per-shard recorders
   /// merged exactly (per-bucket sums), like device_stats. Snapshot only
@@ -99,13 +113,16 @@ class ShardedRunner {
   /// Runs `fn` on every shard's engine (one worker thread per shard),
   /// waits for all shards (the phase barrier), and merges the results:
   /// first error wins (lowest shard index, for determinism), otherwise
-  /// the samples merge bytes/ops-summed and elapsed-maxed.
-  Result<ThroughputSample> RunPhase(
-      const std::function<Result<ThroughputSample>(ShardEngine*)>& fn);
+  /// each sample merges bytes/ops-summed and elapsed-maxed. Single-
+  /// sample phases leave the outcome's other slot empty (a zero sample
+  /// merges to zero).
+  Result<AgeMeasureSample> RunPhase(
+      const std::function<Result<AgeMeasureSample>(ShardEngine*)>& fn);
 
   void WorkerLoop(uint32_t shard);
 
   core::ShardRouter router_;
+  WorkloadConfig config_;
   std::vector<Shard> shards_;
 
   // Worker-pool state. `mu_` guards everything below; phase_fn_ is
@@ -119,8 +136,8 @@ class ShardedRunner {
   uint64_t phase_generation_ = 0;
   uint32_t shards_remaining_ = 0;
   bool shutdown_ = false;
-  std::function<Result<ThroughputSample>(ShardEngine*)> phase_fn_;
-  std::vector<std::optional<Result<ThroughputSample>>> phase_results_;
+  std::function<Result<AgeMeasureSample>(ShardEngine*)> phase_fn_;
+  std::vector<std::optional<Result<AgeMeasureSample>>> phase_results_;
 };
 
 }  // namespace workload

@@ -1,0 +1,422 @@
+// Tests for the shared-spindle execution plane (sim::SpindlePlane and
+// its integration through core::RepositoryFactory / the workload
+// runners):
+//
+//   * deterministic concurrent submission — same seed ⇒ identical hub
+//     clock, per-view stats, and service interleave (service_hash)
+//     across repeated runs AND across perturbed thread schedules;
+//   * SPTF fairness — an adversarial two-owner interleave (one owner
+//     parked at the head's home position, the other scattered far)
+//     finishes in a bounded number of service rounds with no
+//     starvation, because a round takes one batch from every owner;
+//   * single-owner parity — one owner alone on a shared spindle at
+//     queue depth 1 reproduces the dedicated synchronous timeline bit
+//     for bit (samples, device stats, latency histograms);
+//   * interference attribution — cross-owner seeks are charged only
+//     when spindles are actually shared;
+//   * phase fusion / overlap A/B — AgeAndMeasure equals the
+//     barrier-separated AgeTo + MeasureReadThroughput, and
+//     WorkloadConfig::overlap changes host scheduling only, never the
+//     simulated results.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/repository_factory.h"
+#include "sim/block_device.h"
+#include "sim/io_scheduler.h"
+#include "sim/latency_recorder.h"
+#include "sim/spindle_plane.h"
+#include "workload/sharded_runner.h"
+
+namespace lor {
+namespace sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Direct plane tests: fabricated op streams through ported IoSchedulers.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kRegion = 8 * kMiB;
+constexpr uint64_t kBlock = 4 * kKiB;
+
+/// Offset (region-relative) of owner `owner`'s `i`-th request.
+using OffsetFn = std::function<uint64_t(uint32_t owner, uint32_t i)>;
+
+struct PlaneRun {
+  uint64_t service_hash = 0;
+  uint64_t rounds = 0;
+  double hub_clock = 0.0;
+  std::vector<IoStats> view_stats;
+  std::vector<uint64_t> completed_ops;
+};
+
+/// Drives `owners` concurrent owners, each submitting `batches` batches
+/// of `depth` single-write ops at `offset_of(owner, i)`, then settling
+/// and phase-settling. With `stagger`, each thread sleeps a pseudo-
+/// random few microseconds between ops to perturb the host schedule —
+/// the simulated outcome must not notice.
+PlaneRun DrivePlane(SchedPolicy policy, uint64_t seed, uint32_t owners,
+                    uint32_t depth, uint32_t batches,
+                    const OffsetFn& offset_of, bool stagger) {
+  SpindlePlane::Params params;
+  params.region_bytes = kRegion;
+  params.owners = owners;
+  params.policy = policy;
+  params.seed = seed;
+  SpindlePlane plane(params);
+
+  std::vector<std::unique_ptr<BlockDevice>> views;
+  std::vector<std::unique_ptr<LatencyRecorder>> recorders;
+  std::vector<std::unique_ptr<IoScheduler>> scheds;
+  for (uint32_t o = 0; o < owners; ++o) {
+    views.push_back(plane.CreateOwnerDevice(o));
+    recorders.push_back(std::make_unique<LatencyRecorder>());
+    scheds.push_back(
+        std::make_unique<IoScheduler>(views[o].get(), recorders[o].get()));
+    scheds[o]->AttachSpindle(&plane, o);
+  }
+
+  std::vector<std::thread> threads;
+  for (uint32_t o = 0; o < owners; ++o) {
+    threads.emplace_back([&, o] {
+      // Engage fences, so it must run symmetrically on the owners'
+      // threads (the plane pops one fence per active owner at a time).
+      ASSERT_TRUE(scheds[o]->Engage(depth, policy).ok());
+      std::mt19937 jitter(seed ^ (o + 1));
+      for (uint32_t i = 0; i < batches * depth; ++i) {
+        scheds[o]->BeginOp(OpClass::kPut);
+        scheds[o]->EnqueueRequest(/*write=*/true, offset_of(o, i), kBlock,
+                                  /*done=*/{});
+        scheds[o]->EndOp();
+        if (stagger && (jitter() & 3u) == 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(jitter() % 200));
+        }
+      }
+      scheds[o]->Settle();
+      scheds[o]->SettlePhase();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  PlaneRun run;
+  run.service_hash = plane.service_hash();
+  run.rounds = plane.rounds();
+  run.hub_clock = plane.hub()->clock().now();
+  for (uint32_t o = 0; o < owners; ++o) {
+    run.view_stats.push_back(views[o]->stats());
+    run.completed_ops.push_back(scheds[o]->completed_ops());
+  }
+  // Teardown order matters: schedulers retire against the live plane,
+  // then the views release their hub regions.
+  scheds.clear();
+  views.clear();
+  return run;
+}
+
+void ExpectSameStats(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.seeks, b.seeks);
+  EXPECT_EQ(a.sequential_hits, b.sequential_hits);
+  EXPECT_EQ(a.interference_seeks, b.interference_seeks);
+  EXPECT_DOUBLE_EQ(a.seek_time_s, b.seek_time_s);
+  EXPECT_DOUBLE_EQ(a.rotational_time_s, b.rotational_time_s);
+  EXPECT_DOUBLE_EQ(a.transfer_time_s, b.transfer_time_s);
+  EXPECT_DOUBLE_EQ(a.busy_time_s, b.busy_time_s);
+  EXPECT_DOUBLE_EQ(a.interference_seek_time_s, b.interference_seek_time_s);
+  EXPECT_DOUBLE_EQ(a.queue_wait_s, b.queue_wait_s);
+}
+
+uint64_t ScatteredOffset(uint32_t owner, uint32_t i) {
+  // A full-region pseudo-random walk, distinct per owner.
+  const uint64_t blocks = kRegion / kBlock;
+  return ((i * 2654435761ull + owner * 40503ull) % blocks) * kBlock;
+}
+
+TEST(SpindlePlaneDeterminismTest, SameSeedSameOutcomeAcrossRunsAndSchedules) {
+  for (SchedPolicy policy : {SchedPolicy::kFifo, SchedPolicy::kSptf}) {
+    const PlaneRun baseline = DrivePlane(policy, /*seed=*/7, /*owners=*/4,
+                                         /*depth=*/4, /*batches=*/16,
+                                         ScatteredOffset, /*stagger=*/false);
+    const PlaneRun repeat = DrivePlane(policy, 7, 4, 4, 16, ScatteredOffset,
+                                       /*stagger=*/false);
+    const PlaneRun perturbed = DrivePlane(policy, 7, 4, 4, 16,
+                                          ScatteredOffset, /*stagger=*/true);
+    for (const PlaneRun* other : {&repeat, &perturbed}) {
+      EXPECT_EQ(baseline.service_hash, other->service_hash);
+      EXPECT_EQ(baseline.rounds, other->rounds);
+      EXPECT_DOUBLE_EQ(baseline.hub_clock, other->hub_clock);
+      ASSERT_EQ(baseline.view_stats.size(), other->view_stats.size());
+      for (size_t o = 0; o < baseline.view_stats.size(); ++o) {
+        ExpectSameStats(baseline.view_stats[o], other->view_stats[o]);
+        EXPECT_EQ(baseline.completed_ops[o], other->completed_ops[o]);
+      }
+    }
+    EXPECT_GT(baseline.service_hash, 0u);
+    EXPECT_GT(baseline.rounds, 0u);
+  }
+}
+
+TEST(SpindlePlaneDeterminismTest, SeedChangesTheFifoInterleave) {
+  // The FIFO slot shuffle is salted by the plane seed, so different
+  // seeds interleave the owners differently (equal work, different
+  // service order and therefore different head movement).
+  const PlaneRun a = DrivePlane(SchedPolicy::kFifo, 1, 4, 4, 16,
+                                ScatteredOffset, false);
+  const PlaneRun b = DrivePlane(SchedPolicy::kFifo, 2, 4, 4, 16,
+                                ScatteredOffset, false);
+  EXPECT_NE(a.service_hash, b.service_hash);
+}
+
+TEST(SpindlePlaneSptfFairnessTest, AdversarialInterleaveBoundedRounds) {
+  // Owner 0 hammers the head's home position (offset 0: near-zero
+  // positioning cost every time); owner 1 scatters across its whole
+  // region. Under unbounded global SPTF owner 0 would starve owner 1
+  // indefinitely; the plane's round construction services one batch
+  // from EVERY owner before the next round forms, so owner 1 finishes
+  // within a round budget linear in the batches submitted.
+  constexpr uint32_t kDepth = 4;
+  constexpr uint32_t kBatches = 32;
+  const OffsetFn adversarial = [](uint32_t owner, uint32_t i) {
+    return owner == 0 ? 0 : ScatteredOffset(owner, i);
+  };
+  const PlaneRun run = DrivePlane(SchedPolicy::kSptf, 7, /*owners=*/2,
+                                  kDepth, kBatches, adversarial,
+                                  /*stagger=*/false);
+
+  // No starvation: every op of both owners completed (their phase
+  // fences returned, and the per-owner counters agree). Each serviced
+  // device request charges exactly one of {seek, sequential hit} on
+  // its owner's view, so the sum counts serviced requests exactly.
+  ASSERT_EQ(run.completed_ops.size(), 2u);
+  for (uint32_t o = 0; o < 2; ++o) {
+    EXPECT_EQ(run.completed_ops[o], uint64_t{kDepth} * kBatches);
+    EXPECT_EQ(run.view_stats[o].seeks + run.view_stats[o].sequential_hits,
+              uint64_t{kDepth} * kBatches);
+    EXPECT_GT(run.view_stats[o].busy_time_s, 0.0);
+  }
+
+  // Bounded service rounds: each round consumes at least one batch, at
+  // most one per owner — so between kBatches (fully paired) and
+  // 2*kBatches (fully solo) rounds, never more.
+  EXPECT_GE(run.rounds, uint64_t{kBatches});
+  EXPECT_LE(run.rounds, uint64_t{2} * kBatches);
+
+  // The interleave crossed owner regions, so the shared head paid
+  // interference seeks a dedicated layout would not have.
+  EXPECT_GT(run.view_stats[0].interference_seeks +
+                run.view_stats[1].interference_seeks,
+            0u);
+}
+
+}  // namespace
+}  // namespace sim
+
+// ---------------------------------------------------------------------
+// Workload-level tests: factory topology, parity, and phase fusion.
+// ---------------------------------------------------------------------
+
+namespace workload {
+namespace {
+
+constexpr uint64_t kVolume = 512 * kMiB;  // MiB-aligned per shard: parity.
+
+std::unique_ptr<core::RepositoryFactory> MakeFactory(
+    const std::string& backend) {
+  if (backend == "filesystem") {
+    core::FsRepositoryConfig config;
+    config.volume_bytes = kVolume;
+    return std::make_unique<core::FsRepositoryFactory>(config);
+  }
+  core::DbRepositoryConfig config;
+  config.volume_bytes = kVolume;
+  return std::make_unique<core::DbRepositoryFactory>(config);
+}
+
+WorkloadConfig SmallWorkload(uint32_t queue_depth = 1) {
+  WorkloadConfig config;
+  config.sizes = SizeDistribution::Uniform(kMiB);
+  config.seed = 42;
+  config.read_probe_samples = 64;
+  config.queue_depth = queue_depth;
+  return config;
+}
+
+core::SpindleTopology SharedTopology(uint32_t owners_per_spindle) {
+  core::SpindleTopology topology;
+  topology.owners_per_spindle = owners_per_spindle;
+  return topology;
+}
+
+struct RunOutcome {
+  ThroughputSample load;
+  ThroughputSample aged;
+  ThroughputSample read;
+  sim::IoStats device;
+  std::string latency;
+  uint64_t objects = 0;
+};
+
+RunOutcome RunAging(const core::RepositoryFactory& factory,
+                    const WorkloadConfig& config, uint32_t shards) {
+  RunOutcome out;
+  ShardedRunner runner(factory, config, shards);
+  auto load = runner.BulkLoad();
+  EXPECT_TRUE(load.ok()) << load.status().ToString();
+  auto aged = runner.AgeTo(1.0);
+  EXPECT_TRUE(aged.ok()) << aged.status().ToString();
+  auto read = runner.MeasureReadThroughput();
+  EXPECT_TRUE(read.ok()) << read.status().ToString();
+  if (load.ok()) out.load = *load;
+  if (aged.ok()) out.aged = *aged;
+  if (read.ok()) out.read = *read;
+  out.device = runner.device_stats();
+  out.latency = runner.latency().ToString();
+  out.objects = runner.object_count();
+  return out;
+}
+
+void ExpectSameSample(const ThroughputSample& a, const ThroughputSample& b) {
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.operations, b.operations);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b) {
+  ExpectSameSample(a.load, b.load);
+  ExpectSameSample(a.aged, b.aged);
+  ExpectSameSample(a.read, b.read);
+  sim::ExpectSameStats(a.device, b.device);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.objects, b.objects);
+}
+
+class SpindlePlaneBackendTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(SpindlePlaneBackendTest, SingleOwnerPlaneMatchesDedicatedBitForBit) {
+  // One owner alone on a shared spindle at queue depth 1 must replay
+  // the dedicated synchronous timeline exactly: same samples, same
+  // device stats (including every double), same latency histograms.
+  // owners_per_spindle=2 with one shard builds a real plane whose only
+  // spindle holds a single owner, so the whole port path runs.
+  auto factory = MakeFactory(GetParam());
+  const RunOutcome dedicated = RunAging(*factory, SmallWorkload(), 1);
+
+  factory->set_spindle_topology(SharedTopology(2));
+  const RunOutcome ported = RunAging(*factory, SmallWorkload(), 1);
+
+  EXPECT_EQ(dedicated.device.interference_seeks, 0u);
+  EXPECT_EQ(ported.device.interference_seeks, 0u);
+  ExpectSameOutcome(dedicated, ported);
+}
+
+TEST_P(SpindlePlaneBackendTest, SharedSpindleDeterministicAcrossRuns) {
+  // Four shards contending for one spindle at queue depth 4: the
+  // maximally concurrent configuration. Two runs must agree on every
+  // simulated number — the interleave is a function of the per-owner
+  // submission sequences, never of host thread timing.
+  auto run_once = [&] {
+    auto factory = MakeFactory(GetParam());
+    factory->set_spindle_topology(SharedTopology(4));
+    return RunAging(*factory, SmallWorkload(/*queue_depth=*/4), 4);
+  };
+  const RunOutcome a = run_once();
+  const RunOutcome b = run_once();
+  ExpectSameOutcome(a, b);
+  EXPECT_GT(a.device.interference_seeks, 0u);
+}
+
+TEST_P(SpindlePlaneBackendTest, InterferenceChargedOnlyWhenShared) {
+  auto factory = MakeFactory(GetParam());
+  const RunOutcome dedicated =
+      RunAging(*factory, SmallWorkload(/*queue_depth=*/4), 2);
+  EXPECT_EQ(dedicated.device.interference_seeks, 0u);
+  EXPECT_DOUBLE_EQ(dedicated.device.interference_seek_time_s, 0.0);
+
+  factory->set_spindle_topology(SharedTopology(2));
+  const RunOutcome shared =
+      RunAging(*factory, SmallWorkload(/*queue_depth=*/4), 2);
+  EXPECT_GT(shared.device.interference_seeks, 0u);
+  EXPECT_GT(shared.device.interference_seek_time_s, 0.0);
+  EXPECT_GT(shared.device.queue_wait_s, 0.0);
+  // Equal work, contended head: the shared deployment cannot finish
+  // its aging pass faster than the dedicated one.
+  EXPECT_GE(shared.aged.seconds, dedicated.aged.seconds);
+}
+
+TEST_P(SpindlePlaneBackendTest, FusedAgeAndMeasureMatchesSeparatePhases) {
+  // AgeAndMeasure overlaps the read probe with peers still aging; the
+  // simulated outcome must equal the barrier-separated AgeTo +
+  // MeasureReadThroughput on both topologies.
+  for (uint32_t owners : {1u, 2u}) {
+    auto factory = MakeFactory(GetParam());
+    factory->set_spindle_topology(SharedTopology(owners));
+
+    ShardedRunner separate(*factory, SmallWorkload(), 2);
+    ASSERT_TRUE(separate.BulkLoad().ok());
+    auto aged = separate.AgeTo(1.0);
+    ASSERT_TRUE(aged.ok()) << aged.status().ToString();
+    auto read = separate.MeasureReadThroughput();
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+
+    ShardedRunner fused(*factory, SmallWorkload(), 2);
+    ASSERT_TRUE(fused.BulkLoad().ok());
+    auto both = fused.AgeAndMeasure(1.0);
+    ASSERT_TRUE(both.ok()) << both.status().ToString();
+
+    ExpectSameSample(both->aged, *aged);
+    ExpectSameSample(both->read, *read);
+    sim::ExpectSameStats(fused.device_stats(), separate.device_stats());
+  }
+}
+
+TEST_P(SpindlePlaneBackendTest, OverlapModeLeavesWorkIdentical) {
+  // --no-overlap (the lockstep A/B baseline) drains after every op on
+  // shared spindles. The per-op fences change the simulated interleave
+  // (queue waits, seek interference) — that is the point of the A/B —
+  // but the work itself must be identical: same operations, same
+  // bytes, same surviving objects, and both runs individually
+  // deterministic.
+  auto run_with_overlap = [&](bool overlap) {
+    auto factory = MakeFactory(GetParam());
+    factory->set_spindle_topology(SharedTopology(2));
+    WorkloadConfig config = SmallWorkload(/*queue_depth=*/4);
+    config.overlap = overlap;
+    return RunAging(*factory, config, 2);
+  };
+  const RunOutcome overlapped = run_with_overlap(true);
+  const RunOutcome lockstep = run_with_overlap(false);
+  EXPECT_EQ(overlapped.load.bytes, lockstep.load.bytes);
+  EXPECT_EQ(overlapped.load.operations, lockstep.load.operations);
+  EXPECT_EQ(overlapped.aged.bytes, lockstep.aged.bytes);
+  EXPECT_EQ(overlapped.aged.operations, lockstep.aged.operations);
+  EXPECT_EQ(overlapped.read.bytes, lockstep.read.bytes);
+  EXPECT_EQ(overlapped.read.operations, lockstep.read.operations);
+  EXPECT_EQ(overlapped.objects, lockstep.objects);
+  EXPECT_GT(overlapped.device.interference_seeks, 0u);
+  EXPECT_GT(lockstep.device.interference_seeks, 0u);
+  // Lockstep is deterministic too, like the overlapped runs checked in
+  // SharedSpindleDeterministicAcrossRuns.
+  const RunOutcome lockstep_again = run_with_overlap(false);
+  ExpectSameOutcome(lockstep, lockstep_again);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpindlePlaneBackendTest,
+                         ::testing::Values("filesystem", "database"));
+
+}  // namespace
+}  // namespace workload
+}  // namespace lor
