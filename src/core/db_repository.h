@@ -114,6 +114,15 @@ class DbRepository : public ObjectRepository {
   /// window is armed — held pre-images look like leaks.
   Result<FsckReport> Fsck() override;
 
+  /// Background scrubber pass with repair: walks objects from the
+  /// persistent cursor re-reading payloads with charged I/O. A read
+  /// that only succeeded through media retries marks the blob's pages
+  /// pending-bad and supersedes it with a safe write (the old pages
+  /// divert to the allocation unit's quarantine list when freed);
+  /// reads that stay broken after retry count as unrecoverable (a
+  /// client rewrite heals them).
+  Result<ScrubReport> Scrub(const ScrubOptions& options = {}) override;
+
   // Submission/completion pipeline. The scheduler fronts the data
   // volume only: the log stays a strictly-ordered synchronous append
   // stream (bulk-logged commits are tiny and serialized by the engine),

@@ -338,15 +338,19 @@ Result<FsckReport> FsRepository::Fsck() {
   const uint64_t data_zone =
       store_->total_clusters() - store_->mft_clusters();
   const uint64_t unused = store_->allocator()->total_unused_clusters();
-  if (owned + unused < data_zone) {
+  // Clusters the scrubber retired after media errors: owned by nobody,
+  // deliberately — reported, but not an issue.
+  report.quarantined_units = store_->quarantined_cluster_count();
+  const uint64_t accounted = owned + unused + report.quarantined_units;
+  if (accounted < data_zone) {
     report.issues.push_back(
         {FsckIssue::Kind::kLeakedExtent,
-         std::to_string(data_zone - owned - unused) +
+         std::to_string(data_zone - accounted) +
              " clusters owned by no live object"});
-  } else if (owned + unused > data_zone) {
+  } else if (accounted > data_zone) {
     report.issues.push_back(
         {FsckIssue::Kind::kDoubleAllocated,
-         std::to_string(owned + unused - data_zone) +
+         std::to_string(accounted - data_zone) +
              " clusters claimed twice (object vs free space)"});
   }
   // Payload verification (only possible when the device retains bytes):
@@ -375,6 +379,66 @@ Result<FsckReport> FsRepository::Fsck() {
     if (Fnv(payload) != expected) {
       report.issues.push_back(
           {FsckIssue::Kind::kTornPayload, "payload hash mismatch: " + name});
+    }
+  }
+  return report;
+}
+
+Result<ScrubReport> FsRepository::Scrub(const ScrubOptions& options) {
+  ScrubReport report;
+  std::vector<std::string> keys = store_->ListFiles();
+  std::sort(keys.begin(), keys.end());
+  if (keys.empty()) {
+    scrub_cursor_.clear();
+    return report;
+  }
+  size_t start = 0;
+  if (!scrub_cursor_.empty()) {
+    const auto it =
+        std::upper_bound(keys.begin(), keys.end(), scrub_cursor_);
+    start = static_cast<size_t>(it - keys.begin()) % keys.size();
+  }
+  const uint64_t budget =
+      options.max_objects == 0 ? keys.size() : options.max_objects;
+  const sim::MediaFaultModel* media = device_->media_faults();
+  std::vector<uint8_t> payload;
+  for (uint64_t i = 0; i < budget && i < keys.size(); ++i) {
+    const std::string& key = keys[(start + i) % keys.size()];
+    scrub_cursor_ = key;
+    const uint64_t errors_before =
+        media != nullptr ? media->stats().read_errors : 0;
+    const Status read = Get(key, &payload);  // Charged like a client read.
+    ++report.objects_scanned;
+    if (read.ok()) {
+      report.bytes_scanned += payload.size();
+      // The read succeeded but needed media retries: a transient latent
+      // sector error lives under this file. Repair by rewrite — move
+      // the payload onto fresh clusters and retire the suspect ones.
+      if (options.repair && media != nullptr &&
+          media->stats().read_errors > errors_before) {
+        sim::OpScope scope(scheduler_.get(), sim::OpClass::kControl);
+        const uint64_t quarantined_before =
+            store_->quarantined_cluster_count();
+        if (store_->MarkFilePendingBad(key).ok()) {
+          auto moved = store_->RelocateFile(key);
+          if (moved.ok() && *moved) ++report.repaired;
+        }
+        report.quarantined_units +=
+            store_->quarantined_cluster_count() - quarantined_before;
+      }
+    } else if (read.IsNotFound()) {
+      continue;  // Deleted since the listing: not a media problem.
+    } else if (read.IsCorruption()) {
+      ++report.corruptions_detected;
+      ++report.unrecoverable;
+    } else if (read.IsIoError()) {
+      ++report.read_errors;
+      ++report.unrecoverable;
+    } else {
+      return read;  // The scrubber itself failed; surface it.
+    }
+    if (options.max_bytes != 0 && report.bytes_scanned >= options.max_bytes) {
+      break;
     }
   }
   return report;

@@ -131,6 +131,14 @@ class FsRepository : public ObjectRepository {
   /// window is armed (rollback holds look like leaks).
   Result<FsckReport> Fsck() override;
 
+  /// Background scrubber pass with repair: walks files from the
+  /// persistent cursor re-reading payloads with charged I/O. A read
+  /// that only succeeded through media retries marks the file's
+  /// clusters pending-bad and relocates it onto fresh ones (the old
+  /// clusters divert to the quarantine list); reads that stay broken
+  /// after retry count as unrecoverable (a client rewrite heals them).
+  Result<ScrubReport> Scrub(const ScrubOptions& options = {}) override;
+
   // Submission/completion pipeline.
   Status SetQueueDepth(
       uint32_t depth,

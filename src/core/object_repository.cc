@@ -100,6 +100,54 @@ Result<FsckReport> ObjectRepository::Fsck() {
   return report;
 }
 
+Result<ScrubReport> ObjectRepository::Scrub(const ScrubOptions& options) {
+  // Name-routed default: detect-only. Walks the sorted key space from
+  // the persistent cursor, re-reading each payload through the public
+  // Get surface (charged like any client read, typed errors included).
+  // Wrapper repositories therefore scrub whatever they wrap; repair
+  // needs back-end layout access and lives in the overrides.
+  ScrubReport report;
+  std::vector<std::string> keys = ListKeys();
+  std::sort(keys.begin(), keys.end());
+  if (keys.empty()) {
+    scrub_cursor_.clear();
+    return report;
+  }
+  // Resume strictly after the cursor, wrapping at the end.
+  size_t start = 0;
+  if (!scrub_cursor_.empty()) {
+    const auto it =
+        std::upper_bound(keys.begin(), keys.end(), scrub_cursor_);
+    start = static_cast<size_t>(it - keys.begin()) % keys.size();
+  }
+  const uint64_t budget =
+      options.max_objects == 0 ? keys.size() : options.max_objects;
+  std::vector<uint8_t> payload;
+  for (uint64_t i = 0; i < budget && i < keys.size(); ++i) {
+    const std::string& key = keys[(start + i) % keys.size()];
+    scrub_cursor_ = key;
+    const Status read = Get(key, &payload);
+    ++report.objects_scanned;
+    if (read.ok()) {
+      report.bytes_scanned += payload.size();
+    } else if (read.IsNotFound()) {
+      continue;  // Deleted since ListKeys: not a media problem.
+    } else if (read.IsCorruption()) {
+      ++report.corruptions_detected;
+      ++report.unrecoverable;
+    } else if (read.IsIoError()) {
+      ++report.read_errors;
+      ++report.unrecoverable;
+    } else {
+      return read;  // The scrubber itself failed; surface it.
+    }
+    if (options.max_bytes != 0 && report.bytes_scanned >= options.max_bytes) {
+      break;
+    }
+  }
+  return report;
+}
+
 Result<ObjectHandle> ObjectRepository::Open(const std::string& key) {
   if (!Exists(key)) return Status::NotFound("no object: " + key);
   return MakeHandle(key, /*writable=*/false);

@@ -79,7 +79,47 @@ struct FsckReport {
   std::vector<FsckIssue> issues;
   uint64_t objects_checked = 0;
   uint64_t payloads_hashed = 0;
+  /// Allocation units (fs clusters / db pages) quarantined for media
+  /// faults: owned by no object and withheld from the allocator so bad
+  /// sectors are never reallocated. Deliberate isolation, not an issue
+  /// — clean() stays true for a quarantining volume.
+  uint64_t quarantined_units = 0;
   bool clean() const { return issues.empty(); }
+};
+
+/// Rate limits and repair policy for one scrubber pass (see
+/// ObjectRepository::Scrub).
+struct ScrubOptions {
+  /// Objects to examine this pass (0 = every live object). The cursor
+  /// persists across passes, so bounded passes resume where the last
+  /// one stopped and wrap at the end — a background scrubber trickling
+  /// through the volume.
+  uint64_t max_objects = 0;
+  /// Stop after charging this many payload bytes of scrub reads
+  /// (0 = unlimited); checked after each object.
+  uint64_t max_bytes = 0;
+  /// Repair what can be repaired: rewrite objects whose media errors
+  /// recovered (quarantining the suspect units), leave typed reports
+  /// for what cannot. False = detect and report only.
+  bool repair = true;
+};
+
+/// What one scrubber pass saw and did.
+struct ScrubReport {
+  uint64_t objects_scanned = 0;
+  uint64_t bytes_scanned = 0;
+  /// Objects whose read hit a typed media error (transient or not).
+  uint64_t read_errors = 0;
+  /// Objects whose payload failed checksum verification.
+  uint64_t corruptions_detected = 0;
+  /// Objects rewritten onto fresh space (suspect units quarantined).
+  uint64_t repaired = 0;
+  /// Objects left in a typed-error state: persistent LSE or corrupt
+  /// payload with no good copy to rewrite from. Never silent — every
+  /// subsequent read returns the typed error.
+  uint64_t unrecoverable = 0;
+  /// Allocation units newly quarantined by this pass's repairs.
+  uint64_t quarantined_units = 0;
 };
 
 /// Abstract get/put large-object repository.
@@ -255,6 +295,16 @@ class ObjectRepository {
   /// wrappers keep working.
   virtual Result<FsckReport> Fsck();
 
+  /// One background-scrubber pass: walks live objects from the
+  /// persistent scrub cursor, re-reads payloads with charged I/O,
+  /// verifies end-to-end checksums, and (when options.repair) rewrites
+  /// recovered objects off suspect media, quarantining the old units.
+  /// Detected-but-unrepairable objects stay typed-error, never silently
+  /// wrong. The default implementation is name-routed (ListKeys + Get),
+  /// so wrapper repositories scrub what they wrap — it detects typed
+  /// errors and corruption but repairs nothing.
+  virtual Result<ScrubReport> Scrub(const ScrubOptions& options = {});
+
   /// Structural invariants (no shared clusters/extents, accounting).
   virtual Status CheckConsistency() const = 0;
 
@@ -271,6 +321,11 @@ class ObjectRepository {
   /// defaults mint a name-routed handle (gen 0).
   ObjectHandle MakeHandle(const std::string& key, bool writable,
                           uint64_t slot = 0, uint64_t gen = 0) const;
+
+  /// Background-scrubber resume point: the last key the previous Scrub
+  /// pass examined (empty = start of the key space). Shared by the
+  /// default implementation and the back-end overrides.
+  std::string scrub_cursor_;
 };
 
 }  // namespace core

@@ -355,6 +355,21 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
     }
   }
 
+  sim::BufferPool* pool = file->device()->buffer_pool();
+  const bool pooled = pool != nullptr && pool->enabled();
+  // Media admission for the unpooled payload path: the charged batch
+  // read below carries no destination (payload moves via views), so
+  // the device's implicit read-side fault check never sees it. With a
+  // pool active the miss fills carry frame memory and are admitted
+  // there — and resident frames legitimately serve their cached bytes
+  // without touching media.
+  if (out != nullptr && !pooled) {
+    for (const PageFile::PageRun& b : batches) {
+      LOR_RETURN_IF_ERROR(file->device()->PreflightMediaRead(
+          file->PageOffset(b.first_page), b.count * page_bytes));
+    }
+  }
+
   file->device()->BeginStreamWindow();
   LOR_RETURN_IF_ERROR(file->ReadPagesV(batches));
   if (out != nullptr) {
@@ -363,8 +378,6 @@ Status BlobBtree::ReadAt(PageFile* file, const BlobLayout& layout,
     // devices) view as zeros, preserving the historical bytes. With a
     // buffer pool active the view goes through the pool instead, so
     // dirty write-back frames are served their cached bytes.
-    sim::BufferPool* pool = file->device()->buffer_pool();
-    const bool pooled = pool != nullptr && pool->enabled();
     const auto sink = [out](std::span<const uint8_t> src) {
       out->insert(out->end(), src.begin(), src.end());
     };

@@ -47,6 +47,12 @@ struct BlobLayout {
   /// blob was written with real bytes (DataMode::kRetain workloads).
   uint64_t payload_hash = 0;
   bool hash_valid = false;
+  /// Per-block media checksums: one FNV-1a sum per kChecksumBlockBytes
+  /// of payload, partial tail included (util/fnv.h). Recorded alongside
+  /// payload_hash under the same validity flag; the read path verifies
+  /// the sums covering the returned range so range reads do not need
+  /// the whole object.
+  std::vector<uint64_t> block_sums;
 
   uint64_t data_page_count() const { return TotalLength(data_runs); }
   uint64_t root_page() const {

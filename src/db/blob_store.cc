@@ -110,8 +110,9 @@ Status BlobStore::Get(BlobHandle handle, std::vector<uint8_t>* out) {
   if (slot->entry.layout == nullptr) {
     return Status::NotFound("no object: " + slot->name);
   }
-  LOR_RETURN_IF_ERROR(
-      BlobBtree::Read(&page_file_, *slot->entry.layout, options_.costs, out));
+  LOR_RETURN_IF_ERROR(ReadVerified(slot->name, *slot->entry.layout, 0,
+                                   slot->entry.layout->data_bytes, out,
+                                   nullptr));
   ++stats_.gets;
   return Status::OK();
 }
@@ -123,9 +124,8 @@ Status BlobStore::GetRange(BlobHandle handle, uint64_t offset,
   if (slot->entry.layout == nullptr) {
     return Status::NotFound("no object: " + slot->name);
   }
-  LOR_RETURN_IF_ERROR(BlobBtree::ReadAt(&page_file_, *slot->entry.layout,
-                                        options_.costs, offset, length, out,
-                                        &slot->entry.read_cursor));
+  LOR_RETURN_IF_ERROR(ReadVerified(slot->name, *slot->entry.layout, offset,
+                                   length, out, &slot->entry.read_cursor));
   ++stats_.gets;
   return Status::OK();
 }
@@ -206,6 +206,7 @@ Status BlobStore::PutResolved(const std::string& key, uint64_t size,
   if (!data.empty()) {
     layout->payload_hash = Fnv(data);
     layout->hash_valid = true;
+    layout->block_sums = FnvBlockSums(data);
   }
 
   ObjectRow row;
@@ -273,6 +274,7 @@ Status BlobStore::ReplaceResolved(const std::string& key,
   if (!data.empty()) {
     layout->payload_hash = Fnv(data);
     layout->hash_valid = true;
+    layout->block_sums = FnvBlockSums(data);
   }
 
   ObjectRow row;
@@ -328,9 +330,87 @@ Status BlobStore::Get(const std::string& key, std::vector<uint8_t>* out) {
   if (it == layouts_.end()) {
     return Status::Corruption("row without layout: " + key);
   }
-  LOR_RETURN_IF_ERROR(
-      BlobBtree::Read(&page_file_, it->second, options_.costs, out));
+  LOR_RETURN_IF_ERROR(ReadVerified(key, it->second, 0, it->second.data_bytes,
+                                   out, nullptr));
   ++stats_.gets;
+  return Status::OK();
+}
+
+Status BlobStore::ReadVerified(const std::string& key,
+                               const BlobLayout& layout, uint64_t offset,
+                               uint64_t length, std::vector<uint8_t>* out,
+                               BlobBtree::ReadCursor* cursor) {
+  Status s = BlobBtree::ReadAt(&page_file_, layout, options_.costs, offset,
+                               length, out, cursor);
+  const sim::MediaRetryPolicy& retry = options_.media_retry;
+  for (uint32_t attempt = 1; s.IsIoError() && attempt < retry.max_attempts;
+       ++attempt) {
+    // Linear backoff before re-driving the read (transient latent
+    // sector errors clear after a few attempts).
+    data_device_->ChargeCpu(retry.backoff_s * attempt);
+    s = BlobBtree::ReadAt(&page_file_, layout, options_.costs, offset, length,
+                          out, cursor);
+  }
+  LOR_RETURN_IF_ERROR(s);
+  return VerifyChecksums(key, layout, offset, length, out);
+}
+
+Status BlobStore::VerifyChecksums(const std::string& key,
+                                  const BlobLayout& layout, uint64_t offset,
+                                  uint64_t length, std::vector<uint8_t>* out) {
+  if (out == nullptr || length == 0 || !layout.hash_valid ||
+      layout.block_sums.empty()) {
+    return Status::OK();
+  }
+  if (data_device_->media_faults() == nullptr ||
+      data_device_->data_mode() != sim::DataMode::kRetain) {
+    return Status::OK();
+  }
+  // Verify every block sum whose block lies wholly inside the returned
+  // range (the tail sum covers a partial block of the *object*, so it
+  // qualifies whenever the range reaches the object's end).
+  const uint64_t kB = kChecksumBlockBytes;
+  const uint64_t end = offset + length;
+  const uint64_t first = (offset + kB - 1) / kB;
+  const auto verify = [&]() {
+    for (uint64_t b = first; b < layout.block_sums.size(); ++b) {
+      const uint64_t bstart = b * kB;
+      const uint64_t bend = std::min(bstart + kB, layout.data_bytes);
+      if (bend > end) break;
+      const std::span<const uint8_t> got(out->data() + (bstart - offset),
+                                         bend - bstart);
+      if (Fnv(got) != layout.block_sums[b]) return false;
+    }
+    return true;
+  };
+  if (verify()) return Status::OK();
+  // The mismatch could be a poisoned cached frame rather than the
+  // medium: drop every cached page of the blob and re-drive the read
+  // once from the device before declaring the blob corrupt.
+  for (const alloc::Extent& run : layout.data_runs) {
+    page_file_.InvalidatePages(run.start, run.length);
+  }
+  std::vector<uint8_t> fresh;
+  LOR_RETURN_IF_ERROR(BlobBtree::ReadAt(&page_file_, layout, options_.costs,
+                                        offset, length, &fresh, nullptr));
+  *out = std::move(fresh);
+  if (verify()) return Status::OK();
+  return Status::Corruption("checksum mismatch in blob " + key);
+}
+
+Status BlobStore::MarkPendingBad(const std::string& key) {
+  auto it = layouts_.find(key);
+  if (it == layouts_.end()) {
+    return Status::NotFound("no object: " + key);
+  }
+  for (const alloc::Extent& run : it->second.data_runs) {
+    for (uint64_t p = run.start; p < run.end(); ++p) {
+      lob_unit_.MarkPendingBad(p);
+    }
+  }
+  for (const uint64_t p : it->second.pointer_pages) {
+    lob_unit_.MarkPendingBad(p);
+  }
   return Status::OK();
 }
 
@@ -441,10 +521,11 @@ Result<BlobStore::RebuildReport> BlobStore::RebuildTable() {
                                     options_.write_request_bytes,
                                     options_.costs);
       if (!fresh.ok()) return fresh.status();
-      // The copy carries the original bytes, so the recorded hash moves
-      // with it.
+      // The copy carries the original bytes, so the recorded hashes
+      // move with it.
       fresh->payload_hash = it->second.payload_hash;
       fresh->hash_valid = it->second.hash_valid;
+      fresh->block_sums = it->second.block_sums;
       ObjectRow row;
       row.key = key;
       row.blob_ref = fresh->root_page();
@@ -686,6 +767,7 @@ Result<BlobRecoveryStats> BlobStore::Recover() {
           if (!entry.payload.empty()) {
             fresh->payload_hash = Fnv(entry.payload);
             fresh->hash_valid = true;
+            fresh->block_sums = FnvBlockSums(entry.payload);
           }
           ObjectRow row;
           row.key = entry.key;

@@ -39,6 +39,7 @@
 #include "db/metadata_table.h"
 #include "db/page_file.h"
 #include "sim/block_device.h"
+#include "sim/media_fault.h"
 #include "sim/op_cost_model.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -62,6 +63,9 @@ struct BlobStoreOptions {
   uint32_t ops_per_checkpoint = 256;
   /// Ghost-cleanup cadence (delete operations).
   uint32_t deletes_per_ghost_purge = 512;
+  /// Retry/backoff for reads refused by an armed media-fault model
+  /// (transient latent sector errors clear after a few attempts).
+  sim::MediaRetryPolicy media_retry;
 };
 
 /// One armed-window intent in the engine's host-side recovery log.
@@ -245,6 +249,19 @@ class BlobStore {
   /// in the GAM, metadata rows and layouts agree.
   Status CheckConsistency() const;
 
+  // -- Media repair ------------------------------------------------------
+
+  /// Marks every page of `key`'s current blob (data and pointer pages)
+  /// pending-bad in the allocation unit. The repair then supersedes the
+  /// blob with a safe write; when the old pages are freed they divert
+  /// to the quarantine list instead of returning to circulation.
+  Status MarkPendingBad(const std::string& key);
+
+  /// Bad pages retired from circulation (allocation-unit quarantine).
+  uint64_t quarantined_page_count() const {
+    return lob_unit_.quarantined_page_count();
+  }
+
   // -- Crash recovery ---------------------------------------------------
 
   /// Mount-time recovery after a materialized crash (or a no-op replay
@@ -323,6 +340,22 @@ class BlobStore {
   /// Delete core (no query charge) over a resolved layout node.
   Status DeleteResolved(
       std::unordered_map<std::string, BlobLayout>::iterator it);
+
+  /// Charged read of [offset, offset+length) with media retry and
+  /// end-to-end checksum verification: typed IoError reads are retried
+  /// per options_.media_retry; delivered bytes are verified against the
+  /// layout's block sums (cached pages are dropped and re-read once on
+  /// mismatch before the read fails as Corruption).
+  Status ReadVerified(const std::string& key, const BlobLayout& layout,
+                      uint64_t offset, uint64_t length,
+                      std::vector<uint8_t>* out,
+                      BlobBtree::ReadCursor* cursor);
+
+  /// The verification half of ReadVerified (no retry); `out` holds the
+  /// range's bytes.
+  Status VerifyChecksums(const std::string& key, const BlobLayout& layout,
+                         uint64_t offset, uint64_t length,
+                         std::vector<uint8_t>* out);
 
   sim::BlockDevice* data_device_;
   sim::BlockDevice* log_device_;

@@ -104,6 +104,21 @@ Status LobAllocationUnit::FreePage(uint64_t page_id) {
   if ((bitmap >> bit) & 1u) {
     return Status::InvalidArgument("double free of page");
   }
+  if (!quarantined_pages_.empty() && quarantined_pages_.count(page_id) != 0) {
+    return Status::InvalidArgument("double free of page");
+  }
+  if (!pending_bad_pages_.empty()) {
+    auto it = pending_bad_pages_.find(page_id);
+    if (it != pending_bad_pages_.end()) {
+      // Divert: the bit stays "used", so the page is never re-issued
+      // and the extent never returns to the GAM, but no blob owns it.
+      pending_bad_pages_.erase(it);
+      quarantined_pages_.insert(page_id);
+      file_->InvalidatePages(page_id, 1);
+      --allocated_pages_;
+      return Status::OK();
+    }
+  }
   bitmap = static_cast<uint16_t>(bitmap | (1u << bit));
   // The page changes owner even while its extent stays with the unit —
   // any cached frame must die before the next AllocatePage hands it out.
@@ -122,6 +137,14 @@ Status LobAllocationUnit::FreePage(uint64_t page_id) {
 }
 
 Status LobAllocationUnit::FreePages(const alloc::Extent& run) {
+  if (!pending_bad_pages_.empty() || !quarantined_pages_.empty()) {
+    // Rare repair regime: per-page frees so marked pages can divert to
+    // the quarantine list individually.
+    for (uint64_t p = run.start; p < run.start + run.length; ++p) {
+      LOR_RETURN_IF_ERROR(FreePage(p));
+    }
+    return Status::OK();
+  }
   uint64_t page = run.start;
   uint64_t left = run.length;
   while (left > 0) {
@@ -188,8 +211,19 @@ Status LobAllocationUnit::CheckConsistency() const {
   if (free_pages != reserved_free_) {
     return Status::Corruption("reserved free page count mismatch");
   }
-  if (used_pages != allocated_pages_) {
+  // Quarantined pages hold a "used" bit but belong to no blob, so they
+  // account separately from allocated_pages_.
+  if (used_pages != allocated_pages_ + quarantined_pages_.size()) {
     return Status::Corruption("allocated page count mismatch");
+  }
+  for (const uint64_t page : quarantined_pages_) {
+    const uint64_t qx = page / pages_per_extent_;
+    if (qx >= bitmaps_.size() || bitmaps_[qx] == kUnowned) {
+      return Status::Corruption("quarantined page in unowned extent");
+    }
+    if ((bitmaps_[qx] >> (page % pages_per_extent_)) & 1u) {
+      return Status::Corruption("quarantined page marked free");
+    }
   }
   return Status::OK();
 }

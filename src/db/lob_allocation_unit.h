@@ -14,6 +14,7 @@
 #define LOREPO_DB_LOB_ALLOCATION_UNIT_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/extent.h"
@@ -81,6 +82,25 @@ class LobAllocationUnit {
   /// Extents currently owned by the unit.
   uint64_t owned_extents() const { return owned_count_; }
 
+  // -- Media quarantine ------------------------------------------------
+
+  /// Marks a page pending-bad: when it is next freed (the repair path
+  /// supersedes the blob with a safe write, then frees the old pages),
+  /// it diverts to the quarantine list instead of becoming reusable.
+  /// Its bitmap bit stays "used", so the page is never re-issued and
+  /// its extent never returns to the GAM.
+  void MarkPendingBad(uint64_t page_id) { pending_bad_pages_.insert(page_id); }
+
+  /// Drops pending-bad marks that never reached a free (e.g. a repair
+  /// whose rewrite failed and left the old blob in place).
+  void ClearPendingBad() { pending_bad_pages_.clear(); }
+
+  uint64_t pending_bad_count() const { return pending_bad_pages_.size(); }
+  uint64_t quarantined_page_count() const { return quarantined_pages_.size(); }
+  bool IsQuarantined(uint64_t page_id) const {
+    return quarantined_pages_.count(page_id) != 0;
+  }
+
   /// Sequential-fill mode for table rebuilds: while enabled, page
   /// allocation never reuses free pages in old partially-used extents;
   /// it only fills the tail of the most recently acquired extent or
@@ -117,6 +137,11 @@ class LobAllocationUnit {
   uint64_t reserved_free_ = 0;
   uint64_t owned_count_ = 0;
   bool sequential_fill_ = false;
+  /// Pages marked bad whose free has not happened yet (scrub state).
+  std::unordered_set<uint64_t> pending_bad_pages_;
+  /// Retired bad pages: bitmap bit held "used" forever, counted apart
+  /// from allocated_pages_ (no blob owns them).
+  std::unordered_set<uint64_t> quarantined_pages_;
 };
 
 }  // namespace db

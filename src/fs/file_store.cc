@@ -294,7 +294,7 @@ void FileStore::NoteNameRemove() {
   if (++name_removes_ % options_.names_per_index_buffer != 0) return;
   if (index_buffers_.empty()) return;
   // Buffers merge as the directory shrinks: free the oldest.
-  Status s = allocator_->Free(index_buffers_.front());
+  Status s = FreeExtent(index_buffers_.front());
   (void)s;
   index_buffers_.erase(index_buffers_.begin());
 }
@@ -372,6 +372,30 @@ void FileStore::UnpinFileFrames(const FileInfo& file) {
   }
 }
 
+Status FileStore::FreeExtent(const alloc::Extent& e) {
+  if (pending_bad_clusters_.empty()) return allocator_->Free(e);
+  // Split the extent around pending-bad clusters: healthy runs return
+  // to the allocator, flagged clusters retire to the quarantine list.
+  uint64_t run_start = e.start;
+  uint64_t run_len = 0;
+  for (uint64_t c = e.start; c < e.end(); ++c) {
+    auto it = pending_bad_clusters_.find(c);
+    if (it != pending_bad_clusters_.end()) {
+      if (run_len > 0) {
+        LOR_RETURN_IF_ERROR(allocator_->Free({run_start, run_len}));
+        run_len = 0;
+      }
+      pending_bad_clusters_.erase(it);
+      quarantined_clusters_.insert(c);
+    } else {
+      if (run_len == 0) run_start = c;
+      ++run_len;
+    }
+  }
+  if (run_len > 0) LOR_RETURN_IF_ERROR(allocator_->Free({run_start, run_len}));
+  return Status::OK();
+}
+
 Status FileStore::FreeFileClusters(const FileInfo& file) {
   // The clusters are leaving this owner either way (even when a crash
   // window holds them for rollback, rollback reinstates layouts from
@@ -388,7 +412,7 @@ Status FileStore::FreeFileClusters(const FileInfo& file) {
     return Status::OK();
   }
   for (const alloc::Extent& e : file.extents) {
-    LOR_RETURN_IF_ERROR(allocator_->Free(e));
+    LOR_RETURN_IF_ERROR(FreeExtent(e));
   }
   return Status::OK();
 }
@@ -647,6 +671,24 @@ Status FileStore::AppendToFile(FileInfo* file, uint64_t length,
     file->hash_valid = false;
   } else if (file->hash_valid) {
     file->payload_hash = FnvUpdate(file->payload_hash, data);
+    // Per-block media checksums: carry the partial tail state across
+    // appends, sealing one sum whenever a block boundary fills.
+    uint64_t pos = file->size_bytes % kChecksumBlockBytes;
+    uint64_t consumed = 0;
+    while (consumed < data.size()) {
+      const uint64_t take =
+          std::min<uint64_t>(data.size() - consumed,
+                             kChecksumBlockBytes - pos);
+      file->tail_hash =
+          FnvUpdate(file->tail_hash, data.subspan(consumed, take));
+      consumed += take;
+      pos += take;
+      if (pos == kChecksumBlockBytes) {
+        file->block_sums.push_back(file->tail_hash);
+        file->tail_hash = kFnvBasis;
+        pos = 0;
+      }
+    }
   }
   file->size_bytes += length;
   stats_.live_bytes += length;
@@ -675,13 +717,34 @@ Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
   if (length > file->size_bytes || offset > file->size_bytes - length) {
     return Status::InvalidArgument("read beyond end of file");
   }
+  if (out != nullptr) out->resize(length);
+  Status s = ReadRangeOnce(*file, offset, length, out, /*bypass_pool=*/false);
+  // Transient latent sector errors clear after a bounded number of
+  // attempts; retry with a charged backoff before surfacing IoError.
+  // A failed submission charged nothing, so the backoff CPU charge is
+  // the whole cost of a wasted attempt.
+  const sim::MediaRetryPolicy& retry = options_.media_retry;
+  for (uint32_t attempt = 1; s.IsIoError() && attempt < retry.max_attempts;
+       ++attempt) {
+    device_->ChargeCpu(retry.backoff_s * attempt);
+    s = ReadRangeOnce(*file, offset, length, out, /*bypass_pool=*/false);
+  }
+  LOR_RETURN_IF_ERROR(s);
+  LOR_RETURN_IF_ERROR(VerifyChecksums(file, offset, length, out));
+  ++stats_.reads;
+  ++file->read_count;
+  return Status::OK();
+}
+
+Status FileStore::ReadRangeOnce(const FileInfo& file, uint64_t offset,
+                                uint64_t length, std::vector<uint8_t>* out,
+                                bool bypass_pool) {
   device_->BeginStreamWindow();
   // One vectored submission for the whole run list; the device copies
   // each run's bytes directly into the caller's buffer (no per-run
   // staging vector), reusing whatever capacity it already holds.
-  MapRangeInto(*file, offset, length, &read_runs_);
-  if (out != nullptr) out->resize(length);
-  sim::BufferPool* pool = ActivePool();
+  MapRangeInto(file, offset, length, &read_runs_);
+  sim::BufferPool* pool = bypass_pool ? nullptr : ActivePool();
   if (pool != nullptr) {
     // Cache-routed read: each physical run is one cache request whose
     // fill range is the whole run (extent-run read-ahead granularity);
@@ -707,9 +770,61 @@ Status FileStore::ReadResolved(FileInfo* file, uint64_t offset,
     LOR_RETURN_IF_ERROR(device_->ReadV(io_slices_));
   }
   device_->EndStreamWindow(length, options_.costs.fs_stream_bandwidth);
-  ++stats_.reads;
-  ++file->read_count;
   return Status::OK();
+}
+
+Status FileStore::VerifyChecksums(FileInfo* file, uint64_t offset,
+                                  uint64_t length, std::vector<uint8_t>* out) {
+  // Verification needs delivered bytes, valid sums, and a reason to
+  // distrust the platter; without a media-fault model attached the
+  // read path stays bit-identical to the historical one.
+  if (out == nullptr || !file->hash_valid || length == 0) return Status::OK();
+  if (device_->media_faults() == nullptr) return Status::OK();
+  if (device_->data_mode() != sim::DataMode::kRetain) return Status::OK();
+  const uint64_t end = offset + length;
+  const uint64_t first = (offset + kChecksumBlockBytes - 1) /
+                         kChecksumBlockBytes;
+  bool mismatch = false;
+  auto verify = [&]() {
+    mismatch = false;
+    // Full blocks wholly inside the read.
+    for (uint64_t b = first;
+         b < file->block_sums.size() && (b + 1) * kChecksumBlockBytes <= end;
+         ++b) {
+      const std::span<const uint8_t> got(
+          out->data() + (b * kChecksumBlockBytes - offset),
+          kChecksumBlockBytes);
+      if (Fnv(got) != file->block_sums[b]) {
+        mismatch = true;
+        return;
+      }
+    }
+    // The partial tail block, when the read covers it entirely.
+    const uint64_t tail_start =
+        file->block_sums.size() * kChecksumBlockBytes;
+    if (file->size_bytes > tail_start && offset <= tail_start &&
+        end >= file->size_bytes) {
+      const std::span<const uint8_t> got(out->data() + (tail_start - offset),
+                                         file->size_bytes - tail_start);
+      if (Fnv(got) != file->tail_hash) mismatch = true;
+    }
+  };
+  verify();
+  if (!mismatch) return Status::OK();
+  // A cached frame may hold a stale or corrupt fill: drop the range
+  // and give the platter one more (charged) chance before declaring
+  // the object corrupt.
+  sim::BufferPool* pool = ActivePool();
+  if (pool != nullptr) {
+    MapRangeInto(*file, offset, length, &read_runs_);
+    for (const auto& [phys, len] : read_runs_) pool->Invalidate(phys, len);
+  }
+  LOR_RETURN_IF_ERROR(
+      ReadRangeOnce(*file, offset, length, out, /*bypass_pool=*/true));
+  verify();
+  if (!mismatch) return Status::OK();
+  return Status::Corruption("checksum mismatch in file record " +
+                            std::to_string(file->id));
 }
 
 Status FileStore::ReadAll(const std::string& name,
@@ -749,8 +864,7 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
     alloc::Extent& tail = file->extents.back();
     const uint64_t drop = std::min(tail.length, have - keep);
     InvalidateExtents({{tail.end() - drop, drop}});
-    LOR_RETURN_IF_ERROR(
-        allocator_->Free({tail.end() - drop, drop}));
+    LOR_RETURN_IF_ERROR(FreeExtent({tail.end() - drop, drop}));
     tail.length -= drop;
     have -= drop;
     if (tail.length == 0) file->extents.pop_back();
@@ -762,6 +876,8 @@ Status FileStore::Truncate(const std::string& name, uint64_t new_size) {
     // cut leaves no way to rewind FNV, so the hash goes unknowable.
     file->payload_hash = kFnvBasis;
     file->hash_valid = new_size == 0;
+    file->block_sums.clear();
+    file->tail_hash = kFnvBasis;
   }
   file->size_bytes = new_size;
   SyncTracker(file);
@@ -814,7 +930,7 @@ Status FileStore::MoveFileData(FileInfo* file, alloc::ExtentList fresh) {
 
   InvalidateExtents(file->extents);
   for (const alloc::Extent& e : file->extents) {
-    LOR_RETURN_IF_ERROR(allocator_->Free(e));
+    LOR_RETURN_IF_ERROR(FreeExtent(e));
   }
   file->extents = std::move(fresh);
   SyncTracker(file);
@@ -840,7 +956,7 @@ Result<bool> FileStore::DefragmentFile(const std::string& name) {
   LOR_RETURN_IF_ERROR(s);
   if (alloc::CountFragments(fresh) >= old_fragments) {
     for (const alloc::Extent& e : fresh) {
-      LOR_RETURN_IF_ERROR(allocator_->Free(e));
+      LOR_RETURN_IF_ERROR(FreeExtent(e));
     }
     return false;
   }
@@ -872,6 +988,33 @@ Result<bool> FileStore::PromoteToOuterZone(const std::string& name) {
   }
   LOR_RETURN_IF_ERROR(map->AllocateAt(target));
   LOR_RETURN_IF_ERROR(MoveFileData(file, {target}));
+  return true;
+}
+
+Status FileStore::MarkFilePendingBad(const std::string& name) {
+  const FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  for (const alloc::Extent& e : file->extents) {
+    for (uint64_t c = e.start; c < e.end(); ++c) {
+      pending_bad_clusters_.insert(c);
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> FileStore::RelocateFile(const std::string& name) {
+  FileInfo* file = Find(name);
+  if (file == nullptr) return Status::NotFound("no such file: " + name);
+  if (file->allocated_clusters == 0) return false;
+  // Deferred frees hide reusable space from the mover (same reasoning
+  // as DefragmentFile: repair runs after quiescing).
+  allocator_->CommitPending();
+  alloc::ExtentList fresh;
+  Status s = allocator_->Allocate(file->allocated_clusters, alloc::kNoHint,
+                                  &fresh);
+  if (s.IsNoSpace()) return false;
+  LOR_RETURN_IF_ERROR(s);
+  LOR_RETURN_IF_ERROR(MoveFileData(file, std::move(fresh)));
   return true;
 }
 
@@ -1060,6 +1203,13 @@ Result<RecoveryStats> FileStore::Recover(
   for (const alloc::Extent& e : index_buffers_) {
     LOR_RETURN_IF_ERROR(map->AllocateAt(e));
   }
+  // Quarantined clusters stay retired across a remount (the bad-sector
+  // list is volume metadata, in spirit); pending-bad marks were scrub
+  // state in DRAM and die with the power.
+  for (const uint64_t c : quarantined_clusters_) {
+    LOR_RETURN_IF_ERROR(map->AllocateAt({c, 1}));
+  }
+  pending_bad_clusters_.clear();
   allocator_ = std::move(rebuilt);
 
   // Close out: open handles do not survive a power cut; a checkpoint
@@ -1078,7 +1228,7 @@ void FileStore::EndCrashWindow() {
   recovery_log_.clear();
   if (!crash_held_.empty()) {
     for (const alloc::Extent& e : crash_held_) {
-      Status s = allocator_->Free(e);
+      Status s = FreeExtent(e);
       (void)s;
     }
     crash_held_.clear();
@@ -1122,8 +1272,20 @@ Status FileStore::CheckConsistency() const {
       return Status::Corruption("files share clusters");
     }
   }
+  // Quarantined clusters are owned by nobody: not a file, not the
+  // allocator. They still close the accounting equation.
+  for (const uint64_t c : quarantined_clusters_) {
+    auto it = std::upper_bound(
+        all.begin(), all.end(), c,
+        [](uint64_t v, const alloc::Extent& e) { return v < e.start; });
+    if (it != all.begin() && std::prev(it)->end() > c) {
+      return Status::Corruption("quarantined cluster owned by a live object");
+    }
+  }
   const uint64_t data_zone = total_clusters_ - mft_clusters_;
-  if (allocated + allocator_->total_unused_clusters() != data_zone) {
+  if (allocated + allocator_->total_unused_clusters() +
+          quarantined_clusters_.size() !=
+      data_zone) {
     return Status::Corruption("cluster accounting mismatch");
   }
   return Status::OK();

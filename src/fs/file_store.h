@@ -40,6 +40,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/allocator.h"
@@ -48,6 +49,7 @@
 #include "core/handle_table.h"
 #include "sim/block_device.h"
 #include "sim/buffer_pool.h"
+#include "sim/media_fault.h"
 #include "sim/op_cost_model.h"
 #include "util/fnv.h"
 #include "util/result.h"
@@ -88,6 +90,10 @@ struct FileStoreOptions {
   /// file data — a small but steady source of allocation interleaving.
   /// 0 disables the model.
   uint32_t names_per_index_buffer = 16;
+  /// Retry/backoff policy for reads that fail with a typed media error
+  /// (transient latent sector errors clear after a bounded number of
+  /// attempts; persistent ones surface after max_attempts).
+  sim::MediaRetryPolicy media_retry;
 };
 
 /// Per-file metadata (an MFT record, in spirit).
@@ -111,6 +117,13 @@ struct FileInfo {
   /// charges nothing.
   uint64_t payload_hash = kFnvBasis;
   bool hash_valid = true;
+  /// Per-block end-to-end checksums: block_sums[i] is the FNV-1a of
+  /// logical bytes [i*kChecksumBlockBytes, (i+1)*kChecksumBlockBytes);
+  /// tail_hash is the streamed state of the final partial block. Reads
+  /// under DataMode::kRetain verify every fully covered block when a
+  /// media-fault model is attached. Validity rides hash_valid.
+  std::vector<uint64_t> block_sums;
+  uint64_t tail_hash = kFnvBasis;
 };
 
 /// Host-side mirror of one journal record, recorded only while an
@@ -315,6 +328,25 @@ class FileStore {
   /// Reads served from this file so far (heat signal).
   Result<uint64_t> GetReadCount(const std::string& name) const;
 
+  // -- Media repair -----------------------------------------------------
+
+  /// Marks every cluster of `name`'s current layout pending-bad: the
+  /// next free of those clusters (delete, replace, truncate, or a data
+  /// move) diverts them to the quarantine list instead of the
+  /// allocator, retiring them from future allocation. The scrubber's
+  /// redirect-repair path: mark, then RelocateFile.
+  Status MarkFilePendingBad(const std::string& name);
+
+  /// Moves the file onto a freshly allocated layout unconditionally
+  /// (repair-by-rewrite; contrast DefragmentFile, which moves only when
+  /// the layout improves). Returns false when no space for a full copy.
+  Result<bool> RelocateFile(const std::string& name);
+
+  /// Clusters retired from allocation after media errors.
+  uint64_t quarantined_cluster_count() const {
+    return quarantined_clusters_.size();
+  }
+
   // -- Introspection ---------------------------------------------------
 
   /// Physical layout of a file (for the fragmentation analyzer).
@@ -418,9 +450,21 @@ class FileStore {
   Status PreallocateResolved(FileInfo* file, uint64_t final_size);
 
   /// Data read core over an already-resolved file (range check, device
-  /// reads, stream penalty, read stats) — no open/MFT/close charges.
+  /// reads, media retry, checksum verify, stream penalty, read stats)
+  /// — no open/MFT/close charges.
   Status ReadResolved(FileInfo* file, uint64_t offset, uint64_t length,
                       std::vector<uint8_t>* out);
+  /// One read submission of the mapped range (stream window + vectored
+  /// read, cache-routed unless bypass_pool). `out` is already sized.
+  Status ReadRangeOnce(const FileInfo& file, uint64_t offset,
+                       uint64_t length, std::vector<uint8_t>* out,
+                       bool bypass_pool);
+  /// Verifies every checksum block fully covered by [offset,
+  /// offset+length) against the delivered bytes. On mismatch: drop the
+  /// range's cached frames, re-read straight off the platter once, and
+  /// fail typed Corruption if the bytes are still wrong.
+  Status VerifyChecksums(FileInfo* file, uint64_t offset, uint64_t length,
+                         std::vector<uint8_t>* out);
   /// AppendStream core over an already-resolved file.
   Status AppendStreamResolved(FileInfo* file, uint64_t length,
                               uint64_t request_bytes,
@@ -470,6 +514,10 @@ class FileStore {
                     std::vector<std::pair<uint64_t, uint64_t>>* runs) const;
   /// Frees all clusters of `file` through the allocator.
   Status FreeFileClusters(const FileInfo& file);
+  /// Frees one extent, diverting pending-bad clusters to the
+  /// quarantine list instead of the allocator. Every cluster free in
+  /// the store routes through here.
+  Status FreeExtent(const alloc::Extent& e);
   /// The device's buffer pool when one is attached and enabled, else
   /// null — the single check that keeps cache-size-0 a true no-op.
   sim::BufferPool* ActivePool() const;
@@ -526,6 +574,12 @@ class FileStore {
   /// crash window is armed (empty overhead otherwise).
   std::vector<RecoveryLogEntry> recovery_log_;
   std::vector<alloc::Extent> crash_held_;
+  /// Clusters flagged by the scrubber while still owned by a live file;
+  /// FreeExtent diverts them to quarantine when their owner lets go.
+  std::unordered_set<uint64_t> pending_bad_clusters_;
+  /// Clusters retired from allocation (never returned to the
+  /// allocator; survive Recover's free-space rebuild).
+  std::unordered_set<uint64_t> quarantined_clusters_;
 };
 
 }  // namespace fs

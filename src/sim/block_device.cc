@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/fault_injector.h"
+#include "sim/media_fault.h"
 #include "sim/op_cost_model.h"
 
 namespace lor {
@@ -79,6 +80,22 @@ void BlockDevice::RestoreArena(const ArenaSnapshot& snapshot) {
       std::memcpy(groups_[g]->slabs[s].get(), slab, kSlabBytes);
     }
   }
+}
+
+void BlockDevice::AttachMediaFaults(MediaFaultModel* media) {
+  media_ = media;
+  if (media_ != nullptr) media_->RegisterDevice(this);
+}
+
+Status BlockDevice::CheckMediaRead(uint64_t offset, uint64_t len) {
+  if (media_ == nullptr) return Status::OK();
+  Status s = media_->CheckRead(this, offset, len);
+  if (!s.ok()) ++stats_.media_read_errors;
+  return s;
+}
+
+void BlockDevice::NoteMediaWrite(uint64_t offset, uint64_t len) {
+  if (media_ != nullptr) media_->NoteWrite(this, offset, len);
 }
 
 uint64_t BlockDevice::NoteWriteSubmission(uint64_t offset, uint64_t len) {
@@ -197,6 +214,16 @@ double BlockDevice::ServiceRequest(bool /*write*/, uint64_t offset,
   const double transfer = hub->model_.TransferTime(phys, len);
   stats_.transfer_time_s += transfer;
   t += transfer;
+  if (media_ != nullptr) {
+    // Degraded-region slowdown, accounted outside the seek/rotation/
+    // transfer decomposition so that stays exact.
+    const double extra = media_->DegradedExtra(this, offset, len, t);
+    if (extra > 0.0) {
+      ++stats_.degraded_requests;
+      stats_.degraded_time_s += extra;
+      t += extra;
+    }
+  }
   stats_.busy_time_s += t;
   hub->head_ = phys + len;
   hub->head_valid_ = true;
@@ -268,6 +295,7 @@ Status BlockDevice::Write(uint64_t offset, uint64_t len,
     return Status::InvalidArgument("data size does not match request length");
   }
   if (len == 0) return Status::OK();  // No bytes: no charge, no head move.
+  NoteMediaWrite(offset, len);
   const uint64_t tag = NoteWriteSubmission(offset, len);
   if (AsyncActive()) {
     scheduler_->EnqueueRequest(/*write=*/true, offset, len, nullptr, tag);
@@ -290,6 +318,9 @@ Status BlockDevice::Read(uint64_t offset, uint64_t len,
     if (out != nullptr) out->clear();
     return Status::OK();
   }
+  // Media admission: a failed payload read is known before the head
+  // moves — nothing is charged or queued, the caller owns retry cost.
+  if (out != nullptr) LOR_RETURN_IF_ERROR(CheckMediaRead(offset, len));
   if (AsyncActive()) {
     scheduler_->EnqueueRequest(/*write=*/false, offset, len, nullptr);
   } else {
@@ -310,6 +341,13 @@ Status BlockDevice::Read(uint64_t offset, uint64_t len,
 Status BlockDevice::ReadV(std::span<const IoSlice> slices) {
   for (const IoSlice& s : slices) {
     LOR_RETURN_IF_ERROR(CheckRange(s.offset, s.length));
+  }
+  // Whole-batch media admission before anything is charged: a vectored
+  // read fails atomically, like its validation.
+  for (const IoSlice& s : slices) {
+    if (s.dst != nullptr && s.length != 0) {
+      LOR_RETURN_IF_ERROR(CheckMediaRead(s.offset, s.length));
+    }
   }
   bool charged = false;
   for (const IoSlice& s : slices) {
@@ -336,6 +374,7 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
   bool charged = false;
   for (const IoSlice& s : slices) {
     if (s.length == 0) continue;
+    NoteMediaWrite(s.offset, s.length);
     const uint64_t tag = NoteWriteSubmission(s.offset, s.length);
     if (AsyncActive()) {
       scheduler_->EnqueueRequest(/*write=*/true, s.offset, s.length, nullptr,
@@ -357,10 +396,20 @@ Status BlockDevice::WriteV(std::span<const IoSlice> slices) {
 Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
   LOR_RETURN_IF_ERROR(CheckRange(req.offset, req.length));
   if (req.length == 0) {
-    if (done) done(clock().now());
+    if (done) done(clock().now(), Status::OK());
     return Status::OK();
   }
+  if (!req.write && req.dst != nullptr) {
+    Status media = CheckMediaRead(req.offset, req.length);
+    if (!media.ok()) {
+      // The completion carries the typed error too, so callers driving
+      // everything off callbacks never see a silent drop.
+      if (done) done(clock().now(), media);
+      return media;
+    }
+  }
   const bool async = AsyncActive();
+  if (req.write) NoteMediaWrite(req.offset, req.length);
   const uint64_t tag =
       req.write ? NoteWriteSubmission(req.offset, req.length) : 0;
   if (async) {
@@ -381,7 +430,7 @@ Status BlockDevice::Submit(const IoRequest& req, IoCompletion done) {
     stats_.bytes_read += req.length;
     if (req.dst != nullptr) LoadBytesInto(req.offset, req.dst, req.length);
   }
-  if (!async && done) done(clock().now());
+  if (!async && done) done(clock().now(), Status::OK());
   return Status::OK();
 }
 
@@ -389,6 +438,16 @@ Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
                             IoCompletion done) {
   for (const IoRequest& r : reqs) {
     LOR_RETURN_IF_ERROR(CheckRange(r.offset, r.length));
+  }
+  // Whole-batch media admission (the ReadV rule): fail atomically with
+  // nothing charged, reporting through the completion as well.
+  for (const IoRequest& r : reqs) {
+    if (r.write || r.dst == nullptr || r.length == 0) continue;
+    Status media = CheckMediaRead(r.offset, r.length);
+    if (!media.ok()) {
+      if (done) done(clock().now(), media);
+      return media;
+    }
   }
   const bool async = AsyncActive();
   // Under the scheduler, the batch callback rides on the last nonzero
@@ -406,6 +465,7 @@ Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
   for (size_t i = 0; i < reqs.size(); ++i) {
     const IoRequest& r = reqs[i];
     if (r.length == 0) continue;
+    if (r.write) NoteMediaWrite(r.offset, r.length);
     const uint64_t tag =
         r.write ? NoteWriteSubmission(r.offset, r.length) : 0;
     if (async) {
@@ -429,7 +489,9 @@ Status BlockDevice::SubmitV(std::span<const IoRequest> reqs,
     charged = true;
   }
   if (charged) ++stats_.vectored_requests;
-  if (done && (!async || last_nonzero == reqs.size())) done(clock().now());
+  if (done && (!async || last_nonzero == reqs.size())) {
+    done(clock().now(), Status::OK());
+  }
   return Status::OK();
 }
 

@@ -89,6 +89,7 @@ namespace sim {
 
 class BufferPool;
 class FaultInjector;
+class MediaFaultModel;
 
 /// Opaque deep copy of a device's retained arena (see
 /// BlockDevice::SnapshotArena). Movable, not copyable; destroying it
@@ -257,6 +258,30 @@ class BlockDevice {
   FaultInjector* fault_injector() { return injector_; }
   const FaultInjector* fault_injector() const { return injector_; }
 
+  /// Wires up (or detaches, with null) a media-fault model
+  /// (sim/media_fault.h) and registers this device with it. While the
+  /// model is armed, payload-delivering reads that touch a latent-
+  /// sector-error region return a typed Status::IoError *at submission*
+  /// (nothing is charged or queued — the failure is known before the
+  /// head moves, and the retry/backoff cost is charged by the storage
+  /// layer), writes heal overlapped bad regions (sector remap on
+  /// write), and requests touching degraded regions pay a service-time
+  /// multiplier at service time. Detached or disarmed, every hook is
+  /// one null/flag check and all figures are bit-identical.
+  void AttachMediaFaults(MediaFaultModel* media);
+  MediaFaultModel* media_faults() { return media_; }
+  const MediaFaultModel* media_faults() const { return media_; }
+
+  /// Explicit media read admission for callers whose charged reads
+  /// carry no destination buffer (the database back end charges page
+  /// batches timing-only and delivers payload through views). Same
+  /// semantics as the implicit check on payload-delivering reads: OK
+  /// when no armed model is attached, typed IoError on a latent sector
+  /// error, nothing charged.
+  Status PreflightMediaRead(uint64_t offset, uint64_t len) {
+    return CheckMediaRead(offset, len);
+  }
+
   /// Wires up (or detaches, with null) the buffer pool fronting this
   /// device. The device never calls into the pool — the pointer is a
   /// rendezvous so storage layers sharing the device (FileStore /
@@ -316,12 +341,19 @@ class BlockDevice {
   static constexpr uint64_t kSlabBytes = 1024 * 1024;
 
  private:
-  friend class IoScheduler;    // Drives ServiceRequest / ServiceFlush.
-  friend class FaultInjector;  // Reads/writes arena bytes at the cut.
-  friend class ArenaSnapshot;  // Its Rep holds copied SlabGroups.
-  friend class SpindlePlane;   // Services owner views, stamps queue waits.
+  friend class IoScheduler;     // Drives ServiceRequest / ServiceFlush.
+  friend class FaultInjector;   // Reads/writes arena bytes at the cut.
+  friend class ArenaSnapshot;   // Its Rep holds copied SlabGroups.
+  friend class SpindlePlane;    // Services owner views, stamps queue waits.
+  friend class MediaFaultModel; // Flips at-rest arena bytes at Arm.
 
   struct SlabGroup;
+
+  /// Media-fault read admission for a payload-delivering read; OK when
+  /// no armed model is attached. A failure bumps media_read_errors.
+  Status CheckMediaRead(uint64_t offset, uint64_t len);
+  /// Media-fault write intake (heals overlapped bad regions).
+  void NoteMediaWrite(uint64_t offset, uint64_t len);
 
   /// Injector intake for one write submission; returns the completion
   /// tag (0 when no armed injector).
@@ -367,6 +399,7 @@ class BlockDevice {
   IoStats stats_;
   IoScheduler* scheduler_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  MediaFaultModel* media_ = nullptr;
   BufferPool* buffer_pool_ = nullptr;
   double window_t0_ = 0.0;  ///< Synchronous stream-window start.
   uint64_t head_ = 0;

@@ -299,6 +299,7 @@ Status BufferPool::ReadThrough(std::span<const CacheSlice> slices,
   }
   fill_slices_.clear();
   copy_jobs_.clear();
+  fill_offsets_.clear();
   uint64_t filled = 0;
   for (const CacheSlice& s : slices) {
     if (s.length == 0) continue;
@@ -351,6 +352,7 @@ Status BufferPool::ReadThrough(std::span<const CacheSlice> slices,
     }
     Frame* frame = nullptr;
     LOR_RETURN_IF_ERROR(InstallFrame(fo, fl, &frame));
+    fill_offsets_.push_back(fo);
     ++stats_.fills;
     stats_.fill_bytes += fl;
     filled += fl;
@@ -381,6 +383,15 @@ Status BufferPool::ReadThrough(std::span<const CacheSlice> slices,
       }
     }
     if (job.frame->pin > 0) --job.frame->pin;
+  }
+  if (!fill_status.ok()) {
+    // The fill never happened: drop (do not park) every frame this call
+    // installed, or a stale-zero frame would sit in the map as a valid
+    // cache entry and serve wrong bytes to the next hit.
+    for (uint64_t fo : fill_offsets_) {
+      auto it = frames_.find(fo);
+      if (it != frames_.end()) DropFrame(it);
+    }
   }
   if (device_bytes != nullptr) *device_bytes = filled;
   return fill_status;

@@ -348,6 +348,9 @@ class BufferPool {
   std::vector<IoRequest> flush_requests_;
   std::vector<Frame*> flush_frames_;
   std::vector<CopyJob> copy_jobs_;
+  /// Start offsets of frames installed by the in-progress ReadThrough;
+  /// a failed fill drops exactly these (never parks them as valid).
+  std::vector<uint64_t> fill_offsets_;
 };
 
 }  // namespace sim

@@ -368,7 +368,7 @@ bool IoScheduler::ServiceOne() {
   pick->busy += service;
   ++serviced_requests_;
   if (front.tag != 0) device_->NoteWriteServiced(front.tag);
-  if (front.done) front.done(completion);
+  if (front.done) front.done(completion, Status::OK());
 
   SettleFront(&*pick);
   if (pick->chain.empty()) {

@@ -76,8 +76,11 @@ class BlockDevice;
 class SpindlePlane;
 
 /// Completion callback for the Submit/SubmitV device API: receives the
-/// simulated time at which the submission completed.
-using IoCompletion = std::function<void(double completion_s)>;
+/// simulated time at which the submission completed and its typed
+/// status. Requests that reach the device (or a queue) always complete
+/// OK; a submission refused by the media-fault model fires the
+/// completion once, immediately, with the typed error it also returns.
+using IoCompletion = std::function<void(double completion_s, const Status& status)>;
 
 /// Per-device submission queue and service-order scheduler.
 class IoScheduler {

@@ -25,6 +25,9 @@ IoStats IoStats::operator-(const IoStats& other) const {
   d.interference_seek_time_s =
       interference_seek_time_s - other.interference_seek_time_s;
   d.queue_wait_s = queue_wait_s - other.queue_wait_s;
+  d.media_read_errors = media_read_errors - other.media_read_errors;
+  d.degraded_requests = degraded_requests - other.degraded_requests;
+  d.degraded_time_s = degraded_time_s - other.degraded_time_s;
   return d;
 }
 
@@ -44,6 +47,9 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   interference_seeks += other.interference_seeks;
   interference_seek_time_s += other.interference_seek_time_s;
   queue_wait_s += other.queue_wait_s;
+  media_read_errors += other.media_read_errors;
+  degraded_requests += other.degraded_requests;
+  degraded_time_s += other.degraded_time_s;
   return *this;
 }
 

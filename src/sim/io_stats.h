@@ -42,6 +42,12 @@ struct IoStats {
   /// them (completion - arrival - chain busy time). Accumulated by the
   /// scheduler/plane, not by the device proper.
   double queue_wait_s = 0.0;
+  /// Media-fault accounting (sim/media_fault.h). Typed read failures
+  /// returned by this device, and the requests/extra seconds charged
+  /// for degraded (slow) regions. All zero without an armed model.
+  uint64_t media_read_errors = 0;
+  uint64_t degraded_requests = 0;
+  double degraded_time_s = 0.0;
 
   IoStats operator-(const IoStats& other) const;
   IoStats& operator+=(const IoStats& other);

@@ -1,0 +1,185 @@
+#include "sim/media_fault.h"
+
+#include <algorithm>
+
+#include "sim/block_device.h"
+
+namespace lor {
+namespace sim {
+
+namespace {
+
+constexpr uint64_t kSaltMix = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kRegionMix = 0xbf58476d1ce4e5b9ULL;
+
+/// SplitMix64 finalizer: a high-quality stateless mix, so region
+/// classification is a pure function of (seed, salt, region index).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+void MediaFaultModel::RegisterDevice(BlockDevice* device) {
+  for (BlockDevice* d : devices_) {
+    if (d == device) return;
+  }
+  devices_.push_back(device);
+}
+
+uint64_t MediaFaultModel::SaltFor(const BlockDevice* device) const {
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i] == device) return i + 1;
+  }
+  return 0;
+}
+
+MediaFaultModel::RegionClass MediaFaultModel::Classify(uint64_t salt,
+                                                       uint64_t index) const {
+  const uint64_t h =
+      Mix(spec_.seed ^ (salt * kSaltMix) ^ (index * kRegionMix));
+  const double u = ToUnit(h);
+  if (u < spec_.lse_rate) {
+    // A second independent draw splits transient from persistent.
+    return ToUnit(Mix(h)) < spec_.transient_fraction
+               ? RegionClass::kTransientLse
+               : RegionClass::kPersistentLse;
+  }
+  if (u < spec_.lse_rate + spec_.corruption_rate) return RegionClass::kCorrupt;
+  if (u < spec_.lse_rate + spec_.corruption_rate + spec_.degraded_rate) {
+    return RegionClass::kDegraded;
+  }
+  return RegionClass::kHealthy;
+}
+
+void MediaFaultModel::CorruptDevice(BlockDevice* device, uint64_t salt) {
+  if (device->data_mode() != DataMode::kRetain) return;
+  const uint64_t regions =
+      (device->capacity() + spec_.region_bytes - 1) / spec_.region_bytes;
+  for (uint64_t r = 0; r < regions; ++r) {
+    if (Classify(salt, r) != RegionClass::kCorrupt) continue;
+    const uint64_t start = r * spec_.region_bytes;
+    const uint64_t len =
+        std::min(spec_.region_bytes, device->capacity() - start);
+    uint64_t h = Mix(spec_.seed ^ (salt * kRegionMix) ^ (r * kSaltMix));
+    bool touched = false;
+    for (uint32_t f = 0; f < spec_.flips_per_region; ++f) {
+      h = Mix(h);
+      const uint64_t pos = start + (h % len);
+      uint8_t* slab = device->SlabAt(pos / BlockDevice::kSlabBytes);
+      if (slab == nullptr) continue;  // Never written: nothing to rot.
+      slab[pos % BlockDevice::kSlabBytes] ^=
+          static_cast<uint8_t>(1u << ((h >> 32) % 8));
+      ++stats_.bytes_corrupted;
+      touched = true;
+    }
+    if (touched) ++stats_.regions_corrupted;
+  }
+}
+
+void MediaFaultModel::Arm(const MediaFaultSpec& spec) {
+  spec_ = spec;
+  if (spec_.region_bytes == 0) spec_.region_bytes = 64 * 1024;
+  stats_ = MediaFaultStats{};
+  state_.clear();
+  armed_ = true;
+  suspended_ = false;
+  if (spec_.corruption_rate > 0.0) {
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      CorruptDevice(devices_[i], i + 1);
+    }
+  }
+}
+
+Status MediaFaultModel::CheckRead(const BlockDevice* device, uint64_t offset,
+                                  uint64_t len) {
+  if (!armed_ || suspended_ || len == 0) return Status::OK();
+  const uint64_t salt = SaltFor(device);
+  if (salt == 0) return Status::OK();
+  const uint64_t first = offset / spec_.region_bytes;
+  const uint64_t last = (offset + len - 1) / spec_.region_bytes;
+  for (uint64_t r = first; r <= last; ++r) {
+    const RegionClass cls = Classify(salt, r);
+    if (cls != RegionClass::kTransientLse &&
+        cls != RegionClass::kPersistentLse) {
+      continue;
+    }
+    const uint64_t key = (salt << 40) ^ r;
+    auto [it, fresh] = state_.try_emplace(key);
+    if (fresh && cls == RegionClass::kTransientLse) {
+      it->second.remaining_failures = spec_.transient_failures;
+    }
+    RegionState& st = it->second;
+    if (st.healed) continue;
+    if (cls == RegionClass::kPersistentLse) {
+      ++stats_.read_errors;
+      return Status::IoError("latent sector error (persistent) in region " +
+                             std::to_string(r));
+    }
+    if (st.remaining_failures > 0) {
+      if (--st.remaining_failures == 0) ++stats_.transient_clears;
+      ++stats_.read_errors;
+      return Status::IoError("latent sector error (transient) in region " +
+                             std::to_string(r));
+    }
+  }
+  return Status::OK();
+}
+
+double MediaFaultModel::DegradedExtra(const BlockDevice* device,
+                                      uint64_t offset, uint64_t len,
+                                      double base_s) {
+  if (!armed_ || suspended_ || len == 0 ||
+      spec_.degraded_multiplier <= 1.0) {
+    return 0.0;
+  }
+  const uint64_t salt = SaltFor(device);
+  if (salt == 0) return 0.0;
+  const uint64_t first = offset / spec_.region_bytes;
+  const uint64_t last = (offset + len - 1) / spec_.region_bytes;
+  for (uint64_t r = first; r <= last; ++r) {
+    if (Classify(salt, r) != RegionClass::kDegraded) continue;
+    const uint64_t key = (salt << 40) ^ r;
+    auto it = state_.find(key);
+    if (it != state_.end() && it->second.healed) continue;
+    ++stats_.degraded_requests;
+    return base_s * (spec_.degraded_multiplier - 1.0);
+  }
+  return 0.0;
+}
+
+void MediaFaultModel::NoteWrite(const BlockDevice* device, uint64_t offset,
+                                uint64_t len) {
+  if (!armed_ || len == 0) return;
+  const uint64_t salt = SaltFor(device);
+  if (salt == 0) return;
+  const uint64_t first = offset / spec_.region_bytes;
+  const uint64_t last = (offset + len - 1) / spec_.region_bytes;
+  for (uint64_t r = first; r <= last; ++r) {
+    const RegionClass cls = Classify(salt, r);
+    if (cls != RegionClass::kTransientLse &&
+        cls != RegionClass::kPersistentLse) {
+      continue;
+    }
+    const uint64_t key = (salt << 40) ^ r;
+    auto [it, fresh] = state_.try_emplace(key);
+    if (fresh && cls == RegionClass::kTransientLse) {
+      it->second.remaining_failures = spec_.transient_failures;
+    }
+    if (!it->second.healed) {
+      it->second.healed = true;
+      ++stats_.healed_regions;
+    }
+  }
+}
+
+}  // namespace sim
+}  // namespace lor

@@ -1,0 +1,198 @@
+// MediaFaultModel: partial media failures for the simulated spindle.
+//
+// sim::FaultInjector (PR 7) models fail-stop power cuts; real drives
+// also fail *partially* — latent sector errors that surface only when a
+// sector is finally read, silent bit rot that returns wrong bytes with
+// a clean status, and degraded regions that still answer but slowly.
+// This model layers those three failure classes over one or more
+// BlockDevices:
+//
+//   * Latent sector errors (LSE). A seeded fraction of fixed-size
+//     regions fail reads with a typed Status::IoError. Transient LSEs
+//     clear after a configured number of failed attempts (the drive's
+//     internal retry eventually wins); persistent LSEs fail until the
+//     region is rewritten — writes always succeed because the drive
+//     remaps the bad sector from its spare pool (redirect-on-write),
+//     which also heals the region for subsequent reads.
+//   * Silent corruption. A seeded fraction of regions have bits flipped
+//     *at rest* when the model is armed: the retained arena bytes are
+//     modified in place, so reads succeed with wrong payload and only
+//     an end-to-end checksum can tell. Overwrites naturally restore the
+//     flipped bytes; regions whose slab was never written are skipped
+//     (there is nothing at rest to rot).
+//   * Degraded regions. A seeded fraction of regions inflate the
+//     service time of every request touching them by a configurable
+//     multiplier (a head limping over a marginal surface). The extra
+//     time is accounted separately (IoStats::degraded_requests /
+//     degraded_time_s) so the seek/rotation/transfer decomposition
+//     stays exact.
+//
+// Scope of the read check: this simulator keeps all *metadata*
+// host-resident — MFT records, journal entries, B-tree pointer pages
+// and log records charge device time but never round-trip their
+// content through the arena. Media faults therefore bite where bytes
+// are actually loaded from the platter: reads that deliver payload
+// (non-null destination). Timing-only reads pass the check, which is
+// exactly the surface the storage layers protect with checksums,
+// retries, and the scrubber. Degraded-region slowdowns apply to every
+// request (timing is timing).
+//
+// Determinism: region classification is a pure hash of (model seed,
+// device salt, region index) — no RNG state advances on the read path,
+// so a given (workload, spec) pair always fails the same reads at the
+// same times. Runtime state (remaining transient failures, healed
+// regions) is allocated lazily, only for regions that actually fault.
+//
+// Cost when cold: a detached or disarmed model costs the device one
+// null/flag check per request, so every committed figure is
+// bit-identical with or without a model attached.
+//
+// `set_suspended(true)` pauses all fault effects (reads pass, no
+// slowdown) without losing region state — mount, fsck, and oracle
+// verification passes use it to examine the volume without the media
+// fighting back.
+
+#ifndef LOREPO_SIM_MEDIA_FAULT_H_
+#define LOREPO_SIM_MEDIA_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lor {
+namespace sim {
+
+class BlockDevice;
+
+/// Fault mix for one arming window. Rates are per-region probabilities
+/// in [0, 1]; the three classes are disjoint (a region is LSE, corrupt,
+/// degraded, or healthy).
+struct MediaFaultSpec {
+  uint64_t seed = 1;
+  /// Fault granularity: the model classifies fixed regions of this many
+  /// bytes (a remapping-unit's worth of sectors).
+  uint64_t region_bytes = 64 * 1024;
+  /// Fraction of regions with a latent sector error.
+  double lse_rate = 0.0;
+  /// Of the LSE regions, the fraction that are transient.
+  double transient_fraction = 0.5;
+  /// Failed read attempts before a transient LSE clears.
+  uint32_t transient_failures = 2;
+  /// Fraction of regions silently corrupted (bits flipped at rest).
+  double corruption_rate = 0.0;
+  /// Bit flips applied per corrupted region.
+  uint32_t flips_per_region = 4;
+  /// Fraction of regions with degraded (slow) service.
+  double degraded_rate = 0.0;
+  /// Service-time multiplier for requests touching a degraded region.
+  double degraded_multiplier = 4.0;
+};
+
+/// Retry discipline the storage layers apply to typed media read
+/// errors: up to `max_attempts` total reads, charging `backoff_s` of
+/// host CPU before each re-issue (the "wait out the drive's internal
+/// recovery" delay).
+struct MediaRetryPolicy {
+  uint32_t max_attempts = 3;
+  double backoff_s = 0.0005;
+};
+
+/// Cumulative model activity since the last Arm.
+struct MediaFaultStats {
+  uint64_t read_errors = 0;       ///< Typed read failures returned.
+  uint64_t transient_clears = 0;  ///< Transient LSE regions that recovered.
+  uint64_t regions_corrupted = 0; ///< Regions bit-flipped at Arm.
+  uint64_t bytes_corrupted = 0;   ///< Total bytes whose value changed.
+  uint64_t healed_regions = 0;    ///< Bad regions healed by a rewrite.
+  uint64_t degraded_requests = 0; ///< Requests that paid the slow multiplier.
+};
+
+/// Seeded partial-media-failure model over one or more devices.
+class MediaFaultModel {
+ public:
+  MediaFaultModel() = default;
+
+  MediaFaultModel(const MediaFaultModel&) = delete;
+  MediaFaultModel& operator=(const MediaFaultModel&) = delete;
+
+  /// Registers a device (idempotent). Devices normally register
+  /// themselves from BlockDevice::AttachMediaFaults; the registration
+  /// order fixes each device's classification salt, so attach devices
+  /// in a deterministic order.
+  void RegisterDevice(BlockDevice* device);
+
+  /// Arms the model: resets runtime state and stats, then materializes
+  /// the spec's at-rest corruption into every registered kRetain
+  /// device's written slabs. Re-arming with a new seed draws a fresh
+  /// fault map.
+  void Arm(const MediaFaultSpec& spec);
+
+  /// Stops injecting (region state is kept for inspection).
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+
+  /// Pauses/resumes fault effects without losing state.
+  void set_suspended(bool suspended) { suspended_ = suspended; }
+  bool suspended() const { return suspended_; }
+
+  const MediaFaultSpec& spec() const { return spec_; }
+  const MediaFaultStats& stats() const { return stats_; }
+
+  // -- Device hooks ----------------------------------------------------
+
+  /// Read admission for a payload-delivering read at [offset,
+  /// offset+len) on `device`. Returns OK or a typed Status::IoError;
+  /// a transient LSE decrements its remaining-failures budget.
+  Status CheckRead(const BlockDevice* device, uint64_t offset, uint64_t len);
+
+  /// Extra service seconds a request of base service time `base_s`
+  /// pays for touching a degraded region (0 when healthy/off).
+  double DegradedExtra(const BlockDevice* device, uint64_t offset,
+                       uint64_t len, double base_s);
+
+  /// Write intake: heals every overlapped bad region (sector remap on
+  /// write). Writes never fail.
+  void NoteWrite(const BlockDevice* device, uint64_t offset, uint64_t len);
+
+ private:
+  enum class RegionClass : uint8_t {
+    kHealthy,
+    kTransientLse,
+    kPersistentLse,
+    kCorrupt,
+    kDegraded,
+  };
+
+  struct RegionState {
+    uint32_t remaining_failures = 0;  ///< Transient LSE budget.
+    bool healed = false;
+  };
+
+  /// Pure-hash classification of region `index` on the device with
+  /// classification salt `salt`.
+  RegionClass Classify(uint64_t salt, uint64_t index) const;
+
+  /// Salt for a registered device (device list index + 1); 0 when the
+  /// device is unknown (treated as healthy).
+  uint64_t SaltFor(const BlockDevice* device) const;
+
+  /// Flips bits in the corrupt regions of one device's written slabs.
+  void CorruptDevice(BlockDevice* device, uint64_t salt);
+
+  MediaFaultSpec spec_;
+  MediaFaultStats stats_;
+  bool armed_ = false;
+  bool suspended_ = false;
+  std::vector<BlockDevice*> devices_;
+  /// Lazily populated runtime state, keyed by (salt << 40) ^ region.
+  std::unordered_map<uint64_t, RegionState> state_;
+};
+
+}  // namespace sim
+}  // namespace lor
+
+#endif  // LOREPO_SIM_MEDIA_FAULT_H_

@@ -364,12 +364,12 @@ void SpindlePlane::ServiceChain(RoundOp* rop) {
         clk.Advance(view->ServiceRequest(r.write, r.offset, r.len));
         ++rop->device_reqs;
         if (r.tag != 0) view->NoteWriteServiced(r.tag);
-        if (r.done) r.done(clk.now());
+        if (r.done) r.done(clk.now(), Status::OK());
         break;
       case Kind::kFlush:
         clk.Advance(view->ServiceFlush());
         ++rop->device_reqs;
-        if (r.done) r.done(clk.now());
+        if (r.done) r.done(clk.now(), Status::OK());
         break;
       case Kind::kCpu:
         clk.Advance(r.cpu_s);

@@ -6,8 +6,10 @@
 #ifndef LOREPO_UTIL_FNV_H_
 #define LOREPO_UTIL_FNV_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/config.h"  // C++20 floor guard (std::span above)
 
@@ -15,6 +17,11 @@ namespace lor {
 
 inline constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
 inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Granularity of the stores' end-to-end media checksums: one FNV-1a
+/// sum per this many logical payload bytes (matches the paper's 64 KB
+/// request size, so a streamed safe write seals one sum per request).
+inline constexpr uint64_t kChecksumBlockBytes = 64 * 1024;
 
 /// Folds `data` into a running FNV-1a state.
 inline uint64_t FnvUpdate(uint64_t state, std::span<const uint8_t> data) {
@@ -28,6 +35,21 @@ inline uint64_t FnvUpdate(uint64_t state, std::span<const uint8_t> data) {
 /// One-shot hash of a buffer.
 inline uint64_t Fnv(std::span<const uint8_t> data) {
   return FnvUpdate(kFnvBasis, data);
+}
+
+/// Per-block sums of a whole payload: one sum per kChecksumBlockBytes
+/// chunk, partial tail included as the last sum. Used by writers that
+/// see the full payload at once (the database engine); the streaming
+/// filesystem writer maintains the same sums incrementally.
+inline std::vector<uint64_t> FnvBlockSums(std::span<const uint8_t> data) {
+  std::vector<uint64_t> sums;
+  sums.reserve((data.size() + kChecksumBlockBytes - 1) / kChecksumBlockBytes);
+  for (uint64_t pos = 0; pos < data.size(); pos += kChecksumBlockBytes) {
+    const uint64_t take =
+        std::min<uint64_t>(kChecksumBlockBytes, data.size() - pos);
+    sums.push_back(Fnv(data.subspan(pos, take)));
+  }
+  return sums;
 }
 
 }  // namespace lor

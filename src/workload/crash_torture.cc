@@ -314,6 +314,129 @@ Result<CrashCutResult> CrashTortureRunner::RunCut() {
   return cut;
 }
 
+Status CrashTortureRunner::IssueMediaOp(MediaCycleResult* cycle) {
+  const uint64_t idx = rng_.Uniform(keys_.size());
+  KeyState& ks = keys_[idx];
+  const std::string key = KeyName(idx);
+  const uint64_t dice = rng_.Uniform(100);
+  ++cycle->ops;
+  if (dice < 10 && ks.live) {
+    LOR_RETURN_IF_ERROR(repo_->Delete(key));
+    ks.live = false;
+    return Status::OK();
+  }
+  if (dice < 60 && ks.live) {
+    std::vector<uint8_t> payload;
+    const Status read = repo_->Get(key, &payload);
+    if (read.ok()) {
+      // The one inviolable rule: an acknowledged read delivers the
+      // acked bytes or a typed error — never wrong bytes.
+      if (payload.size() != ks.size || Fnv(payload) != ks.hash) {
+        ++cycle->silent_corruptions;
+      }
+    } else if (read.IsCorruption()) {
+      ++cycle->corruptions_detected;
+    } else if (read.IsIoError()) {
+      ++cycle->read_errors;
+    } else {
+      return read;
+    }
+    return Status::OK();
+  }
+  const uint64_t version = ++ks.versions_issued;
+  const uint64_t size = SizeFor(idx, version);
+  const std::vector<uint8_t> payload = PayloadFor(idx, version);
+  LOR_RETURN_IF_ERROR(repo_->SafeWrite(key, size, payload));
+  ks.live = true;
+  ks.version = version;
+  ks.size = size;
+  ks.hash = Fnv(payload);
+  return Status::OK();
+}
+
+Result<MediaCycleResult> CrashTortureRunner::RunMediaCycle() {
+  MediaCycleResult cycle;
+  LOR_RETURN_IF_ERROR(repo_->DrainIo());
+  sim::MediaFaultSpec spec = options_.media;
+  spec.seed = rng_.Next();
+  media_model_.Arm(spec);
+
+  for (uint64_t op = 0; op < options_.ops_per_media_cycle; ++op) {
+    LOR_RETURN_IF_ERROR(IssueMediaOp(&cycle));
+  }
+  if (options_.scrub_between_cycles) {
+    LOR_ASSIGN_OR_RETURN(cycle.scrub, repo_->Scrub());
+  }
+
+  // Heal with the model disarmed: latent sector errors stop refusing
+  // reads, but at-rest flips persist in the arena (Disarm never puts
+  // bytes back), so damaged keys still fail their checksums. Rewrite
+  // each one from the oracle.
+  media_model_.Disarm();
+  for (uint64_t idx = 0; idx < keys_.size(); ++idx) {
+    KeyState& ks = keys_[idx];
+    if (!ks.live) continue;
+    std::vector<uint8_t> payload;
+    const Status read = repo_->Get(KeyName(idx), &payload);
+    if (read.ok() && payload.size() == ks.size && Fnv(payload) == ks.hash) {
+      continue;
+    }
+    if (read.ok()) {
+      // Wrong bytes with a clean status slipped past the checksums.
+      ++cycle.silent_corruptions;
+    } else if (!read.IsCorruption() && !read.IsIoError()) {
+      return read;
+    }
+    const uint64_t version = ++ks.versions_issued;
+    const uint64_t size = SizeFor(idx, version);
+    const std::vector<uint8_t> fresh = PayloadFor(idx, version);
+    LOR_RETURN_IF_ERROR(repo_->SafeWrite(KeyName(idx), size, fresh));
+    ks.version = version;
+    ks.size = size;
+    ks.hash = Fnv(fresh);
+    ++cycle.healed;
+  }
+  cycle.transient_clears = media_model_.stats().transient_clears;
+
+  // After the heal every payload matches its recorded hashes again.
+  LOR_ASSIGN_OR_RETURN(const core::FsckReport fsck, repo_->Fsck());
+  cycle.fsck_clean = fsck.clean();
+  LOR_RETURN_IF_ERROR(repo_->CheckConsistency());
+  return cycle;
+}
+
+Result<MediaTortureSummary> CrashTortureRunner::RunMedia() {
+  if (options_.data_mode != sim::DataMode::kRetain) {
+    return Status::InvalidArgument(
+        "media torture needs DataMode::kRetain (faults bite real bytes)");
+  }
+  LOR_RETURN_IF_ERROR(Setup());
+  if (fs_ != nullptr) fs_->device()->AttachMediaFaults(&media_model_);
+  if (db_ != nullptr) db_->data_device()->AttachMediaFaults(&media_model_);
+  MediaTortureSummary sum;
+  for (uint64_t c = 0; c < options_.media_cycles; ++c) {
+    LOR_ASSIGN_OR_RETURN(const MediaCycleResult cycle, RunMediaCycle());
+    ++sum.cycles_executed;
+    sum.ops += cycle.ops;
+    sum.read_errors += cycle.read_errors;
+    sum.corruptions_detected += cycle.corruptions_detected;
+    sum.silent_corruptions += cycle.silent_corruptions;
+    sum.scrub_objects_scanned += cycle.scrub.objects_scanned;
+    sum.scrub_repaired += cycle.scrub.repaired;
+    sum.scrub_unrecoverable += cycle.scrub.unrecoverable;
+    sum.healed += cycle.healed;
+    sum.transient_clears += cycle.transient_clears;
+    if (!cycle.fsck_clean) ++sum.fsck_dirty_cycles;
+  }
+  if (fs_ != nullptr) {
+    sum.quarantined_units = fs_->store()->quarantined_cluster_count();
+  }
+  if (db_ != nullptr) {
+    sum.quarantined_units = db_->blob_store()->quarantined_page_count();
+  }
+  return sum;
+}
+
 Result<CrashTortureSummary> CrashTortureRunner::Run() {
   LOR_RETURN_IF_ERROR(Setup());
   CrashTortureSummary sum;

@@ -29,6 +29,7 @@
 #include "core/fs_repository.h"
 #include "core/object_repository.h"
 #include "sim/fault_injector.h"
+#include "sim/media_fault.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -71,6 +72,18 @@ struct CrashTortureOptions {
   /// cache against power cuts (the pool forces write-through while the
   /// injector is armed, so the oracle's durability rules are unchanged).
   uint64_t cache_bytes = 0;
+
+  // -- Media torture (RunMedia) ----------------------------------------
+  /// Media-fault cycles to run; each cycle re-arms the model with a
+  /// fresh derived seed (new fault map) over the same volume.
+  uint64_t media_cycles = 25;
+  /// Per-cycle fault mix. The seed field is overridden per cycle; the
+  /// rates default to zero, so callers set the mix they want.
+  sim::MediaFaultSpec media;
+  /// Acked operations driven per armed media cycle.
+  uint64_t ops_per_media_cycle = 96;
+  /// Run a repairing scrub pass while the cycle's faults are armed.
+  bool scrub_between_cycles = true;
 };
 
 /// Outcome of one cut cycle.
@@ -88,6 +101,42 @@ struct CrashCutResult {
   /// Window-acked operations whose effect did not survive (the
   /// data-loss window).
   uint64_t acked_rolled_back = 0;
+};
+
+/// Outcome of one media-fault cycle.
+struct MediaCycleResult {
+  uint64_t ops = 0;
+  /// Typed Status::IoError reads surfaced to the client (retries
+  /// exhausted on a latent sector error).
+  uint64_t read_errors = 0;
+  /// Typed Status::Corruption reads (checksum caught wrong bytes).
+  uint64_t corruptions_detected = 0;
+  /// OK-status reads delivering bytes matching no acked version — the
+  /// failure the checksums exist to prevent. Must stay zero.
+  uint64_t silent_corruptions = 0;
+  /// Keys rewritten by the end-of-cycle heal pass.
+  uint64_t healed = 0;
+  /// Transient LSE regions that recovered under retry this cycle.
+  uint64_t transient_clears = 0;
+  core::ScrubReport scrub;
+  bool fsck_clean = true;
+};
+
+/// Aggregates over a RunMedia run.
+struct MediaTortureSummary {
+  uint64_t cycles_executed = 0;
+  uint64_t ops = 0;
+  uint64_t read_errors = 0;
+  uint64_t corruptions_detected = 0;
+  uint64_t silent_corruptions = 0;
+  uint64_t scrub_objects_scanned = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_unrecoverable = 0;
+  uint64_t healed = 0;
+  uint64_t transient_clears = 0;
+  uint64_t fsck_dirty_cycles = 0;
+  /// Final quarantine size (filesystem clusters / database pages).
+  uint64_t quarantined_units = 0;
 };
 
 /// Aggregates over a whole torture run.
@@ -123,8 +172,21 @@ class CrashTortureRunner {
   /// Setup + `cuts` tripped cycles (untripped windows retried).
   Result<CrashTortureSummary> Run();
 
+  /// One media cycle: arm a derived fault map → acked traffic under a
+  /// byte oracle (an OK read must deliver correct bytes; wrong bytes
+  /// without a typed error count as silent corruption) → optional
+  /// repairing scrub → disarm and heal every damaged key by rewrite →
+  /// fsck (must be clean after the heal) → CheckConsistency. Requires
+  /// DataMode::kRetain and a prior Setup with media faults attached
+  /// (RunMedia does both).
+  Result<MediaCycleResult> RunMediaCycle();
+
+  /// Setup + media attach + `media_cycles` cycles.
+  Result<MediaTortureSummary> RunMedia();
+
   core::ObjectRepository* repository() { return repo_; }
   sim::FaultInjector* injector() { return &injector_; }
+  sim::MediaFaultModel* media_model() { return &media_model_; }
 
  private:
   /// Host-side truth for one key. `version` / `size` / `hash` describe
@@ -153,6 +215,10 @@ class CrashTortureRunner {
   /// non-null (armed) or folds it into the stable oracle (aging).
   Status IssueOp(std::unordered_map<uint64_t, std::vector<WindowOp>>* window);
 
+  /// One acked operation under the media oracle (no crash window: state
+  /// folds straight into the stable truth; reads are byte-verified).
+  Status IssueMediaOp(MediaCycleResult* cycle);
+
   /// Releases rollback holds after a window that never tripped.
   void EndCrashWindowOnStore();
   /// Folds the acked window into the stable oracle (clean close: a
@@ -165,6 +231,7 @@ class CrashTortureRunner {
   CrashTortureOptions options_;
   Rng rng_;
   sim::FaultInjector injector_;
+  sim::MediaFaultModel media_model_;
   std::unique_ptr<core::FsRepository> fs_;
   std::unique_ptr<core::DbRepository> db_;
   core::ObjectRepository* repo_ = nullptr;

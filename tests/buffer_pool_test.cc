@@ -18,6 +18,7 @@
 #include "core/fs_repository.h"
 #include "sim/block_device.h"
 #include "sim/fault_injector.h"
+#include "sim/media_fault.h"
 #include "util/fnv.h"
 #include "workload/crash_torture.h"
 #include "workload/getput_runner.h"
@@ -352,6 +353,41 @@ TEST(BufferPoolTest, ViewServesDirtyFramesAndArenaGaps) {
   EXPECT_TRUE(std::equal(on_disk.begin(), on_disk.end(),
                          got.begin() + static_cast<long>(kFrame)))
       << "view missed the arena gap";
+}
+
+// A fill that fails its media admission must DROP the installed frame,
+// not park it: a parked never-filled frame would serve zeros as a hit
+// once the fault clears — a silent corruption manufactured by the
+// cache itself.
+TEST(BufferPoolTest, FailedFillDropsFrameInsteadOfServingZeros) {
+  BlockDevice dev(SmallDisk(8 * kMiB), DataMode::kRetain);
+  BufferPoolOptions options;
+  options.capacity_bytes = 1 * kMiB;
+  BufferPool pool(&dev, options);
+
+  const std::vector<uint8_t> data = Pattern(kFrame, 11);
+  ASSERT_TRUE(dev.Write(0, kFrame, data).ok());
+
+  MediaFaultModel media;
+  dev.AttachMediaFaults(&media);
+  MediaFaultSpec spec;
+  spec.lse_rate = 1.0;
+  spec.transient_fraction = 0.0;
+  media.Arm(spec);
+
+  std::vector<uint8_t> back(kFrame, 0xEE);
+  std::vector<CacheSlice> r = {Slice(0, kFrame, nullptr, back.data())};
+  Status s = pool.ReadThrough(r);
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+
+  // Fault paused: the retry must go back to the device (no frame may
+  // have survived the failed fill) and deliver the real bytes.
+  media.set_suspended(true);
+  const uint64_t reads_before = dev.stats().reads;
+  std::vector<CacheSlice> again = {Slice(0, kFrame, nullptr, back.data())};
+  ASSERT_TRUE(pool.ReadThrough(again).ok());
+  EXPECT_EQ(back, data) << "cache served a never-filled frame";
+  EXPECT_GT(dev.stats().reads, reads_before);
 }
 
 }  // namespace

@@ -10,7 +10,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "core/fs_repository.h"
+#include "sim/fault_injector.h"
 #include "workload/crash_torture.h"
 
 namespace lor {
@@ -180,6 +183,91 @@ TEST(CrashTortureModes, AgedVolumeRecovers) {
   options.cuts = EnvOr("LOR_CRASH_CUTS", 8);
   options.seed += 88;
   RunAndCheck(options);
+}
+
+// -- Injector lifecycle ------------------------------------------------
+
+// One injector must survive the full disarm → clean remount → re-arm
+// lifecycle on a single repository: an armed window that closes cleanly
+// releases its rollback holds, the clean mount rolls nothing back, and
+// the same injector can immediately arm a fresh window whose real cut
+// still recovers to an acked state.
+TEST(CrashTortureModes, DisarmRemountRearmCycle) {
+  core::FsRepositoryConfig config;
+  config.volume_bytes = 96 * kMiB;
+  config.data_mode = sim::DataMode::kRetain;
+  core::FsRepository repo(config);
+  sim::FaultInjector injector;
+  repo.device()->AttachFaultInjector(&injector);
+
+  constexpr uint64_t kObjects = 8;
+  constexpr uint64_t kBytes = 64 * kKiB;
+  auto payload = [](uint64_t idx, uint8_t version) {
+    std::vector<uint8_t> data(kBytes);
+    for (uint64_t i = 0; i < kBytes; ++i) {
+      data[i] = static_cast<uint8_t>(i * 13 + idx * 31 + version);
+    }
+    return data;
+  };
+  auto key = [](uint64_t idx) { return "obj" + std::to_string(idx); };
+
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(repo.Put(key(i), kBytes, payload(i, 1)).ok());
+  }
+  ASSERT_TRUE(repo.DrainIo().ok());
+
+  // Window 1: armed, but the crash point sits far beyond the traffic —
+  // the window closes cleanly.
+  sim::CrashSpec spec;
+  spec.crash_after_writes = 1000000;
+  spec.seed = 5;
+  injector.Arm(spec);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(repo.SafeWrite(key(i), kBytes, payload(i, 2)).ok());
+  }
+  ASSERT_FALSE(injector.tripped());
+  ASSERT_TRUE(repo.DrainIo().ok());
+  injector.Disarm();
+  repo.store()->EndCrashWindow();
+
+  // Clean remount: every acked second version survives, nothing rolls
+  // back, fsck stays clean.
+  auto mount = repo.Mount();
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  EXPECT_EQ(mount->ops_rolled_back, 0u);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(repo.Get(key(i), &out).ok());
+    EXPECT_EQ(out, payload(i, 2)) << "lost acked update on " << key(i);
+  }
+  auto fsck = repo.Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->clean());
+
+  // Window 2 on the same injector: a real cut a few writes in.
+  spec.crash_after_writes = 3;
+  spec.seed = 6;
+  injector.Arm(spec);
+  for (uint64_t i = 0; i < kObjects && !injector.tripped(); ++i) {
+    Status s = repo.SafeWrite(key(i), kBytes, payload(i, 3));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  ASSERT_TRUE(injector.tripped());
+  injector.MaterializeCrash();
+  auto remount = repo.Mount();
+  ASSERT_TRUE(remount.ok()) << remount.status().ToString();
+  auto fsck2 = repo.Fsck();
+  ASSERT_TRUE(fsck2.ok());
+  EXPECT_TRUE(fsck2->clean());
+
+  // Every survivor is byte-identical to SOME acked version — a torn
+  // third version must have been rolled back to the second.
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(repo.Get(key(i), &out).ok());
+    EXPECT_TRUE(out == payload(i, 2) || out == payload(i, 3))
+        << "torn payload surfaced on " << key(i);
+  }
 }
 
 }  // namespace

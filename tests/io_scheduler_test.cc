@@ -125,13 +125,13 @@ TEST(IoSchedulerTest, SubmitCallbackFiresInlineWhenSync) {
   req.write = true;
   req.offset = kMiB;
   req.length = 64 * kKiB;
-  ASSERT_TRUE(dev.Submit(req, [&](double t) { completion = t; }).ok());
+  ASSERT_TRUE(dev.Submit(req, [&](double t, const Status&) { completion = t; }).ok());
   EXPECT_DOUBLE_EQ(completion, dev.clock().now());
   // Zero-length submissions complete immediately without charges.
   req.length = 0;
   completion = -1.0;
   const double before = dev.clock().now();
-  ASSERT_TRUE(dev.Submit(req, [&](double t) { completion = t; }).ok());
+  ASSERT_TRUE(dev.Submit(req, [&](double t, const Status&) { completion = t; }).ok());
   EXPECT_DOUBLE_EQ(completion, before);
   EXPECT_DOUBLE_EQ(dev.clock().now(), before);
 }
@@ -146,7 +146,7 @@ TEST(IoSchedulerTest, SubmitVFiresOneCallbackForTheBatch) {
   }
   int fired = 0;
   double completion = -1.0;
-  ASSERT_TRUE(dev.SubmitV(reqs, [&](double t) {
+  ASSERT_TRUE(dev.SubmitV(reqs, [&](double t, const Status&) {
                    ++fired;
                    completion = t;
                  }).ok());
@@ -165,7 +165,7 @@ TEST(IoSchedulerTest, SubmitVEmptyBatchCompletesImmediately) {
     if (engaged) ASSERT_TRUE(sched.Engage(4, SchedPolicy::kSptf).ok());
     const double before = dev.clock().now();
     int fired = 0;
-    ASSERT_TRUE(dev.SubmitV({}, [&](double t) {
+    ASSERT_TRUE(dev.SubmitV({}, [&](double t, const Status&) {
                      ++fired;
                      EXPECT_DOUBLE_EQ(t, before);
                    }).ok());
@@ -216,9 +216,9 @@ TEST(IoSchedulerTest, CompletionCallbackMaySubmitMoreWork) {
 
   double first_done = -1.0;
   double chained_done = -1.0;
-  ASSERT_TRUE(dev.Submit(first, [&](double t) {
+  ASSERT_TRUE(dev.Submit(first, [&](double t, const Status&) {
                    first_done = t;
-                   ASSERT_TRUE(dev.Submit(chained, [&](double t2) {
+                   ASSERT_TRUE(dev.Submit(chained, [&](double t2, const Status&) {
                                     chained_done = t2;
                                   }).ok());
                  }).ok());
@@ -308,7 +308,7 @@ TEST(IoSchedulerTest, SptfServicesShortestPositioningFirst) {
     IoRequest req;
     req.offset = offsets[i];
     req.length = 4 * kKiB;
-    ASSERT_TRUE(dev.Submit(req, [&, i](double t) {
+    ASSERT_TRUE(dev.Submit(req, [&, i](double t, const Status&) {
                      completion_order.push_back(i);
                      completion_times.push_back(t);
                    }).ok());
@@ -338,7 +338,8 @@ TEST(IoSchedulerTest, FifoServicesSubmissionOrder) {
     req.offset = offsets[i];
     req.length = 4 * kKiB;
     ASSERT_TRUE(
-        dev.Submit(req, [&, i](double) { completion_order.push_back(i); })
+        dev.Submit(req,
+                   [&, i](double, const Status&) { completion_order.push_back(i); })
             .ok());
   }
   sched.Drain();
